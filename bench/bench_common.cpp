@@ -1,0 +1,114 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/env.h"
+#include "common/string_util.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace tsnn::bench {
+
+core::SweepInputs Workload::inputs() const {
+  core::SweepInputs in;
+  in.model = &conversion.model;
+  in.images = &test_images;
+  in.labels = &test_labels;
+  in.seed = bench_seed();
+  return in;
+}
+
+std::size_t bench_images() {
+  return static_cast<std::size_t>(env::get_int("TSNN_BENCH_IMAGES", 40));
+}
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env::get_int("TSNN_BENCH_SEED", 0xBEEF));
+}
+
+Workload prepare_workload(core::DatasetKind kind) {
+  Workload w;
+  w.kind = kind;
+  core::ModelBundle bundle = core::get_or_train(kind);
+  w.dnn_accuracy = bundle.dnn_test_accuracy;
+
+  const std::size_t calib_n = std::min<std::size_t>(100, bundle.data.train.size());
+  const std::vector<Tensor> calib(bundle.data.train.images.begin(),
+                                  bundle.data.train.images.begin() +
+                                      static_cast<std::ptrdiff_t>(calib_n));
+  w.conversion = convert::convert(bundle.net, calib);
+
+  const std::size_t n = std::min(bench_images(), bundle.data.test.size());
+  w.test_images.assign(bundle.data.test.images.begin(),
+                       bundle.data.test.images.begin() + static_cast<std::ptrdiff_t>(n));
+  w.test_labels.assign(bundle.data.test.labels.begin(),
+                       bundle.data.test.labels.begin() + static_cast<std::ptrdiff_t>(n));
+
+  std::printf("# dataset %s | source DNN acc %s%% | %zu test images | %zu stages\n",
+              core::dataset_name(kind).c_str(), pct(w.dnn_accuracy).c_str(), n,
+              w.conversion.model.num_stages());
+  return w;
+}
+
+void print_sweep(const std::string& title, const std::string& level_name,
+                 const std::vector<core::MethodSpec>& methods,
+                 const std::vector<double>& levels,
+                 const std::vector<core::SweepRow>& rows, bool show_spikes) {
+  std::printf("\n== %s ==\n", title.c_str());
+
+  std::vector<std::string> headers{"Method"};
+  for (const double level : levels) {
+    headers.push_back(level_name + "=" + str::format_fixed(level, 1));
+  }
+  report::Table acc_table(headers);
+  for (const core::MethodSpec& m : methods) {
+    std::vector<std::string> cells{m.label};
+    for (const core::SweepRow& r : core::rows_for(rows, m.label)) {
+      cells.push_back(pct(r.accuracy));
+    }
+    acc_table.add_row(std::move(cells));
+  }
+  std::printf("Accuracy (%%)\n%s", acc_table.to_string().c_str());
+
+  if (show_spikes) {
+    report::Table spike_table(headers);
+    for (const core::MethodSpec& m : methods) {
+      std::vector<std::string> cells{m.label};
+      for (const core::SweepRow& r : core::rows_for(rows, m.label)) {
+        cells.push_back(str::sci(r.mean_spikes));
+      }
+      spike_table.add_row(std::move(cells));
+    }
+    std::printf("The number of spikes\n%s", spike_table.to_string().c_str());
+  }
+}
+
+void write_csv(const std::string& name, const std::string& level_name,
+               const std::vector<core::SweepRow>& rows) {
+  const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s; skipping CSV\n", dir.c_str());
+    return;
+  }
+  report::CsvWriter csv({"method", level_name, "accuracy", "mean_spikes"});
+  for (const core::SweepRow& r : rows) {
+    csv.add_row({r.method, str::format_fixed(r.level, 2),
+                 str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)});
+  }
+  const std::string path = dir + "/" + name + ".csv";
+  try {
+    csv.write(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
+std::string pct(double accuracy) {
+  return str::format_fixed(accuracy * 100.0, 2);
+}
+
+}  // namespace tsnn::bench

@@ -1,0 +1,61 @@
+// Shared harness for the figure/table benches.
+//
+// Every bench binary regenerates one figure or table of the paper
+// (DESIGN.md SS4): it loads (or trains on first use) the zoo model for the
+// dataset, converts it once, runs the method/noise sweep, prints a
+// paper-style table, and writes machine-readable CSV into
+// TSNN_BENCH_OUT (default ./bench_results).
+//
+// Knobs (environment):
+//   TSNN_BENCH_IMAGES  test images per configuration (default 40)
+//   TSNN_BENCH_SEED    noise stream seed               (default 0xBEEF)
+//   TSNN_BENCH_OUT     CSV output directory            (default ./bench_results)
+//   TSNN_ZOO_DIR       model cache (see core/zoo.h)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+#include "core/experiment.h"
+#include "core/zoo.h"
+
+namespace tsnn::bench {
+
+/// A converted, evaluation-ready dataset bundle.
+struct Workload {
+  core::DatasetKind kind = core::DatasetKind::kCifar10Like;
+  double dnn_accuracy = 0.0;
+  convert::Conversion conversion;
+  std::vector<Tensor> test_images;
+  std::vector<std::size_t> test_labels;
+
+  core::SweepInputs inputs() const;
+};
+
+/// Number of evaluation images per configuration (TSNN_BENCH_IMAGES).
+std::size_t bench_images();
+
+/// Noise seed (TSNN_BENCH_SEED).
+std::uint64_t bench_seed();
+
+/// Loads/trains the zoo model for `kind`, converts it, and slices the test
+/// set down to bench_images() samples.
+Workload prepare_workload(core::DatasetKind kind);
+
+/// Prints a sweep as a paper-style table: one row per method, one column
+/// pair (accuracy, spikes) per level. `level_name` is "p" or "sigma".
+void print_sweep(const std::string& title, const std::string& level_name,
+                 const std::vector<core::MethodSpec>& methods,
+                 const std::vector<double>& levels,
+                 const std::vector<core::SweepRow>& rows, bool show_spikes);
+
+/// Writes the sweep rows as CSV into TSNN_BENCH_OUT/<name>.csv; prints the
+/// path (failures degrade to a warning so benches still run read-only).
+void write_csv(const std::string& name, const std::string& level_name,
+               const std::vector<core::SweepRow>& rows);
+
+/// Accuracy as "93.25" (percent, two decimals).
+std::string pct(double accuracy);
+
+}  // namespace tsnn::bench

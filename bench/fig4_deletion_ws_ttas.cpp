@@ -1,0 +1,32 @@
+// Fig. 4 reproduction: weight scaling (WS) and TTAS under spike deletion on
+// VGG-mini / S-CIFAR10: {rate,phase,burst,ttfs}+WS and TTAS(1..5)+WS.
+//
+// Expected shape (paper): WS lifts every coding's deletion robustness;
+// TTFS+WS improves the least (all-or-none activations become 0 or C*A --
+// over-activation); TTAS(t_a)+WS improves with burst duration t_a and
+// saturates, ending as the most robust configuration.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/registry.h"
+
+int main() {
+  using namespace tsnn;
+  std::printf("Fig. 4 | deletion vs accuracy | WS and TTAS(ta)+WS\n");
+  const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+
+  std::vector<core::MethodSpec> methods;
+  for (const snn::Coding c : coding::baseline_codings()) {
+    methods.push_back(core::baseline_method(c, /*ws=*/true));
+  }
+  for (const std::size_t ta : {1u, 2u, 3u, 4u, 5u}) {
+    methods.push_back(core::ttas_method(ta, /*ws=*/true));
+  }
+  const std::vector<double> levels{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+
+  const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  bench::print_sweep("Fig. 4: weight scaling + TTAS, deletion, S-CIFAR10", "p",
+                     methods, levels, rows, /*show_spikes=*/false);
+  bench::write_csv("fig4_deletion_ws_ttas", "p", rows);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 6 reproduction: TTFS vs TTAS(t_a) under spike jitter on VGG-mini /
+// S-CIFAR10, t_a in {1,2,3,4,5,10}, sigma in 0.5..4.
+//
+// Expected shape (paper): robustness grows with the burst duration t_a --
+// the receiver effectively averages t_a jittered spike times -- and the
+// improvement saturates as t_a increases.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/registry.h"
+
+int main() {
+  using namespace tsnn;
+  std::printf("Fig. 6 | jitter vs accuracy | TTFS vs TTAS(ta)\n");
+  const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+
+  std::vector<core::MethodSpec> methods{
+      core::baseline_method(snn::Coding::kTtfs, /*ws=*/false)};
+  for (const std::size_t ta : {1u, 2u, 3u, 4u, 5u, 10u}) {
+    methods.push_back(core::ttas_method(ta, /*ws=*/false));
+  }
+  const std::vector<double> levels{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+
+  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  bench::print_sweep("Fig. 6: TTAS burst duration vs jitter, S-CIFAR10", "sigma",
+                     methods, levels, rows, /*show_spikes=*/false);
+  bench::write_csv("fig6_jitter_ttas", "sigma", rows);
+  return 0;
+}

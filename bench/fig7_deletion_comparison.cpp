@@ -1,0 +1,33 @@
+// Fig. 7 reproduction: the deletion-noise comparison of all methods on
+// VGG-mini / S-CIFAR10 -- the four baselines with and without weight
+// scaling plus the proposed TTAS(5)+WS.
+//
+// Expected shape (paper): WS significantly improves robustness for every
+// coding; TTFS shows the least WS improvement; TTAS+WS is the most robust
+// method overall.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/registry.h"
+
+int main() {
+  using namespace tsnn;
+  std::printf("Fig. 7 | deletion comparison | baselines, +WS, TTAS(5)+WS\n");
+  const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+
+  std::vector<core::MethodSpec> methods;
+  for (const snn::Coding c : coding::baseline_codings()) {
+    methods.push_back(core::baseline_method(c, /*ws=*/false));
+  }
+  for (const snn::Coding c : coding::baseline_codings()) {
+    methods.push_back(core::baseline_method(c, /*ws=*/true));
+  }
+  methods.push_back(core::ttas_method(5, /*ws=*/true));
+
+  const std::vector<double> levels{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  bench::print_sweep("Fig. 7: deletion comparison, S-CIFAR10", "p", methods,
+                     levels, rows, /*show_spikes=*/false);
+  bench::write_csv("fig7_deletion_comparison", "p", rows);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 8 reproduction: the jitter comparison of all methods on VGG-mini /
+// S-CIFAR10 -- the four baseline codings plus the proposed TTAS(10).
+//
+// Expected shape (paper): rate is flat; phase/TTFS collapse as sigma grows;
+// TTAS achieves robustness comparable to burst coding while keeping a
+// TTFS-class spike budget.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/registry.h"
+
+int main() {
+  using namespace tsnn;
+  std::printf("Fig. 8 | jitter comparison | baselines + TTAS(10)\n");
+  const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+
+  std::vector<core::MethodSpec> methods;
+  for (const snn::Coding c : coding::baseline_codings()) {
+    methods.push_back(core::baseline_method(c, /*ws=*/false));
+  }
+  methods.push_back(core::ttas_method(10, /*ws=*/false));
+
+  const std::vector<double> levels{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  bench::print_sweep("Fig. 8: jitter comparison, S-CIFAR10", "sigma", methods,
+                     levels, rows, /*show_spikes=*/false);
+  bench::write_csv("fig8_jitter_comparison", "sigma", rows);
+  return 0;
+}

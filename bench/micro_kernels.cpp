@@ -1,0 +1,123 @@
+// Google-benchmark micro-kernels for TSNN's hot paths: conv/dense forward,
+// event-driven synapse accumulation, spike encoding, and noise injection.
+// These quantify the cost model behind the figure benches (event-driven
+// cost ~ spikes x fanout, which is why TTFS simulations are ~10x cheaper
+// than rate simulations).
+#include <benchmark/benchmark.h>
+
+#include "coding/registry.h"
+#include "common/rng.h"
+#include "dnn/conv2d.h"
+#include "noise/noise.h"
+#include "snn/topology.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace tsnn;
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+  Tensor t{shape};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+Tensor random_activations(std::size_t n, std::uint64_t seed) {
+  Tensor t{Shape{n}};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  return t;
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  dnn::Conv2dSpec spec{.in_channels = channels, .out_channels = channels,
+                       .kernel = 3, .stride = 1, .pad = 1, .use_bias = false};
+  dnn::Conv2d conv("c", spec);
+  conv.weight().value = random_tensor(conv.weight().value.shape(), 1);
+  const Tensor x = random_tensor(Shape{channels, 16, 16}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(channels * channels * 9 * 256));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DenseMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor w = random_tensor(Shape{n, n}, 3);
+  const Tensor x = random_tensor(Shape{n}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matvec(w, x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_DenseMatvec)->Arg(128)->Arg(512);
+
+void BM_ConvTopologyAccumulate(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  snn::ConvTopology syn(random_tensor(Shape{channels, channels, 3, 3}, 5), 16, 16,
+                        1, 1);
+  std::vector<float> u(syn.out_size(), 0.0f);
+  std::size_t pre = 0;
+  for (auto _ : state) {
+    syn.accumulate(pre, 0.4f, u.data());
+    pre = (pre + 97) % syn.in_size();
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(9 * channels));
+}
+BENCHMARK(BM_ConvTopologyAccumulate)->Arg(16)->Arg(64);
+
+void BM_Encode(benchmark::State& state) {
+  const auto coding = static_cast<snn::Coding>(state.range(0));
+  const auto scheme = coding::make_scheme(coding);
+  const Tensor a = random_activations(768, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->encode(a));
+  }
+  state.SetLabel(snn::coding_name(coding));
+}
+BENCHMARK(BM_Encode)
+    ->Arg(static_cast<int>(snn::Coding::kRate))
+    ->Arg(static_cast<int>(snn::Coding::kPhase))
+    ->Arg(static_cast<int>(snn::Coding::kBurst))
+    ->Arg(static_cast<int>(snn::Coding::kTtfs));
+
+void BM_DeletionNoise(benchmark::State& state) {
+  const auto scheme = coding::make_scheme(snn::Coding::kRate);
+  const snn::SpikeRaster raster = scheme->encode(random_activations(768, 7));
+  const auto noise = noise::make_deletion(0.5);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise->apply(raster, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raster.total_spikes()));
+}
+BENCHMARK(BM_DeletionNoise);
+
+void BM_JitterNoise(benchmark::State& state) {
+  const auto scheme = coding::make_scheme(snn::Coding::kRate);
+  const snn::SpikeRaster raster = scheme->encode(random_activations(768, 9));
+  const auto noise = noise::make_jitter(2.0);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise->apply(raster, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raster.total_spikes()));
+}
+BENCHMARK(BM_JitterNoise);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Coding explorer: visualize how each neural coding represents the same
+// activations as spike trains, and what deletion/jitter noise does to them
+// -- an interactive-free rendering of the paper's Fig. 1.
+//
+//   $ ./coding_explorer
+//
+// Prints ASCII rasters ('|' = spike) for a handful of activation values
+// per coding, clean and corrupted, plus the decoded values, making the
+// noise mechanics of SS III tangible: deletion zeroes whole TTFS
+// activations, jitter re-weighs phase spikes, burst chains break, rate
+// barely notices timing.
+#include <cstdio>
+#include <string>
+
+#include "coding/registry.h"
+#include "common/rng.h"
+#include "core/ttas.h"
+#include "noise/noise.h"
+
+namespace {
+
+using namespace tsnn;
+
+std::string render(const snn::SpikeRaster& raster, std::uint32_t neuron,
+                   std::size_t max_steps) {
+  std::string line;
+  const std::size_t show = std::min(raster.window(), max_steps);
+  for (std::size_t t = 0; t < show; ++t) {
+    bool hit = false;
+    for (const std::uint32_t id : raster.at(t)) {
+      if (id == neuron) {
+        hit = true;
+      }
+    }
+    line += hit ? '|' : '.';
+  }
+  return line;
+}
+
+void explore(const snn::CodingScheme& scheme, const Tensor& activations,
+             const snn::NoiseModel& noise, std::uint64_t seed) {
+  std::printf("\n--- %s ---\n", scheme.name().c_str());
+  const snn::SpikeRaster clean = scheme.encode(activations);
+  Rng rng(seed);
+  const snn::SpikeRaster noisy = noise.apply(clean, rng);
+  const Tensor clean_decoded = scheme.decode(clean);
+  const Tensor noisy_decoded = scheme.decode(noisy);
+  for (std::uint32_t i = 0; i < activations.numel(); ++i) {
+    std::printf("a=%.2f clean %s -> %.3f\n", activations[i],
+                render(clean, i, 48).c_str(), clean_decoded[i]);
+    std::printf("       %-5s %s -> %.3f\n", "noisy",
+                render(noisy, i, 48).c_str(), noisy_decoded[i]);
+  }
+  std::printf("spikes: %zu clean, %zu after %s\n", clean.total_spikes(),
+              noisy.total_spikes(), noise.name().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsnn;
+
+  Tensor activations{Shape{3}, {0.8f, 0.45f, 0.15f}};
+  std::printf("activations: 0.80, 0.45, 0.15 | window 64 steps (48 shown)\n");
+
+  std::printf("\n================ spike DELETION p = 0.4 ================\n");
+  const auto deletion = noise::make_deletion(0.4);
+  for (const snn::Coding c : coding::baseline_codings()) {
+    explore(*coding::make_scheme(c), activations, *deletion, 11);
+  }
+  explore(*core::make_ttas(5), activations, *deletion, 11);
+
+  std::printf("\n================ spike JITTER sigma = 2.0 ===============\n");
+  const auto jitter = noise::make_jitter(2.0);
+  for (const snn::Coding c : coding::baseline_codings()) {
+    explore(*coding::make_scheme(c), activations, *jitter, 13);
+  }
+  explore(*core::make_ttas(5), activations, *jitter, 13);
+
+  std::printf(
+      "\nReading the rasters:\n"
+      " - rate: count carries the value; deletion thins it, jitter is harmless\n"
+      " - phase: spike position within the 8-step period is a binary digit;\n"
+      "   jitter moves digits and corrupts the value sharply\n"
+      " - burst: consecutive runs escalate significance; broken chains demote\n"
+      " - ttfs: one spike, all-or-none under deletion, time-shift = value error\n"
+      " - ttas: a phasic burst; partial deletion keeps a fraction, and the\n"
+      "   receiver effectively averages jittered spike times\n");
+  return 0;
+}

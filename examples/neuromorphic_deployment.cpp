@@ -1,0 +1,93 @@
+// Deployment scenario: pick the best coding configuration for a target
+// neuromorphic device.
+//
+// Given a device noise profile (deletion rate + timing jitter of the
+// fabric), this example sweeps candidate configurations and reports the
+// accuracy/efficiency (spike count) frontier, then recommends a
+// configuration -- the decision a practitioner deploying to analog
+// hardware faces, and the workflow the paper's method enables without any
+// retraining.
+//
+//   $ ./neuromorphic_deployment [device-name]
+//
+// Devices come from noise::device_catalog(): digital-cmos, mixed-signal,
+// analog-mature, memristive-early, memristive-aggressive.
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "convert/converter.h"
+#include "core/pipeline.h"
+#include "core/zoo.h"
+#include "noise/device_profile.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tsnn;
+
+  const std::string device_name = argc > 1 ? argv[1] : "memristive-early";
+  const noise::DeviceProfile& device = noise::find_device(device_name);
+  std::printf("target device: %s (deletion p=%.2f, jitter sigma=%.1f)\n  %s\n\n",
+              device.name.c_str(), device.deletion_p, device.jitter_sigma,
+              device.description.c_str());
+
+  // Trained source model from the zoo (trains on first run, then cached).
+  core::ModelBundle bundle = core::get_or_train(core::DatasetKind::kMnistLike);
+  const std::vector<Tensor> calibration(bundle.data.train.images.begin(),
+                                        bundle.data.train.images.begin() + 80);
+  const convert::Conversion conv = convert::convert(bundle.net, calibration);
+  std::printf("source DNN accuracy: %.1f%%\n", 100.0 * bundle.dnn_test_accuracy);
+
+  // Candidate deployment configurations. Weight scaling is tuned to the
+  // device's known loss rate -- the paper's training-free compensation.
+  struct Candidate {
+    std::string label;
+    core::PipelineConfig config;
+  };
+  std::vector<Candidate> candidates;
+  auto add = [&](const std::string& label, snn::Coding coding, std::size_t ta,
+                 bool ws) {
+    Candidate c;
+    c.label = label;
+    c.config.coding = coding;
+    c.config.params.burst_duration = ta;
+    c.config.weight_scaling = ws && device.deletion_p > 0.0;
+    c.config.assumed_deletion_p = device.deletion_p;
+    candidates.push_back(std::move(c));
+  };
+  add("rate", snn::Coding::kRate, 1, false);
+  add("rate+WS", snn::Coding::kRate, 1, true);
+  add("ttfs", snn::Coding::kTtfs, 1, false);
+  add("ttfs+WS", snn::Coding::kTtfs, 1, true);
+  add("ttas(3)+WS", snn::Coding::kTtas, 3, true);
+  add("ttas(5)+WS", snn::Coding::kTtas, 5, true);
+  add("ttas(10)+WS", snn::Coding::kTtas, 10, true);
+
+  const auto device_noise = device.make_noise();
+  report::Table table({"Config", "Acc on device (%)", "Spikes/img", "Note"});
+  double best_acc = -1.0;
+  double best_spikes = 0.0;
+  std::string best_label;
+  for (Candidate& c : candidates) {
+    core::NoiseRobustPipeline pipe(conv.model, c.config);
+    const snn::BatchResult r = pipe.evaluate(
+        bundle.data.test.images, bundle.data.test.labels, device_noise.get());
+    const bool better =
+        r.accuracy > best_acc + 1e-9 ||
+        (std::abs(r.accuracy - best_acc) < 1e-9 &&
+         r.mean_spikes_per_image < best_spikes);
+    if (better) {
+      best_acc = r.accuracy;
+      best_spikes = r.mean_spikes_per_image;
+      best_label = c.label;
+    }
+    table.add_row({c.label, str::format_fixed(100.0 * r.accuracy, 1),
+                   str::sci(r.mean_spikes_per_image),
+                   c.config.weight_scaling ? "WS tuned to device" : ""});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nrecommended configuration for %s: %s (%.1f%%, %s spikes/img)\n",
+              device.name.c_str(), best_label.c_str(), 100.0 * best_acc,
+              str::sci(best_spikes).c_str());
+  return 0;
+}

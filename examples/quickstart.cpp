@@ -1,0 +1,94 @@
+// Quickstart: train a small CNN, convert it to a spiking network, and
+// evaluate it under neuromorphic spike noise with and without the paper's
+// robustness methods (weight scaling + TTAS coding).
+//
+//   $ ./quickstart
+//
+// Runs in well under a minute on one CPU core; no external data needed --
+// the S-MNIST dataset is generated procedurally.
+#include <cstdio>
+
+#include "coding/registry.h"
+#include "convert/converter.h"
+#include "core/pipeline.h"
+#include "data/mnist_like.h"
+#include "dnn/trainer.h"
+#include "dnn/vgg.h"
+#include "noise/noise.h"
+
+int main() {
+  using namespace tsnn;
+
+  // 1. Generate a synthetic digit dataset (no downloads: see DESIGN.md).
+  data::MnistLikeConfig dcfg;
+  dcfg.train_per_class = 60;
+  dcfg.test_per_class = 15;
+  const data::DatasetPair data = data::make_mnist_like(dcfg);
+  std::printf("dataset: %zu train / %zu test images, %zu classes\n",
+              data.train.size(), data.test.size(), data.train.num_classes);
+
+  // 2. Train a small VGG-style CNN with dropout (the source DNN).
+  dnn::VggConfig vcfg;
+  vcfg.in_channels = 1;
+  vcfg.image_size = 16;
+  vcfg.num_blocks = 2;
+  vcfg.base_width = 8;
+  vcfg.dense_width = 48;
+  vcfg.num_classes = 10;
+  dnn::Network net = dnn::vgg_mini(vcfg);
+
+  dnn::TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.sgd.lr = 0.05;
+  dnn::train(net, data.train.images, data.train.labels, tcfg);
+  const double dnn_acc =
+      dnn::evaluate_accuracy(net, data.test.images, data.test.labels);
+  std::printf("source DNN test accuracy: %.1f%%\n", 100.0 * dnn_acc);
+
+  // 3. Convert DNN -> SNN with data-based weight normalization.
+  const std::vector<Tensor> calibration(data.train.images.begin(),
+                                        data.train.images.begin() + 60);
+  const convert::Conversion conv = convert::convert(net, calibration);
+  std::printf("converted: %s\n", conv.model.summary().c_str());
+
+  // 4. Evaluate under spike deletion (a noisy neuromorphic device) with
+  //    three configurations: plain TTFS, TTFS+WS, and the paper's TTAS+WS.
+  const double p = 0.5;  // half of all spikes are lost
+  const auto noise = noise::make_deletion(p);
+
+  // Clean accuracy is measured on the unscaled model (weight scaling is a
+  // compensation for the lossy device, not a clean-operation mode).
+  auto evaluate = [&](core::PipelineConfig cfg, const char* label) {
+    core::PipelineConfig clean_cfg = cfg;
+    clean_cfg.weight_scaling = false;
+    core::NoiseRobustPipeline clean_pipe(conv.model, clean_cfg);
+    const snn::BatchResult clean =
+        clean_pipe.evaluate(data.test.images, data.test.labels, nullptr);
+    core::NoiseRobustPipeline pipe(conv.model, cfg);
+    const snn::BatchResult noisy =
+        pipe.evaluate(data.test.images, data.test.labels, noise.get());
+    std::printf("%-12s clean %.1f%% | deletion p=%.1f -> %.1f%% | %.0f spikes/img\n",
+                label, 100.0 * clean.accuracy, p, 100.0 * noisy.accuracy,
+                clean.mean_spikes_per_image);
+  };
+
+  core::PipelineConfig ttfs;
+  ttfs.coding = snn::Coding::kTtfs;
+  evaluate(ttfs, "ttfs");
+
+  core::PipelineConfig ttfs_ws = ttfs;
+  ttfs_ws.weight_scaling = true;
+  ttfs_ws.assumed_deletion_p = p;
+  evaluate(ttfs_ws, "ttfs+WS");
+
+  core::PipelineConfig ttas_ws;
+  ttas_ws.coding = snn::Coding::kTtas;
+  ttas_ws.params.burst_duration = 5;
+  ttas_ws.weight_scaling = true;
+  ttas_ws.assumed_deletion_p = p;
+  evaluate(ttas_ws, "ttas(5)+WS");
+
+  std::printf("\nTTAS+WS keeps most of the clean accuracy at p=%.1f -- the\n"
+              "paper's noise-robust deep SNN, with no retraining involved.\n", p);
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "coding/burst.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsnn::coding {
+
+using snn::LayerRole;
+using snn::SpikeRaster;
+using snn::SynapseTopology;
+
+namespace {
+
+/// Receiver-side burst state per presynaptic neuron: reconstructs the
+/// sender's escalation counter from arrival ISIs.
+struct IsiDecoder {
+  std::int64_t last_time = -10;
+  std::size_t k = 0;
+
+  /// Updates on an arrival at `t` and returns the inferred gain exponent.
+  std::size_t on_arrival(std::int64_t t) {
+    k = (t == last_time + 1) ? k + 1 : 0;
+    last_time = t;
+    return k;
+  }
+};
+
+}  // namespace
+
+BurstScheme::BurstScheme(snn::CodingParams params) : CodingScheme(params) {
+  TSNN_CHECK_MSG(params_.burst_gain > 1.0f, "burst gain must exceed 1");
+  TSNN_CHECK_MSG(params_.threshold > 0.0f, "burst threshold must be positive");
+}
+
+float BurstScheme::burst_gain(std::size_t k) const {
+  const auto e = static_cast<int>(std::min(k, params_.burst_cap));
+  return std::pow(params_.burst_gain, static_cast<float>(e));
+}
+
+SpikeRaster BurstScheme::encode(const Tensor& activations) const {
+  const std::size_t n = activations.numel();
+  SpikeRaster raster(n, params_.window);
+  // Injection a per step, drained by escalating burst quanta (base 1.0).
+  std::vector<float> acc(n, 0.0f);
+  std::vector<std::size_t> k(n, 0);
+  const float* a = activations.data();
+  for (std::size_t t = 0; t < params_.window; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] += a[i];
+      const float quantum = burst_gain(k[i]);
+      if (acc[i] >= quantum) {
+        acc[i] -= quantum;
+        ++k[i];
+        raster.add(t, static_cast<std::uint32_t>(i));
+      } else {
+        k[i] = 0;
+      }
+    }
+  }
+  return raster;
+}
+
+SpikeRaster BurstScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                                   LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const std::size_t out = syn.out_size();
+  const float theta = params_.threshold;
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
+  SpikeRaster out_raster(out, params_.window);
+  std::vector<float> u(out, 0.0f);
+  std::vector<IsiDecoder> decoders(in.num_neurons());
+  std::vector<std::size_t> k_out(out, 0);
+  for (std::size_t t = 0; t < params_.window; ++t) {
+    if (t < in.window()) {
+      for (const std::uint32_t pre : in.at(t)) {
+        const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
+        syn.accumulate(pre, base_in * burst_gain(k), u.data());
+      }
+    }
+    for (std::size_t j = 0; j < out; ++j) {
+      const float quantum = theta * burst_gain(k_out[j]);
+      if (u[j] >= quantum) {
+        u[j] -= quantum;
+        ++k_out[j];
+        out_raster.add(t, static_cast<std::uint32_t>(j));
+      } else {
+        k_out[j] = 0;
+      }
+    }
+  }
+  return out_raster;
+}
+
+Tensor BurstScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
+                            LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  Tensor logits{Shape{syn.out_size()}};
+  std::vector<IsiDecoder> decoders(in.num_neurons());
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t pre : in.at(t)) {
+      const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
+      syn.accumulate(pre, base_in * burst_gain(k), logits.data());
+    }
+  }
+  return logits;
+}
+
+Tensor BurstScheme::decode(const SpikeRaster& in) const {
+  Tensor out{Shape{in.num_neurons()}};
+  std::vector<IsiDecoder> decoders(in.num_neurons());
+  const float inv_t = 1.0f / static_cast<float>(params_.window);
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t pre : in.at(t)) {
+      const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
+      out[pre] += burst_gain(k) * inv_t;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::coding

@@ -1,0 +1,36 @@
+// Burst coding (Park et al. DAC 2019).
+//
+// Consecutive spikes escalate in significance by a geometric gain g: the
+// k-th spike of an uninterrupted burst carries g^k times the base charge.
+// The *receiver* reconstructs k from inter-spike intervals, so deleting a
+// spike mid-burst or jittering one off its slot demotes the remainder of
+// the burst -- the physical reason burst coding sits between rate and TTFS
+// in noise robustness.
+#pragma once
+
+#include "snn/coding_base.h"
+
+namespace tsnn::coding {
+
+/// Burst coding scheme with sender-side escalation and receiver-side ISI
+/// decoding.
+class BurstScheme : public snn::CodingScheme {
+ public:
+  explicit BurstScheme(snn::CodingParams params);
+
+  snn::Coding kind() const override { return snn::Coding::kBurst; }
+  std::string name() const override { return "burst"; }
+
+  snn::SpikeRaster encode(const Tensor& activations) const override;
+  snn::SpikeRaster run_layer(const snn::SpikeRaster& in,
+                             const snn::SynapseTopology& syn,
+                             snn::LayerRole role) const override;
+  Tensor readout(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
+                 snn::LayerRole role) const override;
+  Tensor decode(const snn::SpikeRaster& in) const override;
+
+  /// Gain of the k-th consecutive spike, capped at burst_cap: g^min(k,cap).
+  float burst_gain(std::size_t k) const;
+};
+
+}  // namespace tsnn::coding

@@ -1,0 +1,4 @@
+// Umbrella translation unit kept for the build target; the coding-scheme
+// interface itself lives in snn/coding_base.h and implementations in the
+// sibling files.
+#include "coding/registry.h"

@@ -1,0 +1,103 @@
+#include "coding/phase.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsnn::coding {
+
+using snn::LayerRole;
+using snn::SpikeRaster;
+using snn::SynapseTopology;
+
+PhaseScheme::PhaseScheme(snn::CodingParams params) : CodingScheme(params) {
+  TSNN_CHECK_MSG(params_.phase_period > 0 && params_.phase_period <= 24,
+                 "phase period out of range");
+  TSNN_CHECK_MSG(params_.window % params_.phase_period == 0,
+                 "window must be a multiple of the phase period");
+  TSNN_CHECK_MSG(params_.threshold > 0.0f, "phase threshold must be positive");
+}
+
+float PhaseScheme::phase_weight(std::size_t t) const {
+  return std::ldexp(1.0f, -static_cast<int>(t % params_.phase_period) - 1);
+}
+
+SpikeRaster PhaseScheme::encode(const Tensor& activations) const {
+  const std::size_t n = activations.numel();
+  SpikeRaster raster(n, params_.window);
+  // Greedy binary expansion per period (MSB phase first); the residual
+  // carries into the next period, so quantization error shrinks over time.
+  std::vector<float> acc(n, 0.0f);
+  const float* a = activations.data();
+  for (std::size_t t = 0; t < params_.window; ++t) {
+    const bool period_start = (t % params_.phase_period) == 0;
+    const float pw = phase_weight(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (period_start) {
+        acc[i] += a[i];
+      }
+      if (acc[i] >= pw) {
+        acc[i] -= pw;
+        raster.add(t, static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return raster;
+}
+
+SpikeRaster PhaseScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                                   LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const std::size_t out = syn.out_size();
+  const float theta = params_.threshold;
+  // Encoder spikes are worth pw(t); hidden spikes are worth theta*pw(t).
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
+  SpikeRaster out_raster(out, params_.window);
+  std::vector<float> u(out, 0.0f);
+  for (std::size_t t = 0; t < params_.window; ++t) {
+    if (t < in.window()) {
+      const float m_in = base_in * phase_weight(t);
+      for (const std::uint32_t pre : in.at(t)) {
+        syn.accumulate(pre, m_in, u.data());
+      }
+    }
+    // Greedy weighted-spike emission: a neuron fires at phase t if its
+    // potential covers theta-scaled phase weight, draining that quantum.
+    const float quantum = theta * phase_weight(t);
+    for (std::size_t j = 0; j < out; ++j) {
+      if (u[j] >= quantum) {
+        u[j] -= quantum;
+        out_raster.add(t, static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return out_raster;
+}
+
+Tensor PhaseScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
+                            LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  Tensor logits{Shape{syn.out_size()}};
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    const float m_in = base_in * phase_weight(t);
+    for (const std::uint32_t pre : in.at(t)) {
+      syn.accumulate(pre, m_in, logits.data());
+    }
+  }
+  return logits;
+}
+
+Tensor PhaseScheme::decode(const SpikeRaster& in) const {
+  Tensor out{Shape{in.num_neurons()}};
+  const float inv_periods = 1.0f / static_cast<float>(num_periods());
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    const float pw = phase_weight(t);
+    for (const std::uint32_t pre : in.at(t)) {
+      out[pre] += pw * inv_periods;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::coding

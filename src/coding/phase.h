@@ -1,0 +1,37 @@
+// Phase coding (weighted spikes, Kim et al. Neurocomputing 2018).
+//
+// A global oscillator of period K assigns each timestep a binary weight
+// 2^-(1 + t mod K). An activation is transmitted once per period as its
+// binary expansion; a spike's significance is its *phase*. Jitter moving a
+// spike by one step doubles or halves its contribution, which is why phase
+// coding degrades sharply under jitter (paper Fig. 3).
+#pragma once
+
+#include "snn/coding_base.h"
+
+namespace tsnn::coding {
+
+/// Phase (weighted-spike) coding scheme.
+class PhaseScheme : public snn::CodingScheme {
+ public:
+  explicit PhaseScheme(snn::CodingParams params);
+
+  snn::Coding kind() const override { return snn::Coding::kPhase; }
+  std::string name() const override { return "phase"; }
+
+  snn::SpikeRaster encode(const Tensor& activations) const override;
+  snn::SpikeRaster run_layer(const snn::SpikeRaster& in,
+                             const snn::SynapseTopology& syn,
+                             snn::LayerRole role) const override;
+  Tensor readout(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
+                 snn::LayerRole role) const override;
+  Tensor decode(const snn::SpikeRaster& in) const override;
+
+  /// Binary phase weight of timestep `t`: 2^-(1 + t mod K).
+  float phase_weight(std::size_t t) const;
+
+  /// Number of full oscillation periods in the window.
+  std::size_t num_periods() const { return params_.window / params_.phase_period; }
+};
+
+}  // namespace tsnn::coding

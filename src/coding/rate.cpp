@@ -1,0 +1,87 @@
+#include "coding/rate.h"
+
+#include "common/error.h"
+
+namespace tsnn::coding {
+
+using snn::LayerRole;
+using snn::SpikeRaster;
+using snn::SynapseTopology;
+
+RateScheme::RateScheme(snn::CodingParams params) : CodingScheme(params) {
+  TSNN_CHECK_MSG(params_.threshold > 0.0f, "rate threshold must be positive");
+  TSNN_CHECK_MSG(params_.window > 0, "window must be positive");
+}
+
+SpikeRaster RateScheme::encode(const Tensor& activations) const {
+  const std::size_t n = activations.numel();
+  SpikeRaster raster(n, params_.window);
+  // Deterministic rate encoding: an accumulator integrates `a` per step and
+  // fires on crossing 1, giving count == round-ish(a*T) with rate <= 1.
+  std::vector<float> acc(n, 0.0f);
+  const float* a = activations.data();
+  for (std::size_t t = 0; t < params_.window; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] += a[i];
+      if (acc[i] >= 1.0f) {
+        acc[i] -= 1.0f;
+        raster.add(t, static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  return raster;
+}
+
+SpikeRaster RateScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                                  LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const std::size_t out = syn.out_size();
+  const float theta = params_.threshold;
+  // Rate invariant: a spike train firing at rate r represents activation r.
+  // Arrivals carry theta and the fire threshold is theta, so the output rate
+  // equals the weighted input rate regardless of the role -- theta is a pure
+  // gauge for rate coding (it matters for phase/burst/TTFS capacity).
+  const float m_in = theta;
+  static_cast<void>(role);
+  SpikeRaster out_raster(out, params_.window);
+  std::vector<float> u(out, 0.0f);
+  for (std::size_t t = 0; t < in.window() && t < params_.window; ++t) {
+    for (const std::uint32_t pre : in.at(t)) {
+      syn.accumulate(pre, m_in, u.data());
+    }
+    for (std::size_t j = 0; j < out; ++j) {
+      if (u[j] >= theta) {
+        u[j] -= theta;  // soft reset preserves the residual (RMP-SNN)
+        out_raster.add(t, static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return out_raster;
+}
+
+Tensor RateScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
+                           LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  static_cast<void>(role);
+  const float m_in = params_.threshold;
+  Tensor logits{Shape{syn.out_size()}};
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t pre : in.at(t)) {
+      syn.accumulate(pre, m_in, logits.data());
+    }
+  }
+  return logits;
+}
+
+Tensor RateScheme::decode(const SpikeRaster& in) const {
+  Tensor out{Shape{in.num_neurons()}};
+  const float inv_t = 1.0f / static_cast<float>(params_.window);
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t pre : in.at(t)) {
+      out[pre] += inv_t;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::coding

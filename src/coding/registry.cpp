@@ -1,0 +1,66 @@
+#include "coding/registry.h"
+
+#include "coding/burst.h"
+#include "coding/phase.h"
+#include "coding/rate.h"
+#include "coding/ttfs.h"
+#include "common/error.h"
+
+namespace tsnn::coding {
+
+snn::CodingParams default_params(snn::Coding coding) {
+  snn::CodingParams p;
+  p.window = 64;
+  switch (coding) {
+    case snn::Coding::kRate:
+      p.threshold = 0.4f;
+      break;
+    case snn::Coding::kBurst:
+      p.threshold = 0.4f;
+      break;
+    case snn::Coding::kPhase:
+      p.threshold = 1.2f;
+      break;
+    case snn::Coding::kTtfs:
+      p.threshold = 0.8f;
+      p.burst_duration = 1;
+      break;
+    case snn::Coding::kTtas:
+      p.threshold = 0.8f;
+      p.burst_duration = 5;
+      break;
+  }
+  return p;
+}
+
+snn::CodingSchemePtr make_scheme(snn::Coding coding, const snn::CodingParams& params) {
+  switch (coding) {
+    case snn::Coding::kRate:
+      return std::make_unique<RateScheme>(params);
+    case snn::Coding::kPhase:
+      return std::make_unique<PhaseScheme>(params);
+    case snn::Coding::kBurst:
+      return std::make_unique<BurstScheme>(params);
+    case snn::Coding::kTtfs:
+      return std::make_unique<TtfsScheme>(params);
+    case snn::Coding::kTtas: {
+      TSNN_CHECK_MSG(params.burst_duration >= 1,
+                     "TTAS requires burst_duration >= 1");
+      return std::make_unique<TtfsScheme>(params);
+    }
+  }
+  throw InvalidArgument("unknown coding");
+}
+
+snn::CodingSchemePtr make_scheme(snn::Coding coding) {
+  return make_scheme(coding, default_params(coding));
+}
+
+const std::vector<snn::Coding>& baseline_codings() {
+  static const std::vector<snn::Coding> kCodings = {
+      snn::Coding::kRate, snn::Coding::kPhase, snn::Coding::kBurst,
+      snn::Coding::kTtfs};
+  return kCodings;
+}
+
+}  // namespace tsnn::coding

@@ -1,0 +1,24 @@
+// Coding-scheme factory with the paper's empirical defaults.
+#pragma once
+
+#include "snn/coding_base.h"
+
+namespace tsnn::coding {
+
+/// Default parameters per coding, matching the paper's threshold search
+/// results (theta = 0.4 rate, 0.4 burst, 1.2 phase, 0.8 TTFS/TTAS) at the
+/// TSNN default window of 64 steps (see DESIGN.md on window scaling).
+snn::CodingParams default_params(snn::Coding coding);
+
+/// Creates a scheme with explicit parameters. For Coding::kTtas,
+/// params.burst_duration must be > 1 (use core::make_ttas for the friendly
+/// constructor).
+snn::CodingSchemePtr make_scheme(snn::Coding coding, const snn::CodingParams& params);
+
+/// Creates a scheme with default_params(coding).
+snn::CodingSchemePtr make_scheme(snn::Coding coding);
+
+/// All baseline codings studied in the paper's analysis (Figs. 2-3).
+const std::vector<snn::Coding>& baseline_codings();
+
+}  // namespace tsnn::coding

@@ -1,0 +1,139 @@
+#include "coding/ttfs.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsnn::coding {
+
+using snn::LayerRole;
+using snn::SpikeRaster;
+using snn::SynapseTopology;
+
+TtfsScheme::TtfsScheme(snn::CodingParams params) : CodingScheme(params) {
+  TSNN_CHECK_MSG(params_.tau > 0.0f, "ttfs tau must be positive");
+  TSNN_CHECK_MSG(params_.threshold > 0.0f, "ttfs threshold must be positive");
+  TSNN_CHECK_MSG(params_.burst_duration >= 1, "burst duration must be >= 1");
+  double z_hat = 0.0;
+  for (std::size_t j = 0; j < params_.burst_duration; ++j) {
+    z_hat += std::exp(-static_cast<double>(j) / params_.tau);
+  }
+  kernel_sum_scale_ = static_cast<float>(1.0 / z_hat);
+}
+
+std::string TtfsScheme::name() const {
+  if (params_.burst_duration > 1) {
+    return "ttas(" + std::to_string(params_.burst_duration) + ")";
+  }
+  return "ttfs";
+}
+
+float TtfsScheme::kernel(std::int64_t t) const {
+  return std::exp(-static_cast<float>(t) / params_.tau);
+}
+
+std::int64_t TtfsScheme::encode_time(float a) const {
+  if (a < min_activation()) {
+    return -1;
+  }
+  const auto window = static_cast<std::int64_t>(params_.window);
+  auto t = static_cast<std::int64_t>(
+      std::lround(-params_.tau * std::log(std::max(a, 1e-20f))));
+  if (t < 0) {
+    t = 0;  // a > 1 saturates at the earliest slot
+  }
+  if (t >= window) {
+    t = window - 1;
+  }
+  return t;
+}
+
+SpikeRaster TtfsScheme::encode(const Tensor& activations) const {
+  const std::size_t n = activations.numel();
+  SpikeRaster raster(n, raster_window());
+  const float* a = activations.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t t1 = encode_time(a[i]);
+    if (t1 < 0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < params_.burst_duration; ++j) {
+      raster.add(static_cast<std::size_t>(t1) + j, static_cast<std::uint32_t>(i));
+    }
+  }
+  return raster;
+}
+
+void TtfsScheme::charge(const SpikeRaster& in, const SynapseTopology& syn,
+                        float base_in, float* u) const {
+  // Arrival order is irrelevant in the layered-window regime: the charge
+  // phase integrates the whole input window before any firing decision.
+  const float scale = base_in * kernel_sum_scale_;
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    if (in.at(t).empty()) {
+      continue;
+    }
+    const float m = scale * kernel(static_cast<std::int64_t>(t));
+    for (const std::uint32_t pre : in.at(t)) {
+      syn.accumulate(pre, m, u);
+    }
+  }
+}
+
+SpikeRaster TtfsScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                                  LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const std::size_t out = syn.out_size();
+  const float theta = params_.threshold;
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
+  std::vector<float> u(out, 0.0f);
+  charge(in, syn, base_in, u.data());
+
+  SpikeRaster out_raster(out, raster_window());
+  const auto window = static_cast<std::int64_t>(params_.window);
+  // Fire phase: u >= theta*exp(-t/tau)  <=>  t >= tau*ln(theta/u). The
+  // dynamic threshold floor is theta*exp(-(T-1)/tau); below it (including
+  // all u <= 0) the neuron stays silent, which implements ReLU.
+  const float floor = theta * kernel(window - 1);
+  for (std::size_t j = 0; j < out; ++j) {
+    if (u[j] < floor) {
+      continue;
+    }
+    auto t1 = static_cast<std::int64_t>(
+        std::lround(params_.tau * std::log(theta / u[j])));
+    if (t1 < 0) {
+      t1 = 0;  // over-threshold activations saturate at the earliest slot
+    }
+    if (t1 >= window) {
+      t1 = window - 1;
+    }
+    // Simplified integrate-and-fire-or-burst (paper Eq. 4): burst of
+    // burst_duration spikes from t1, then reset to -inf (silent forever).
+    for (std::size_t b = 0; b < params_.burst_duration; ++b) {
+      out_raster.add(static_cast<std::size_t>(t1) + b, static_cast<std::uint32_t>(j));
+    }
+  }
+  return out_raster;
+}
+
+Tensor TtfsScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
+                           LayerRole role) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  Tensor logits{Shape{syn.out_size()}};
+  charge(in, syn, base_in, logits.data());
+  return logits;
+}
+
+Tensor TtfsScheme::decode(const SpikeRaster& in) const {
+  Tensor out{Shape{in.num_neurons()}};
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    const float m = kernel_sum_scale_ * kernel(static_cast<std::int64_t>(t));
+    for (const std::uint32_t pre : in.at(t)) {
+      out[pre] += m;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::coding

@@ -1,0 +1,41 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace tsnn::env {
+
+std::string get_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v != nullptr ? std::string{v} : fallback;
+}
+
+std::int64_t get_int(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != v && *end == '\0') ? parsed : fallback;
+}
+
+double get_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && *end == '\0') ? parsed : fallback;
+}
+
+bool get_bool(const std::string& name, bool fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) {
+    return fallback;
+  }
+  const std::string s{v};
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace tsnn::env

@@ -1,0 +1,25 @@
+// Environment-variable configuration helpers.
+//
+// Benches and the model zoo accept a handful of knobs (sample counts, cache
+// directory, fast mode) via TSNN_* environment variables so that experiment
+// scale can be adjusted without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tsnn::env {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string get_string(const std::string& name, const std::string& fallback);
+
+/// Returns the integer value of `name`, or `fallback` if unset/unparsable.
+std::int64_t get_int(const std::string& name, std::int64_t fallback);
+
+/// Returns the double value of `name`, or `fallback` if unset/unparsable.
+double get_double(const std::string& name, double fallback);
+
+/// Returns true when `name` is set to a truthy value ("1", "true", "yes").
+bool get_bool(const std::string& name, bool fallback);
+
+}  // namespace tsnn::env

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+namespace tsnn::detail {
+
+std::string format_check_failure(const char* expr, const char* file, int line,
+                                 const std::string& extra) {
+  std::ostringstream oss;
+  oss << "TSNN check failed: (" << expr << ") at " << file << ":" << line;
+  if (!extra.empty()) {
+    oss << " -- " << extra;
+  }
+  return oss.str();
+}
+
+}  // namespace tsnn::detail

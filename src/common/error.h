@@ -1,0 +1,81 @@
+// Error handling primitives for TSNN.
+//
+// All recoverable failures are reported with exceptions derived from
+// tsnn::Error (per C++ Core Guidelines I.10/E.2). The TSNN_CHECK* macros are
+// used at public API boundaries to validate preconditions; violations throw
+// with a formatted message that includes the failing expression and location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsnn {
+
+/// Base class of all exceptions thrown by the TSNN library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or precondition is invalid.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor shapes are incompatible with the requested operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (model serialization, CSV output, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// Builds the exception message for a failed check.
+std::string format_check_failure(const char* expr, const char* file, int line,
+                                 const std::string& extra);
+
+}  // namespace detail
+
+}  // namespace tsnn
+
+/// Validates `cond`; on failure throws tsnn::InvalidArgument with location
+/// info. Additional context may be streamed: TSNN_CHECK(n > 0) << "n=" << n;
+/// is not supported -- pass context via TSNN_CHECK_MSG instead.
+#define TSNN_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::tsnn::InvalidArgument(::tsnn::detail::format_check_failure(  \
+          #cond, __FILE__, __LINE__, std::string{}));                      \
+    }                                                                      \
+  } while (false)
+
+/// Like TSNN_CHECK but appends a caller-provided message. `msg` may be any
+/// expression streamable into std::ostringstream.
+#define TSNN_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream tsnn_oss_;                                        \
+      tsnn_oss_ << msg;                                                    \
+      throw ::tsnn::InvalidArgument(::tsnn::detail::format_check_failure(  \
+          #cond, __FILE__, __LINE__, tsnn_oss_.str()));                    \
+    }                                                                      \
+  } while (false)
+
+/// Shape-specific check: throws tsnn::ShapeError on failure.
+#define TSNN_CHECK_SHAPE(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream tsnn_oss_;                                        \
+      tsnn_oss_ << msg;                                                    \
+      throw ::tsnn::ShapeError(::tsnn::detail::format_check_failure(       \
+          #cond, __FILE__, __LINE__, tsnn_oss_.str()));                    \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace tsnn::log {
+
+namespace {
+
+Level g_level = [] {
+  const char* env = std::getenv("TSNN_LOG_LEVEL");
+  if (env == nullptr) {
+    return Level::kWarn;
+  }
+  const std::string v{env};
+  if (v == "debug") return Level::kDebug;
+  if (v == "info") return Level::kInfo;
+  if (v == "warn") return Level::kWarn;
+  if (v == "error") return Level::kError;
+  if (v == "off") return Level::kOff;
+  return Level::kWarn;
+}();
+
+std::mutex g_mutex;
+
+const char* label(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level = lvl; }
+
+Level level() { return g_level; }
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < g_level || lvl == Level::kOff) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[tsnn %s] %s\n", label(lvl), message.c_str());
+}
+
+}  // namespace tsnn::log

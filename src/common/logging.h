@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// TSNN is a library; logging defaults to Warn so that benches and examples
+// stay quiet unless they opt in (set_level or TSNN_LOG_LEVEL env var).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsnn::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold.
+void set_level(Level level);
+
+/// Current global log threshold (initialized from TSNN_LOG_LEVEL if set:
+/// one of "debug", "info", "warn", "error", "off").
+Level level();
+
+/// Emits `message` at `lvl` if at or above the threshold.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+
+/// RAII stream that emits on destruction; backs the TSNN_LOG macro.
+class LineLogger {
+ public:
+  explicit LineLogger(Level lvl) : lvl_(lvl) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { write(lvl_, oss_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+}  // namespace tsnn::log
+
+#define TSNN_LOG(lvl) ::tsnn::log::detail::LineLogger(::tsnn::log::Level::lvl)

@@ -1,0 +1,74 @@
+// Deterministic random number generation for TSNN.
+//
+// All stochastic components (dataset synthesis, weight init, dropout, noise
+// injection) draw from tsnn::Rng so that experiments are reproducible from a
+// single seed. Rng wraps xoshiro256** -- fast, high-quality, and independent
+// of the standard library's unspecified distributions (we implement our own
+// uniform/normal/bernoulli so results are bit-identical across platforms).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsnn {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to standard
+/// algorithms (e.g. std::shuffle), though TSNN code prefers the explicit
+/// distribution members below for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, platform-independent).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem its own stream that does not perturb the others.
+  Rng split();
+
+  /// Fisher-Yates shuffle of `v` using this generator.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tsnn

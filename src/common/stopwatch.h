@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for coarse timing in the trainer and benches.
+#pragma once
+
+#include <chrono>
+
+namespace tsnn {
+
+/// Starts on construction; elapsed() reports seconds since start/reset.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsnn

@@ -1,0 +1,36 @@
+#include "convert/activation_stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "tensor/stats.h"
+
+namespace tsnn::convert {
+
+std::vector<LayerActivationStats> collect_activation_stats(
+    dnn::Network& net, const std::vector<Tensor>& images, double percentile) {
+  TSNN_CHECK_MSG(!images.empty(), "calibration set is empty");
+  TSNN_CHECK_MSG(percentile > 0.0 && percentile <= 100.0,
+                 "percentile out of (0,100]: " << percentile);
+
+  const std::size_t num_layers = net.num_layers();
+  std::vector<std::vector<float>> samples(num_layers);
+  for (const Tensor& image : images) {
+    const std::vector<Tensor> acts = net.forward_collect(image);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      const Tensor& a = acts[l];
+      samples[l].insert(samples[l].end(), a.data(), a.data() + a.numel());
+    }
+  }
+
+  std::vector<LayerActivationStats> out(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    out[l].layer_name = net.layer(l).name();
+    out[l].max_value = *std::max_element(samples[l].begin(), samples[l].end());
+    out[l].percentile_value = stats::percentile(samples[l], percentile);
+    out[l].mean_value = stats::mean(samples[l]);
+  }
+  return out;
+}
+
+}  // namespace tsnn::convert

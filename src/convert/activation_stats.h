@@ -1,0 +1,28 @@
+// Per-layer activation statistics over a calibration set.
+//
+// Data-based weight normalization (Diehl et al. / Rueckauer et al.) needs
+// the scale of each layer's activations; we use a high percentile rather
+// than the max so single outliers do not crush the usable dynamic range.
+#pragma once
+
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace tsnn::convert {
+
+/// Activation scale summary of one DNN layer.
+struct LayerActivationStats {
+  std::string layer_name;
+  double max_value = 0.0;
+  double percentile_value = 0.0;  ///< the normalization percentile (e.g. p99.9)
+  double mean_value = 0.0;
+};
+
+/// Runs `images` through `net` (inference mode) and summarizes the
+/// post-layer activation distribution of every layer, index-aligned with
+/// net.layers(). `percentile` in (0, 100].
+std::vector<LayerActivationStats> collect_activation_stats(
+    dnn::Network& net, const std::vector<Tensor>& images, double percentile = 99.9);
+
+}  // namespace tsnn::convert

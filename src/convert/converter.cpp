@@ -1,0 +1,118 @@
+#include "convert/converter.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "convert/normalizer.h"
+#include "dnn/avgpool.h"
+#include "dnn/conv2d.h"
+#include "dnn/dense.h"
+
+namespace tsnn::convert {
+
+namespace {
+
+bool is_synapse(dnn::LayerKind kind) {
+  return kind == dnn::LayerKind::kConv2d || kind == dnn::LayerKind::kDense ||
+         kind == dnn::LayerKind::kAvgPool;
+}
+
+/// Activation scale to normalize a stage's output by: the stats of the
+/// following ReLU if one immediately follows (possibly after dropout),
+/// otherwise the stage's own output stats.
+double stage_lambda(const dnn::Network& net,
+                    const std::vector<LayerActivationStats>& stats,
+                    std::size_t layer_index, double min_scale) {
+  std::size_t idx = layer_index;
+  for (std::size_t j = layer_index + 1; j < net.num_layers(); ++j) {
+    const dnn::LayerKind kind = net.layer(j).kind();
+    if (kind == dnn::LayerKind::kRelu) {
+      idx = j;
+      break;
+    }
+    if (kind == dnn::LayerKind::kDropout || kind == dnn::LayerKind::kFlatten) {
+      continue;  // transparent at inference; keep scanning for the ReLU
+    }
+    break;  // next synapse stage reached; no ReLU for this stage
+  }
+  return std::max(stats[idx].percentile_value, min_scale);
+}
+
+}  // namespace
+
+Conversion convert(dnn::Network& net, const std::vector<Tensor>& calibration,
+                   const ConvertConfig& config) {
+  TSNN_CHECK_MSG(net.num_layers() > 0, "cannot convert an empty network");
+  const std::vector<LayerActivationStats> stats =
+      collect_activation_stats(net, calibration, config.percentile);
+
+  // Locate the final synapse stage: it becomes the readout (lambda_out = 1).
+  std::size_t last_synapse = net.num_layers();
+  for (std::size_t l = net.num_layers(); l-- > 0;) {
+    if (is_synapse(net.layer(l).kind())) {
+      last_synapse = l;
+      break;
+    }
+  }
+  TSNN_CHECK_MSG(last_synapse < net.num_layers(), "network has no synapse layers");
+
+  Conversion out;
+  out.model = snn::SnnModel(net.input_shape());
+
+  Shape shape = net.input_shape();  // activation shape entering each layer
+  double lambda_prev = 1.0;         // input pixels are already in [0,1]
+
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const dnn::Layer& layer = net.layer(l);
+    const Shape out_shape = layer.output_shape(shape);
+    switch (layer.kind()) {
+      case dnn::LayerKind::kConv2d: {
+        const auto& conv = static_cast<const dnn::Conv2d&>(layer);
+        TSNN_CHECK_MSG(!conv.spec().use_bias,
+                       "conversion requires bias-free conv layers (see DESIGN.md)");
+        const double lambda_out =
+            l == last_synapse ? 1.0 : stage_lambda(net, stats, l, config.min_scale);
+        Tensor w = normalize_weight(conv.weight().value, lambda_prev, lambda_out);
+        out.model.add_stage(
+            conv.name(),
+            std::make_unique<snn::ConvTopology>(std::move(w), shape[1], shape[2],
+                                                conv.spec().stride, conv.spec().pad));
+        out.scales.push_back({conv.name(), lambda_prev, lambda_out});
+        lambda_prev = lambda_out;
+        break;
+      }
+      case dnn::LayerKind::kDense: {
+        const auto& dense = static_cast<const dnn::Dense&>(layer);
+        TSNN_CHECK_MSG(!dense.use_bias(),
+                       "conversion requires bias-free dense layers (see DESIGN.md)");
+        const double lambda_out =
+            l == last_synapse ? 1.0 : stage_lambda(net, stats, l, config.min_scale);
+        Tensor w = normalize_weight(dense.weight().value, lambda_prev, lambda_out);
+        out.model.add_stage(dense.name(),
+                            std::make_unique<snn::DenseTopology>(std::move(w)));
+        out.scales.push_back({dense.name(), lambda_prev, lambda_out});
+        lambda_prev = lambda_out;
+        break;
+      }
+      case dnn::LayerKind::kAvgPool: {
+        const auto& pool = static_cast<const dnn::AvgPool&>(layer);
+        // Pooling is linear and contracting: the input scale is preserved,
+        // so no renormalization is needed (lambda_out = lambda_in).
+        out.model.add_stage(
+            pool.name(), std::make_unique<snn::PoolTopology>(shape[0], shape[1],
+                                                             shape[2], pool.kernel()));
+        out.scales.push_back({pool.name(), lambda_prev, lambda_prev});
+        break;
+      }
+      case dnn::LayerKind::kRelu:
+      case dnn::LayerKind::kDropout:
+      case dnn::LayerKind::kFlatten:
+        break;  // firing supplies ReLU; dropout/flatten vanish at inference
+    }
+    shape = out_shape;
+  }
+
+  TSNN_LOG(kInfo) << "converted: " << out.model.summary();
+  return out;
+}
+
+}  // namespace tsnn::convert

@@ -1,0 +1,45 @@
+// DNN-to-SNN conversion.
+//
+// Walks a trained ReLU network and produces an SnnModel whose synapse
+// stages carry data-normalized weights: stage weights are scaled by
+// lambda_in / lambda_out where lambda is the calibration-set activation
+// percentile after the stage's nonlinearity. Pool stages inherit their
+// input scale exactly (pooling is linear and contracting), and the final
+// readout stage uses lambda_out = 1 so logits keep a monotone scale.
+// Dropout and Flatten layers vanish in conversion; ReLU becomes the firing
+// nonlinearity supplied by the coding scheme at simulation time.
+#pragma once
+
+#include <vector>
+
+#include "convert/activation_stats.h"
+#include "dnn/network.h"
+#include "snn/snn_model.h"
+
+namespace tsnn::convert {
+
+/// Conversion options.
+struct ConvertConfig {
+  double percentile = 99.9;   ///< activation normalization percentile
+  double min_scale = 1e-6;    ///< floor for lambda to avoid divide-by-zero
+};
+
+/// Per-stage record of the normalization actually applied (for inspection
+/// and tests).
+struct StageScale {
+  std::string stage_name;
+  double lambda_in = 1.0;
+  double lambda_out = 1.0;
+};
+
+/// Conversion output: the spiking model plus the normalization trace.
+struct Conversion {
+  snn::SnnModel model;
+  std::vector<StageScale> scales;
+};
+
+/// Converts `net` using activation statistics from `calibration`.
+Conversion convert(dnn::Network& net, const std::vector<Tensor>& calibration,
+                   const ConvertConfig& config = {});
+
+}  // namespace tsnn::convert

@@ -1,0 +1,19 @@
+#include "convert/normalizer.h"
+
+#include "common/error.h"
+
+namespace tsnn::convert {
+
+Tensor normalize_weight(const Tensor& w, double lambda_in, double lambda_out) {
+  TSNN_CHECK_MSG(lambda_in > 0.0 && lambda_out > 0.0,
+                 "normalization scales must be positive");
+  Tensor out = w;
+  const auto c = static_cast<float>(lambda_in / lambda_out);
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    p[i] *= c;
+  }
+  return out;
+}
+
+}  // namespace tsnn::convert

@@ -1,0 +1,12 @@
+// Weight normalization helpers shared by the converter.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tsnn::convert {
+
+/// Returns w * (lambda_in / lambda_out): data-based weight normalization of
+/// one synapse stage so that normalized activations stay in ~[0,1].
+Tensor normalize_weight(const Tensor& w, double lambda_in, double lambda_out);
+
+}  // namespace tsnn::convert

@@ -1,0 +1,46 @@
+#include "convert/threshold_search.h"
+
+#include "coding/registry.h"
+#include "common/error.h"
+#include "snn/simulator.h"
+
+namespace tsnn::convert {
+
+ThresholdSearchResult search_threshold(const snn::SnnModel& model,
+                                       snn::Coding coding,
+                                       const snn::CodingParams& base,
+                                       const std::vector<float>& candidates,
+                                       const std::vector<Tensor>& images,
+                                       const std::vector<std::size_t>& labels) {
+  TSNN_CHECK_MSG(!candidates.empty(), "no threshold candidates");
+  TSNN_CHECK_MSG(!images.empty(), "threshold search needs calibration images");
+
+  ThresholdSearchResult out;
+  for (const float theta : candidates) {
+    snn::CodingParams params = base;
+    params.threshold = theta;
+    const snn::CodingSchemePtr scheme = coding::make_scheme(coding, params);
+    Rng rng(0xC0FFEE);
+    const snn::BatchResult r =
+        snn::evaluate(model, *scheme, images, labels, nullptr, rng);
+    out.curve.push_back({theta, r.accuracy, r.mean_spikes_per_image});
+  }
+
+  // Best accuracy wins; ties prefer fewer spikes (the paper's efficiency
+  // motivation for the search).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < out.curve.size(); ++i) {
+    const bool better =
+        out.curve[i].accuracy > out.curve[best].accuracy ||
+        (out.curve[i].accuracy == out.curve[best].accuracy &&
+         out.curve[i].mean_spikes < out.curve[best].mean_spikes);
+    if (better) {
+      best = i;
+    }
+  }
+  out.best_threshold = out.curve[best].threshold;
+  out.best_accuracy = out.curve[best].accuracy;
+  return out;
+}
+
+}  // namespace tsnn::convert

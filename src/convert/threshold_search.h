@@ -1,0 +1,41 @@
+// Empirical threshold search (as in RMP-SNN, Han et al. CVPR 2020).
+//
+// The paper obtains per-coding thresholds empirically ("we empirically
+// obtained the threshold theta to reduce inference latency and improve the
+// efficiency"); this module reproduces that procedure: sweep candidate
+// thresholds, evaluate clean SNN accuracy on a held-out calibration set,
+// and pick the best (ties broken toward fewer spikes).
+#pragma once
+
+#include <vector>
+
+#include "snn/coding_base.h"
+#include "snn/snn_model.h"
+
+namespace tsnn::convert {
+
+/// One point of the threshold sweep.
+struct ThresholdPoint {
+  float threshold = 0.0f;
+  double accuracy = 0.0;
+  double mean_spikes = 0.0;
+};
+
+/// Search outcome: the winning threshold plus the full sweep curve.
+struct ThresholdSearchResult {
+  float best_threshold = 0.0f;
+  double best_accuracy = 0.0;
+  std::vector<ThresholdPoint> curve;
+};
+
+/// Evaluates `candidates` for `coding` on `model` over the calibration set
+/// and returns the best threshold. `base` supplies all non-threshold
+/// parameters.
+ThresholdSearchResult search_threshold(const snn::SnnModel& model,
+                                       snn::Coding coding,
+                                       const snn::CodingParams& base,
+                                       const std::vector<float>& candidates,
+                                       const std::vector<Tensor>& images,
+                                       const std::vector<std::size_t>& labels);
+
+}  // namespace tsnn::convert

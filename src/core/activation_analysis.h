@@ -1,0 +1,43 @@
+// Activation-distribution analysis (paper Fig. 5-B).
+//
+// Monte-Carlo estimate of how a single activation A arrives at a receiving
+// synapse under spike noise, per coding scheme. Rate-family codings spread
+// the noisy activation continuously around (1-p)A while TTFS concentrates
+// it at {0, A}; TTAS with an exponential kernel piles mass near both 0 and
+// A -- the distribution shape that lets it combine TTFS's dropout synergy
+// with WS's mean compensation.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/coding_base.h"
+#include "tensor/stats.h"
+
+namespace tsnn::core {
+
+/// Monte-Carlo distribution of the delivered (decoded) activation.
+struct ActivationDistribution {
+  stats::Histogram histogram;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p_zero = 0.0;     ///< mass delivered as (near) zero
+  double p_full = 0.0;     ///< mass delivered within 10% of the clean value
+};
+
+/// Parameters for the analysis.
+struct ActivationAnalysisConfig {
+  float activation = 0.6f;      ///< the clean activation A
+  double deletion_p = 0.5;      ///< per-spike deletion probability
+  double jitter_sigma = 0.0;    ///< optional jitter
+  bool weight_scaling = false;  ///< multiply delivered value by C = 1/(1-p)
+  std::size_t trials = 2000;
+  std::size_t bins = 24;
+  std::uint64_t seed = 99;
+};
+
+/// Encodes `activation`, corrupts the train `trials` times, decodes, and
+/// histograms the delivered values over [0, 1.5*A].
+ActivationDistribution analyze_activation(const snn::CodingScheme& scheme,
+                                          const ActivationAnalysisConfig& config);
+
+}  // namespace tsnn::core

@@ -1,0 +1,107 @@
+#include "core/experiment.h"
+
+#include "coding/registry.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/ttas.h"
+#include "core/weight_scaling.h"
+#include "noise/noise.h"
+#include "snn/simulator.h"
+
+namespace tsnn::core {
+
+MethodSpec baseline_method(snn::Coding coding, bool ws) {
+  MethodSpec spec;
+  spec.coding = coding;
+  spec.params = coding::default_params(coding);
+  spec.weight_scaling = ws;
+  spec.label = snn::coding_name(coding);
+  if (ws) {
+    spec.label += "+WS";
+  }
+  return spec;
+}
+
+MethodSpec ttas_method(std::size_t burst_duration, bool ws) {
+  MethodSpec spec;
+  spec.coding = snn::Coding::kTtas;
+  spec.params = coding::default_params(snn::Coding::kTtas);
+  spec.params.burst_duration = burst_duration;
+  spec.weight_scaling = ws;
+  spec.label = "ttas(" + std::to_string(burst_duration) + ")";
+  if (ws) {
+    spec.label += "+WS";
+  }
+  return spec;
+}
+
+namespace {
+
+void check_inputs(const SweepInputs& in) {
+  TSNN_CHECK_MSG(in.model != nullptr, "sweep needs a model");
+  TSNN_CHECK_MSG(in.images != nullptr && in.labels != nullptr,
+                 "sweep needs images and labels");
+  TSNN_CHECK_MSG(in.images->size() == in.labels->size(),
+                 "images/labels size mismatch");
+}
+
+enum class NoiseKind { kDeletion, kJitter };
+
+std::vector<SweepRow> sweep(const SweepInputs& in,
+                            const std::vector<MethodSpec>& methods,
+                            const std::vector<double>& levels, NoiseKind kind) {
+  check_inputs(in);
+  std::vector<SweepRow> rows;
+  rows.reserve(methods.size() * levels.size());
+  for (const MethodSpec& method : methods) {
+    const snn::CodingSchemePtr scheme =
+        coding::make_scheme(method.coding, method.params);
+    for (const double level : levels) {
+      // Weight scaling compensates the *deletion* level; for jitter sweeps
+      // the clean (unscaled) model is correct since no charge is lost.
+      snn::SnnModel model = in.model->clone();
+      if (method.weight_scaling && kind == NoiseKind::kDeletion && level > 0.0) {
+        apply_weight_scaling(model, level);
+      }
+      snn::NoiseModelPtr noise;
+      if (level > 0.0) {
+        noise = kind == NoiseKind::kDeletion ? noise::make_deletion(level)
+                                             : noise::make_jitter(level);
+      }
+      Rng rng(in.seed);
+      const snn::BatchResult r = snn::evaluate(
+          model, *scheme, *in.images, *in.labels, noise.get(), rng);
+      rows.push_back({method.label, level, r.accuracy, r.mean_spikes_per_image});
+      TSNN_LOG(kInfo) << method.label << " level " << level << " acc " << r.accuracy
+                      << " spikes " << r.mean_spikes_per_image;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<SweepRow> deletion_sweep(const SweepInputs& in,
+                                     const std::vector<MethodSpec>& methods,
+                                     const std::vector<double>& levels) {
+  return sweep(in, methods, levels, NoiseKind::kDeletion);
+}
+
+std::vector<SweepRow> jitter_sweep(const SweepInputs& in,
+                                   const std::vector<MethodSpec>& methods,
+                                   const std::vector<double>& levels) {
+  return sweep(in, methods, levels, NoiseKind::kJitter);
+}
+
+std::vector<SweepRow> rows_for(const std::vector<SweepRow>& rows,
+                               const std::string& method) {
+  std::vector<SweepRow> out;
+  for (const SweepRow& r : rows) {
+    if (r.method == method) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::core

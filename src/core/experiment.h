@@ -1,0 +1,65 @@
+// Experiment harness: noise sweeps over methods.
+//
+// A "method" is a coding configuration (scheme + optional weight scaling),
+// matching the legend entries of the paper's figures ("Burst+WS",
+// "TTAS(5)+WS", ...). Sweeps evaluate each method at each noise level and
+// return rows the benches print / write to CSV. Weight scaling uses the
+// *actual* noise level of each sweep point, as the paper sets C
+// proportional to the deletion probability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snn/coding_base.h"
+#include "snn/snn_model.h"
+
+namespace tsnn::core {
+
+/// One figure-legend entry.
+struct MethodSpec {
+  std::string label;
+  snn::Coding coding = snn::Coding::kRate;
+  snn::CodingParams params;
+  bool weight_scaling = false;
+};
+
+/// Baseline method ("rate", "phase", ...) with registry defaults; `ws`
+/// appends "+WS" and enables weight scaling.
+MethodSpec baseline_method(snn::Coding coding, bool ws);
+
+/// TTAS(t_a) method; `ws` as above.
+MethodSpec ttas_method(std::size_t burst_duration, bool ws);
+
+/// One sweep measurement.
+struct SweepRow {
+  std::string method;
+  double level = 0.0;       ///< deletion p or jitter sigma (0 = clean)
+  double accuracy = 0.0;    ///< fraction in [0,1]
+  double mean_spikes = 0.0; ///< spikes per image across the whole network
+};
+
+/// Evaluation inputs shared by the sweeps.
+struct SweepInputs {
+  const snn::SnnModel* model = nullptr;           ///< converted, unscaled
+  const std::vector<Tensor>* images = nullptr;
+  const std::vector<std::size_t>* labels = nullptr;
+  std::uint64_t seed = 0xBEEF;
+};
+
+/// Accuracy/spikes of every method at every deletion probability.
+/// `levels` may include 0.0 for the clean point.
+std::vector<SweepRow> deletion_sweep(const SweepInputs& in,
+                                     const std::vector<MethodSpec>& methods,
+                                     const std::vector<double>& levels);
+
+/// Accuracy/spikes of every method at every jitter intensity.
+std::vector<SweepRow> jitter_sweep(const SweepInputs& in,
+                                   const std::vector<MethodSpec>& methods,
+                                   const std::vector<double>& levels);
+
+/// Convenience: rows of one method, in level order.
+std::vector<SweepRow> rows_for(const std::vector<SweepRow>& rows,
+                               const std::string& method);
+
+}  // namespace tsnn::core

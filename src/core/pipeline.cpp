@@ -1,0 +1,45 @@
+#include "core/pipeline.h"
+
+#include "coding/registry.h"
+#include "core/weight_scaling.h"
+
+namespace tsnn::core {
+
+namespace {
+
+snn::CodingParams resolve_params(const PipelineConfig& config) {
+  if (!config.use_default_params) {
+    return config.params;
+  }
+  snn::CodingParams params = coding::default_params(config.coding);
+  params.burst_duration = config.coding == snn::Coding::kTtas
+                              ? std::max<std::size_t>(config.params.burst_duration, 1)
+                              : params.burst_duration;
+  return params;
+}
+
+}  // namespace
+
+NoiseRobustPipeline::NoiseRobustPipeline(const snn::SnnModel& model,
+                                         const PipelineConfig& config)
+    : config_(config),
+      model_(model.clone()),
+      scheme_(coding::make_scheme(config.coding, resolve_params(config))),
+      rng_(config.noise_seed) {
+  if (config_.weight_scaling) {
+    apply_weight_scaling(model_, config_.assumed_deletion_p);
+  }
+}
+
+snn::SimResult NoiseRobustPipeline::run(const Tensor& image,
+                                        const snn::NoiseModel* noise) {
+  return snn::simulate(model_, *scheme_, image, noise, rng_);
+}
+
+snn::BatchResult NoiseRobustPipeline::evaluate(
+    const std::vector<Tensor>& images, const std::vector<std::size_t>& labels,
+    const snn::NoiseModel* noise) {
+  return snn::evaluate(model_, *scheme_, images, labels, noise, rng_);
+}
+
+}  // namespace tsnn::core

@@ -1,0 +1,71 @@
+// NoiseRobustPipeline -- the library's main public entry point.
+//
+// Wraps a converted SnnModel with a chosen coding scheme and the paper's
+// robustness knobs (TTAS burst duration, weight scaling) and evaluates it
+// under spike noise:
+//
+//   auto bundle = core::zoo::get_or_train(core::DatasetKind::kCifar10Like);
+//   auto conv = convert::convert(bundle.net, calibration);
+//   core::PipelineConfig cfg;
+//   cfg.coding = snn::Coding::kTtas;
+//   cfg.params.burst_duration = 5;
+//   cfg.weight_scaling = true;
+//   cfg.assumed_deletion_p = 0.5;
+//   core::NoiseRobustPipeline pipe(conv.model, cfg);
+//   auto result = pipe.evaluate(images, labels, noise::make_deletion(0.5).get());
+#pragma once
+
+#include <memory>
+
+#include "snn/coding_base.h"
+#include "snn/simulator.h"
+#include "snn/snn_model.h"
+
+namespace tsnn::core {
+
+/// Configuration of a noise-robust SNN deployment.
+struct PipelineConfig {
+  snn::Coding coding = snn::Coding::kTtas;
+  /// Coding parameters; if `use_default_params` the registry defaults for
+  /// `coding` are used and only burst_duration is taken from here.
+  snn::CodingParams params;
+  bool use_default_params = true;
+
+  /// Weight scaling W' = CW with C = 1/(1 - assumed_deletion_p).
+  bool weight_scaling = false;
+  double assumed_deletion_p = 0.0;
+
+  /// Seed for the noise stream during evaluate()/run().
+  std::uint64_t noise_seed = 0x7157A5;
+};
+
+/// A ready-to-run noisy-SNN evaluation pipeline (owns a scaled model copy).
+class NoiseRobustPipeline {
+ public:
+  /// Builds from an already-converted model; applies weight scaling per
+  /// `config` to an internal copy.
+  NoiseRobustPipeline(const snn::SnnModel& model, const PipelineConfig& config);
+
+  /// Simulates a single image; `noise` may be null for clean runs.
+  snn::SimResult run(const Tensor& image, const snn::NoiseModel* noise);
+
+  /// Evaluates accuracy and spike counts over a labeled set.
+  snn::BatchResult evaluate(const std::vector<Tensor>& images,
+                            const std::vector<std::size_t>& labels,
+                            const snn::NoiseModel* noise);
+
+  const snn::SnnModel& model() const { return model_; }
+  const snn::CodingScheme& scheme() const { return *scheme_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Resets the internal noise stream (evaluations become reproducible).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+ private:
+  PipelineConfig config_;
+  snn::SnnModel model_;
+  snn::CodingSchemePtr scheme_;
+  Rng rng_;
+};
+
+}  // namespace tsnn::core

@@ -1,0 +1,44 @@
+// Time-to-average-spike (TTAS) coding -- the paper's primary contribution.
+//
+// TTAS keeps TTFS's precise first-spike timing but transmits each
+// activation with a phasic *burst* of t_a spikes produced by a simplified
+// integrate-and-fire-or-burst (IFB) neuron (paper Eq. 4):
+//
+//          | 0        t <  t1              (no reset: charge freely)
+//   eta(t) | theta(t) t1 <= t < t1 + t_a   (threshold reset: keep bursting)
+//          | -inf     otherwise            (silenced after the burst)
+//
+// The burst raises the delivered kernel sum to Z_hat = sum_t z(t1 + t); the
+// scale factor C_A = z(t1)/Z_hat (constant for the exponential kernel) is
+// folded into the synapses so clean accuracy is unchanged, while
+//   - under deletion, losing one of t_a spikes removes only a fraction of
+//     the activation (vs. all of it for TTFS), preserving the all-or-none
+//     *distribution* that dropout-trained weights tolerate, and
+//   - under jitter, the receiver effectively averages t_a noisy spike
+//     times, shrinking timing variance ~1/t_a (hence "time to AVERAGE spike").
+//
+// The mechanics are implemented by coding::TtfsScheme with
+// burst_duration > 1; this header is the contribution's public face.
+#pragma once
+
+#include "coding/ttfs.h"
+#include "snn/coding_base.h"
+
+namespace tsnn::core {
+
+/// TTAS coding scheme; `burst_duration` is the paper's t_a (TTAS(t_a)).
+class TtasScheme : public coding::TtfsScheme {
+ public:
+  explicit TtasScheme(snn::CodingParams params);
+
+  snn::Coding kind() const override { return snn::Coding::kTtas; }
+};
+
+/// Creates TTAS(t_a) with the paper's TTFS defaults (theta = 0.8) and the
+/// given burst duration.
+snn::CodingSchemePtr make_ttas(std::size_t burst_duration);
+
+/// Creates TTAS with explicit parameters (burst_duration taken from params).
+snn::CodingSchemePtr make_ttas(const snn::CodingParams& params);
+
+}  // namespace tsnn::core

@@ -1,0 +1,23 @@
+#include "core/weight_scaling.h"
+
+#include "common/error.h"
+
+namespace tsnn::core {
+
+float weight_scaling_factor(double deletion_p) {
+  TSNN_CHECK_MSG(deletion_p >= 0.0 && deletion_p < 1.0,
+                 "deletion probability out of [0,1): " << deletion_p);
+  return static_cast<float>(1.0 / (1.0 - deletion_p));
+}
+
+void apply_weight_scaling(snn::SnnModel& model, double deletion_p) {
+  model.scale_all_weights(weight_scaling_factor(deletion_p));
+}
+
+snn::SnnModel with_weight_scaling(const snn::SnnModel& model, double deletion_p) {
+  snn::SnnModel scaled = model.clone();
+  apply_weight_scaling(scaled, deletion_p);
+  return scaled;
+}
+
+}  // namespace tsnn::core

@@ -1,0 +1,24 @@
+// Weight scaling (WS) -- the paper's deletion-noise compensation.
+//
+// Deletion with probability p reduces the expected delivered activation to
+// (1-p)A; scaling every synaptic weight W' = C W with C = 1/(1-p) restores
+// the mean without any retraining. (The paper states C "proportional to the
+// deletion probability"; 1/(1-p) is the unique factor that makes the
+// compensated mean exact.) Applied uniformly to all stages because every
+// layer's output train is independently corrupted.
+#pragma once
+
+#include "snn/snn_model.h"
+
+namespace tsnn::core {
+
+/// Compensation factor C = 1/(1-p) for deletion probability p in [0, 1).
+float weight_scaling_factor(double deletion_p);
+
+/// Scales all stage weights of `model` in place by C(deletion_p).
+void apply_weight_scaling(snn::SnnModel& model, double deletion_p);
+
+/// Returns a scaled copy, leaving `model` untouched.
+snn::SnnModel with_weight_scaling(const snn::SnnModel& model, double deletion_p);
+
+}  // namespace tsnn::core

@@ -1,0 +1,164 @@
+#include "core/zoo.h"
+
+#include <filesystem>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "data/cifar_like.h"
+#include "data/mnist_like.h"
+#include "dnn/serialize.h"
+#include "dnn/trainer.h"
+#include "dnn/vgg.h"
+
+namespace tsnn::core {
+
+namespace {
+
+bool fast_mode() { return env::get_bool("TSNN_FAST", false); }
+
+std::string zoo_dir() {
+  return env::get_string("TSNN_ZOO_DIR", "./tsnn_zoo");
+}
+
+dnn::VggConfig vgg_config_for(DatasetKind kind) {
+  dnn::VggConfig cfg;
+  switch (kind) {
+    case DatasetKind::kMnistLike:
+      cfg.in_channels = 1;
+      cfg.num_classes = 10;
+      cfg.num_blocks = 2;
+      cfg.base_width = 12;
+      cfg.dense_width = 64;
+      cfg.init_seed = 101;
+      break;
+    case DatasetKind::kCifar10Like:
+      cfg.in_channels = 3;
+      cfg.num_classes = 10;
+      cfg.num_blocks = 3;
+      cfg.base_width = 16;
+      cfg.dense_width = 128;
+      // Heavier dropout mirrors VGG16 training practice; it is also the
+      // mechanism the paper credits for TTFS/TTAS deletion tolerance.
+      cfg.conv_dropout = 0.25;
+      cfg.dense_dropout = 0.5;
+      cfg.init_seed = 202;
+      break;
+    case DatasetKind::kCifar20Like:
+      cfg.in_channels = 3;
+      cfg.num_classes = 20;
+      cfg.num_blocks = 3;
+      cfg.base_width = 16;
+      cfg.dense_width = 128;
+      cfg.conv_dropout = 0.25;
+      cfg.dense_dropout = 0.5;
+      cfg.init_seed = 303;
+      break;
+  }
+  if (fast_mode()) {
+    cfg.num_blocks = 2;
+    cfg.base_width = 8;
+    cfg.dense_width = 48;
+  }
+  return cfg;
+}
+
+dnn::TrainConfig train_config_for(DatasetKind kind) {
+  dnn::TrainConfig cfg;
+  cfg.batch_size = 32;
+  cfg.sgd.lr = 0.04;
+  cfg.sgd.momentum = 0.9;
+  cfg.sgd.weight_decay = 5e-4;
+  cfg.lr_decay_gamma = 0.5;
+  cfg.lr_decay_epochs = 5;
+  cfg.epochs = kind == DatasetKind::kMnistLike ? 10 : 14;
+  if (fast_mode()) {
+    cfg.epochs = 3;
+  }
+  cfg.verbose = log::level() <= log::Level::kInfo;
+  return cfg;
+}
+
+}  // namespace
+
+std::string dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnistLike: return "s-mnist";
+    case DatasetKind::kCifar10Like: return "s-cifar10";
+    case DatasetKind::kCifar20Like: return "s-cifar20";
+  }
+  return "unknown";
+}
+
+data::DatasetPair make_dataset(DatasetKind kind) {
+  const std::size_t train_scale = fast_mode() ? 3 : 1;
+  switch (kind) {
+    case DatasetKind::kMnistLike: {
+      data::MnistLikeConfig cfg;
+      cfg.train_per_class = 150 / train_scale;
+      cfg.test_per_class = 30;
+      return data::make_mnist_like(cfg);
+    }
+    case DatasetKind::kCifar10Like: {
+      data::CifarLikeConfig cfg;
+      cfg.num_classes = 10;
+      cfg.train_per_class = 150 / train_scale;
+      cfg.test_per_class = 30;
+      cfg.seed = 4321;
+      return data::make_cifar_like(cfg);
+    }
+    case DatasetKind::kCifar20Like: {
+      data::CifarLikeConfig cfg;
+      cfg.num_classes = 20;
+      cfg.train_per_class = 100 / train_scale;
+      cfg.test_per_class = 20;
+      cfg.seed = 9876;
+      return data::make_cifar_like(cfg);
+    }
+  }
+  throw InvalidArgument("unknown dataset kind");
+}
+
+std::string zoo_model_path(DatasetKind kind) {
+  const std::string suffix = fast_mode() ? "-fast" : "";
+  return zoo_dir() + "/" + dataset_name(kind) + suffix + ".tsnn";
+}
+
+ModelBundle get_or_train(DatasetKind kind) {
+  ModelBundle bundle;
+  bundle.kind = kind;
+  bundle.data = make_dataset(kind);
+
+  const std::string path = zoo_model_path(kind);
+  if (dnn::is_saved_network(path)) {
+    bundle.net = dnn::load_network(path);
+    bundle.loaded_from_cache = true;
+    bundle.dnn_test_accuracy = dnn::evaluate_accuracy(
+        bundle.net, bundle.data.test.images, bundle.data.test.labels);
+    TSNN_LOG(kInfo) << "zoo: loaded " << dataset_name(kind) << " (test acc "
+                    << bundle.dnn_test_accuracy << ")";
+    return bundle;
+  }
+
+  TSNN_LOG(kInfo) << "zoo: training " << dataset_name(kind) << " from scratch";
+  Stopwatch watch;
+  bundle.net = dnn::vgg_mini(vgg_config_for(kind));
+  dnn::train(bundle.net, bundle.data.train.images, bundle.data.train.labels,
+             train_config_for(kind));
+  bundle.dnn_test_accuracy = dnn::evaluate_accuracy(
+      bundle.net, bundle.data.test.images, bundle.data.test.labels);
+  TSNN_LOG(kInfo) << "zoo: trained " << dataset_name(kind) << " in "
+                  << watch.elapsed() << "s, test acc " << bundle.dnn_test_accuracy;
+
+  std::error_code ec;
+  std::filesystem::create_directories(zoo_dir(), ec);
+  if (!ec) {
+    dnn::save_network(bundle.net, path);
+  } else {
+    TSNN_LOG(kWarn) << "zoo: cannot create cache dir " << zoo_dir();
+  }
+  return bundle;
+}
+
+}  // namespace tsnn::core

@@ -1,0 +1,48 @@
+// Model zoo: train-once, cache, and reload the source DNNs.
+//
+// The benches for every figure/table need the same three trained VGG-mini
+// classifiers (S-MNIST, S-CIFAR10, S-CIFAR20). The zoo trains each on first
+// use, persists weights under TSNN_ZOO_DIR (default "./tsnn_zoo"), and
+// reloads afterwards so the full bench suite pays the training cost once.
+// Dataset generation is deterministic and fast, so data is not cached.
+//
+// Environment knobs:
+//   TSNN_ZOO_DIR  cache directory (created if missing)
+//   TSNN_FAST     "1" trains smaller/shorter models (CI-scale smoke runs)
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "dnn/network.h"
+
+namespace tsnn::core {
+
+/// The paper's three evaluation datasets (synthetic stand-ins; DESIGN.md).
+enum class DatasetKind { kMnistLike, kCifar10Like, kCifar20Like };
+
+/// Stable name used in logs, file names and bench output
+/// ("s-mnist", "s-cifar10", "s-cifar20").
+std::string dataset_name(DatasetKind kind);
+
+/// A trained source model with its dataset.
+struct ModelBundle {
+  DatasetKind kind = DatasetKind::kMnistLike;
+  data::DatasetPair data;
+  dnn::Network net;
+  double dnn_test_accuracy = 0.0;  ///< source DNN accuracy on the test split
+  bool loaded_from_cache = false;
+
+  ModelBundle() : net(Shape{1}) {}
+};
+
+/// Returns the trained bundle for `kind`, training and caching on first use.
+ModelBundle get_or_train(DatasetKind kind);
+
+/// Regenerates only the dataset for `kind` (deterministic).
+data::DatasetPair make_dataset(DatasetKind kind);
+
+/// Cache path that get_or_train uses for `kind`.
+std::string zoo_model_path(DatasetKind kind);
+
+}  // namespace tsnn::core

@@ -1,0 +1,181 @@
+#include "data/cifar_like.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "data/synth.h"
+
+namespace tsnn::data {
+
+namespace {
+
+/// Fixed per-class texture recipe derived from (class, dataset seed).
+struct ClassRecipe {
+  int family = 0;          ///< texture family index
+  double param_a = 0.0;    ///< family-specific (frequency / cells / radius)
+  double param_b = 0.0;    ///< family-specific (angle / center)
+  double hue = 0.0;        ///< base hue in [0,1)
+  double saturation = 0.7;
+};
+
+constexpr int kNumFamilies = 5;
+
+ClassRecipe make_recipe(std::size_t cls, std::uint64_t seed) {
+  Rng rng(seed * 0x9E37u + cls * 0x85EBu + 17u);
+  ClassRecipe r;
+  r.family = static_cast<int>(cls % kNumFamilies);
+  // Classes sharing a family get distinct parameters from their own stream,
+  // so family alone never determines the class.
+  switch (r.family) {
+    case 0:  // stripes: frequency and angle
+      r.param_a = rng.uniform(2.0, 5.0);
+      r.param_b = rng.uniform(0.0, std::numbers::pi);
+      break;
+    case 1:  // checker: cell count
+      r.param_a = rng.uniform(2.5, 6.0);
+      r.param_b = 0.0;
+      break;
+    case 2:  // rings: frequency and center offset
+      r.param_a = rng.uniform(2.0, 5.0);
+      r.param_b = rng.uniform(0.25, 0.75);
+      break;
+    case 3:  // blobs: radius
+      r.param_a = rng.uniform(0.10, 0.22);
+      r.param_b = rng.uniform(0.3, 0.7);
+      break;
+    default:  // plasma: base phases
+      r.param_a = rng.uniform(0.0, 6.28);
+      r.param_b = rng.uniform(0.0, 6.28);
+      break;
+  }
+  r.hue = rng.uniform(0.0, 1.0);
+  r.saturation = rng.uniform(0.55, 0.9);
+  return r;
+}
+
+/// HSV -> RGB with h in [0,1), s,v in [0,1].
+void hsv_to_rgb(double h, double s, double v, double& r, double& g, double& b) {
+  h = h - std::floor(h);
+  const double hh = h * 6.0;
+  const int sector = static_cast<int>(hh) % 6;
+  const double f = hh - std::floor(hh);
+  const double p = v * (1.0 - s);
+  const double q = v * (1.0 - s * f);
+  const double t = v * (1.0 - s * (1.0 - f));
+  switch (sector) {
+    case 0: r = v; g = t; b = p; break;
+    case 1: r = q; g = v; b = p; break;
+    case 2: r = p; g = v; b = t; break;
+    case 3: r = p; g = q; b = v; break;
+    case 4: r = t; g = p; b = v; break;
+    default: r = v; g = p; b = q; break;
+  }
+}
+
+Tensor render_sample(const ClassRecipe& recipe, const CifarLikeConfig& config,
+                     Rng& rng) {
+  const std::size_t n = config.image_size;
+  Tensor img{Shape{3, n, n}};
+  // Sample-level jitter: texture phase/offset/orientation and hue.
+  const double jitter_phase = rng.uniform(0.0, 6.28);
+  const double jitter_angle = rng.normal(0.0, 0.12);
+  const double ox = rng.uniform(0.0, 1.0);
+  const double oy = rng.uniform(0.0, 1.0);
+  const double cx = recipe.param_b + rng.normal(0.0, 0.05);
+  const double cy = recipe.param_b + rng.normal(0.0, 0.05);
+  const double hue = recipe.hue + rng.normal(0.0, config.hue_jitter);
+  const double value_gain = rng.uniform(0.8, 1.0);
+
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double u = (static_cast<double>(x) + 0.5) / static_cast<double>(n);
+      const double v = (static_cast<double>(y) + 0.5) / static_cast<double>(n);
+      double t = 0.0;
+      switch (recipe.family) {
+        case 0:
+          t = field::stripes(u, v, recipe.param_b + jitter_angle, recipe.param_a,
+                             jitter_phase);
+          break;
+        case 1:
+          t = field::checker(u, v, recipe.param_a, ox, oy);
+          break;
+        case 2:
+          t = field::rings(u, v, cx, cy, recipe.param_a, jitter_phase);
+          break;
+        case 3: {
+          // Constellation of three blobs around the class center.
+          const double b1 = field::blob(u, v, cx, cy, recipe.param_a);
+          const double b2 = field::blob(u, v, cx + 0.3, cy - 0.2, recipe.param_a * 0.8);
+          const double b3 = field::blob(u, v, cx - 0.25, cy + 0.3, recipe.param_a * 0.9);
+          t = std::min(1.0, b1 + 0.8 * b2 + 0.7 * b3);
+          break;
+        }
+        default:
+          t = field::plasma(u + ox * 0.2, v + oy * 0.2, recipe.param_a,
+                            recipe.param_b, jitter_phase);
+          break;
+      }
+      // Texture modulates the value channel of the class color; a slight
+      // hue rotation across the texture adds within-class color structure.
+      double r = 0.0;
+      double g = 0.0;
+      double b = 0.0;
+      hsv_to_rgb(hue + 0.12 * (t - 0.5), recipe.saturation,
+                 value_gain * (0.25 + 0.75 * t), r, g, b);
+      img(0, y, x) = static_cast<float>(r);
+      img(1, y, x) = static_cast<float>(g);
+      img(2, y, x) = static_cast<float>(b);
+    }
+  }
+  add_pixel_noise(img, config.pixel_noise, rng);
+  return img;
+}
+
+Dataset generate(const CifarLikeConfig& config, std::size_t per_class,
+                 const std::vector<ClassRecipe>& recipes, Rng& rng) {
+  Dataset ds;
+  ds.num_classes = config.num_classes;
+  ds.image_shape = Shape{3, config.image_size, config.image_size};
+  for (std::size_t cls = 0; cls < config.num_classes; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.images.push_back(render_sample(recipes[cls], config, rng));
+      ds.labels.push_back(cls);
+    }
+  }
+  ds.shuffle(rng);
+  return ds;
+}
+
+}  // namespace
+
+DatasetPair make_cifar_like(const CifarLikeConfig& config) {
+  TSNN_CHECK_MSG(config.num_classes > 1, "need at least 2 classes");
+  TSNN_CHECK_MSG(config.image_size >= 8, "images must be at least 8px");
+  std::vector<ClassRecipe> recipes;
+  recipes.reserve(config.num_classes);
+  for (std::size_t cls = 0; cls < config.num_classes; ++cls) {
+    recipes.push_back(make_recipe(cls, config.seed));
+  }
+  Rng rng(config.seed ^ 0xABCDEF12u);
+  DatasetPair pair;
+  pair.train = generate(config, config.train_per_class, recipes, rng);
+  pair.test = generate(config, config.test_per_class, recipes, rng);
+  return pair;
+}
+
+DatasetPair make_cifar10_like(std::uint64_t seed) {
+  CifarLikeConfig config;
+  config.num_classes = 10;
+  config.seed = seed;
+  return make_cifar_like(config);
+}
+
+DatasetPair make_cifar20_like(std::uint64_t seed) {
+  CifarLikeConfig config;
+  config.num_classes = 20;
+  config.seed = seed;
+  return make_cifar_like(config);
+}
+
+}  // namespace tsnn::data

@@ -1,0 +1,48 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tsnn::data {
+
+/// A classification dataset: parallel image/label vectors.
+///
+/// Images are {c,h,w} float tensors with values in [0,1]; labels index
+/// classes in [0, num_classes).
+struct Dataset {
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+  std::size_t num_classes = 0;
+  Shape image_shape;
+
+  std::size_t size() const { return images.size(); }
+  bool empty() const { return images.empty(); }
+
+  /// Validates internal consistency; throws on violation.
+  void check_valid() const;
+
+  /// Shuffles images and labels together.
+  void shuffle(Rng& rng);
+
+  /// Returns the first `n` samples (or all if n >= size) as a new dataset.
+  Dataset head(std::size_t n) const;
+
+  /// Splits off the last `frac` fraction as a second dataset (e.g. for a
+  /// validation split). `frac` in (0,1).
+  std::pair<Dataset, Dataset> split(double frac) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+};
+
+/// Train/test pair produced by the generators.
+struct DatasetPair {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace tsnn::data

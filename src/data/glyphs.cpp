@@ -1,0 +1,154 @@
+#include "data/glyphs.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsnn::data {
+
+namespace {
+
+/// Builds one glyph from eight row strings of '.'/'#'.
+constexpr std::array<float, kGlyphSize * kGlyphSize> make_glyph(
+    const std::array<const char*, kGlyphSize>& rows) {
+  std::array<float, kGlyphSize * kGlyphSize> out{};
+  for (std::size_t y = 0; y < kGlyphSize; ++y) {
+    for (std::size_t x = 0; x < kGlyphSize; ++x) {
+      out[y * kGlyphSize + x] = rows[y][x] == '#' ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+const std::array<std::array<float, kGlyphSize * kGlyphSize>, kNumGlyphs> kGlyphs = {
+    make_glyph({{
+        ".####...",
+        "##..##..",
+        "##..##..",
+        "##..##..",
+        "##..##..",
+        "##..##..",
+        ".####...",
+        "........",
+    }}),
+    make_glyph({{
+        "..##....",
+        ".###....",
+        "..##....",
+        "..##....",
+        "..##....",
+        "..##....",
+        ".######.",
+        "........",
+    }}),
+    make_glyph({{
+        ".####...",
+        "##..##..",
+        "....##..",
+        "...##...",
+        "..##....",
+        ".##.....",
+        "######..",
+        "........",
+    }}),
+    make_glyph({{
+        "#####...",
+        "....##..",
+        "....##..",
+        ".####...",
+        "....##..",
+        "....##..",
+        "#####...",
+        "........",
+    }}),
+    make_glyph({{
+        "##..##..",
+        "##..##..",
+        "##..##..",
+        ".#####..",
+        "....##..",
+        "....##..",
+        "....##..",
+        "........",
+    }}),
+    make_glyph({{
+        "######..",
+        "##......",
+        "#####...",
+        "....##..",
+        "....##..",
+        "##..##..",
+        ".####...",
+        "........",
+    }}),
+    make_glyph({{
+        ".####...",
+        "##......",
+        "#####...",
+        "##..##..",
+        "##..##..",
+        "##..##..",
+        ".####...",
+        "........",
+    }}),
+    make_glyph({{
+        "######..",
+        "....##..",
+        "...##...",
+        "..##....",
+        ".##.....",
+        ".##.....",
+        ".##.....",
+        "........",
+    }}),
+    make_glyph({{
+        ".####...",
+        "##..##..",
+        "##..##..",
+        ".####...",
+        "##..##..",
+        "##..##..",
+        ".####...",
+        "........",
+    }}),
+    make_glyph({{
+        ".####...",
+        "##..##..",
+        "##..##..",
+        ".#####..",
+        "....##..",
+        "....##..",
+        ".####...",
+        "........",
+    }}),
+};
+
+}  // namespace
+
+const std::array<float, kGlyphSize * kGlyphSize>& glyph(std::size_t digit) {
+  TSNN_CHECK_MSG(digit < kNumGlyphs, "glyph digit out of range: " << digit);
+  return kGlyphs[digit];
+}
+
+float sample_glyph(std::size_t digit, double u, double v) {
+  const auto& g = glyph(digit);
+  // Bilinear interpolation with zero outside the bitmap.
+  const double x = u - 0.5;
+  const double y = v - 0.5;
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(x));
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(y));
+  const double fx = x - static_cast<double>(x0);
+  const double fy = y - static_cast<double>(y0);
+  auto tex = [&g](std::ptrdiff_t xi, std::ptrdiff_t yi) -> double {
+    if (xi < 0 || yi < 0 || xi >= static_cast<std::ptrdiff_t>(kGlyphSize) ||
+        yi >= static_cast<std::ptrdiff_t>(kGlyphSize)) {
+      return 0.0;
+    }
+    return g[static_cast<std::size_t>(yi) * kGlyphSize + static_cast<std::size_t>(xi)];
+  };
+  const double top = tex(x0, y0) * (1.0 - fx) + tex(x0 + 1, y0) * fx;
+  const double bot = tex(x0, y0 + 1) * (1.0 - fx) + tex(x0 + 1, y0 + 1) * fx;
+  return static_cast<float>(top * (1.0 - fy) + bot * fy);
+}
+
+}  // namespace tsnn::data

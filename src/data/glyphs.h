@@ -1,0 +1,27 @@
+// Digit glyph atlas for the S-MNIST generator.
+//
+// Each glyph is an 8x8 coarse bitmap of a decimal digit; the renderer in
+// synth.h samples it through a random affine transform so every generated
+// image is a distinct variation, like handwritten digits vary around a
+// prototype.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace tsnn::data {
+
+/// Side length of a glyph bitmap.
+inline constexpr std::size_t kGlyphSize = 8;
+
+/// Number of digit glyphs (classes 0-9).
+inline constexpr std::size_t kNumGlyphs = 10;
+
+/// Returns the glyph bitmap for `digit` as row-major 0/1 floats.
+const std::array<float, kGlyphSize * kGlyphSize>& glyph(std::size_t digit);
+
+/// Bilinear sample of the glyph at continuous coordinates (u, v) in glyph
+/// space [0, kGlyphSize); out-of-range coordinates return 0.
+float sample_glyph(std::size_t digit, double u, double v);
+
+}  // namespace tsnn::data

@@ -1,0 +1,42 @@
+#include "data/mnist_like.h"
+
+#include "common/error.h"
+#include "data/glyphs.h"
+#include "data/synth.h"
+
+namespace tsnn::data {
+
+namespace {
+
+Dataset generate(const MnistLikeConfig& config, std::size_t per_class, Rng& rng) {
+  Dataset ds;
+  ds.num_classes = kNumGlyphs;
+  ds.image_shape = Shape{1, config.image_size, config.image_size};
+  for (std::size_t digit = 0; digit < kNumGlyphs; ++digit) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const Affine tf = random_affine(rng, config.max_rotation, config.max_shift,
+                                      config.scale_lo, config.scale_hi,
+                                      /*max_shear=*/0.15);
+      const auto intensity = static_cast<float>(rng.uniform(0.75, 1.0));
+      Tensor img = render_glyph(digit, config.image_size, tf, intensity);
+      add_pixel_noise(img, config.pixel_noise, rng);
+      ds.images.push_back(std::move(img));
+      ds.labels.push_back(digit);
+    }
+  }
+  ds.shuffle(rng);
+  return ds;
+}
+
+}  // namespace
+
+DatasetPair make_mnist_like(const MnistLikeConfig& config) {
+  TSNN_CHECK_MSG(config.image_size >= 12, "S-MNIST images must be at least 12px");
+  Rng rng(config.seed);
+  DatasetPair pair;
+  pair.train = generate(config, config.train_per_class, rng);
+  pair.test = generate(config, config.test_per_class, rng);
+  return pair;
+}
+
+}  // namespace tsnn::data

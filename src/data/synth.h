@@ -1,0 +1,59 @@
+// Procedural image synthesis primitives shared by the dataset generators.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tsnn::data {
+
+/// Parameters of a 2-D affine sampling transform (image -> texture space).
+struct Affine {
+  double scale = 1.0;
+  double rotation = 0.0;   ///< radians
+  double shift_x = 0.0;    ///< pixels, applied in image space
+  double shift_y = 0.0;
+  double shear = 0.0;
+};
+
+/// Draws a random affine within "handwriting-like" variation bounds.
+Affine random_affine(Rng& rng, double max_rotation, double max_shift,
+                     double scale_lo, double scale_hi, double max_shear = 0.0);
+
+/// Renders digit glyph `digit` into a {1,size,size} image through `tf`,
+/// with stroke intensity `intensity`.
+Tensor render_glyph(std::size_t digit, std::size_t size, const Affine& tf,
+                    float intensity);
+
+/// Adds iid Gaussian noise (stddev sigma) to every pixel, then clamps to [0,1].
+void add_pixel_noise(Tensor& image, double sigma, Rng& rng);
+
+/// Clamps all values into [0,1].
+void clamp01(Tensor& image);
+
+/// Procedural scalar fields used to build CIFAR-like class textures. All
+/// return values in [0,1] for pixel coordinates (x,y) in [0,1)^2.
+namespace field {
+
+/// Sinusoidal stripes at `angle` with spatial frequency `freq` and `phase`.
+double stripes(double x, double y, double angle, double freq, double phase);
+
+/// Checkerboard with `cells` cells per side and offset (ox, oy).
+double checker(double x, double y, double cells, double ox, double oy);
+
+/// Concentric rings around (cx, cy) with frequency `freq`.
+double rings(double x, double y, double cx, double cy, double freq, double phase);
+
+/// Soft radial blob centered at (cx, cy) with radius `r`.
+double blob(double x, double y, double cx, double cy, double r);
+
+/// Diagonal gradient oriented by `angle`.
+double gradient(double x, double y, double angle);
+
+/// Smooth pseudo-random plasma from low-frequency sinusoids with seed phases.
+double plasma(double x, double y, double p0, double p1, double p2);
+
+}  // namespace field
+
+}  // namespace tsnn::data

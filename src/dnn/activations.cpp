@@ -1,0 +1,32 @@
+#include "dnn/activations.h"
+
+namespace tsnn::dnn {
+
+Relu::Relu(std::string name) : name_(std::move(name)) {}
+
+Tensor Relu::forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor y = x;
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    py[i] = py[i] > 0.0f ? py[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) {
+  TSNN_CHECK_MSG(!cached_input_.empty(), "backward before forward in " << name_);
+  TSNN_CHECK_SHAPE(grad_out.shape() == cached_input_.shape(),
+                   "relu " << name_ << ": grad shape mismatch");
+  Tensor grad_in = grad_out;
+  const float* px = cached_input_.data();
+  float* pg = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    if (px[i] <= 0.0f) {
+      pg[i] = 0.0f;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace tsnn::dnn

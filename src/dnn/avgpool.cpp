@@ -1,0 +1,77 @@
+#include "dnn/avgpool.h"
+
+namespace tsnn::dnn {
+
+AvgPool::AvgPool(std::string name, std::size_t kernel)
+    : name_(std::move(name)), kernel_(kernel) {
+  TSNN_CHECK_MSG(kernel_ > 0, "avgpool kernel must be positive");
+}
+
+Tensor AvgPool::forward(const Tensor& x, bool /*training*/) {
+  TSNN_CHECK_SHAPE(x.rank() == 3, "avgpool " << name_ << ": input "
+                                             << shape_to_string(x.shape()));
+  TSNN_CHECK_SHAPE(x.dim(1) % kernel_ == 0 && x.dim(2) % kernel_ == 0,
+                   "avgpool " << name_ << ": extent not divisible by kernel");
+  cached_in_shape_ = x.shape();
+  const std::size_t c = x.dim(0);
+  const std::size_t h = x.dim(1);
+  const std::size_t w = x.dim(2);
+  const std::size_t oh = h / kernel_;
+  const std::size_t ow = w / kernel_;
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor y{Shape{c, oh, ow}};
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* xmap = x.data() + ch * h * w;
+    float* ymap = y.data() + ch * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const float* xrow = xmap + (oy * kernel_ + ky) * w + ox * kernel_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            acc += xrow[kx];
+          }
+        }
+        ymap[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool::backward(const Tensor& grad_out) {
+  TSNN_CHECK_MSG(!cached_in_shape_.empty(), "backward before forward in " << name_);
+  const std::size_t c = cached_in_shape_[0];
+  const std::size_t h = cached_in_shape_[1];
+  const std::size_t w = cached_in_shape_[2];
+  const std::size_t oh = h / kernel_;
+  const std::size_t ow = w / kernel_;
+  TSNN_CHECK_SHAPE(grad_out.shape() == Shape({c, oh, ow}),
+                   "avgpool " << name_ << ": grad " << shape_to_string(grad_out.shape()));
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor grad_in{cached_in_shape_};
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* gmap = grad_out.data() + ch * oh * ow;
+    float* gimap = grad_in.data() + ch * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float g = gmap[oy * ow + ox] * inv;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          float* girow = gimap + (oy * kernel_ + ky) * w + ox * kernel_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            girow[kx] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Shape AvgPool::output_shape(const Shape& in) const {
+  TSNN_CHECK_SHAPE(in.size() == 3 && in[1] % kernel_ == 0 && in[2] % kernel_ == 0,
+                   "avgpool " << name_ << ": bad input shape " << shape_to_string(in));
+  return Shape{in[0], in[1] / kernel_, in[2] / kernel_};
+}
+
+}  // namespace tsnn::dnn

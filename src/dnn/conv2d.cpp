@@ -1,0 +1,167 @@
+#include "dnn/conv2d.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::dnn {
+
+Conv2d::Conv2d(std::string name, Conv2dSpec spec)
+    : name_(std::move(name)), spec_(spec) {
+  TSNN_CHECK_MSG(spec_.in_channels > 0 && spec_.out_channels > 0,
+                 "conv channels must be positive");
+  TSNN_CHECK_MSG(spec_.kernel > 0 && spec_.stride > 0, "conv kernel/stride must be positive");
+  weight_.name = name_ + ".weight";
+  weight_.value =
+      Tensor{Shape{spec_.out_channels, spec_.in_channels, spec_.kernel, spec_.kernel}};
+  weight_.grad = Tensor{weight_.value.shape()};
+  if (spec_.use_bias) {
+    bias_.name = name_ + ".bias";
+    bias_.value = Tensor{Shape{spec_.out_channels}};
+    bias_.grad = Tensor{Shape{spec_.out_channels}};
+  }
+}
+
+std::size_t Conv2d::out_extent(std::size_t in) const {
+  const std::size_t padded = in + 2 * spec_.pad;
+  TSNN_CHECK_SHAPE(padded >= spec_.kernel,
+                   "conv " << name_ << ": input extent " << in << " too small");
+  return (padded - spec_.kernel) / spec_.stride + 1;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  TSNN_CHECK_SHAPE(x.rank() == 3 && x.dim(0) == spec_.in_channels,
+                   "conv " << name_ << ": input " << shape_to_string(x.shape()));
+  cached_input_ = x;
+  const std::size_t h = x.dim(1);
+  const std::size_t w = x.dim(2);
+  const std::size_t oh = out_extent(h);
+  const std::size_t ow = out_extent(w);
+  const std::size_t k = spec_.kernel;
+  Tensor y{Shape{spec_.out_channels, oh, ow}};
+
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  float* py = y.data();
+  const auto pad = static_cast<std::ptrdiff_t>(spec_.pad);
+
+  for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    float* ymap = py + oc * oh * ow;
+    for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+      const float* xmap = px + ic * h * w;
+      const float* wk = pw + (oc * spec_.in_channels + ic) * k * k;
+      for (std::size_t ky = 0; ky < k; ++ky) {
+        for (std::size_t kx = 0; kx < k; ++kx) {
+          const float wv = wk[ky * k + kx];
+          if (wv == 0.0f) {
+            continue;
+          }
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec_.stride + ky) - pad;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            const float* xrow = xmap + static_cast<std::size_t>(iy) * w;
+            float* yrow = ymap + oy * ow;
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec_.stride + kx) - pad;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              yrow[ox] += wv * xrow[static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+    if (spec_.use_bias) {
+      const float b = bias_.value[oc];
+      for (std::size_t i = 0; i < oh * ow; ++i) {
+        ymap[i] += b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  TSNN_CHECK_MSG(!cached_input_.empty(), "backward before forward in " << name_);
+  const Tensor& x = cached_input_;
+  const std::size_t h = x.dim(1);
+  const std::size_t w = x.dim(2);
+  const std::size_t oh = out_extent(h);
+  const std::size_t ow = out_extent(w);
+  const std::size_t k = spec_.kernel;
+  TSNN_CHECK_SHAPE(grad_out.rank() == 3 && grad_out.dim(0) == spec_.out_channels &&
+                       grad_out.dim(1) == oh && grad_out.dim(2) == ow,
+                   "conv " << name_ << ": grad " << shape_to_string(grad_out.shape()));
+
+  Tensor grad_in{x.shape()};
+  const float* px = x.data();
+  const float* pg = grad_out.data();
+  const float* pw = weight_.value.data();
+  float* pgw = weight_.grad.data();
+  float* pgi = grad_in.data();
+  const auto pad = static_cast<std::ptrdiff_t>(spec_.pad);
+
+  for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    const float* gmap = pg + oc * oh * ow;
+    for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+      const float* xmap = px + ic * h * w;
+      float* gimap = pgi + ic * h * w;
+      const float* wk = pw + (oc * spec_.in_channels + ic) * k * k;
+      float* gwk = pgw + (oc * spec_.in_channels + ic) * k * k;
+      for (std::size_t ky = 0; ky < k; ++ky) {
+        for (std::size_t kx = 0; kx < k; ++kx) {
+          const float wv = wk[ky * k + kx];
+          double wacc = 0.0;
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec_.stride + ky) - pad;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            const float* xrow = xmap + static_cast<std::size_t>(iy) * w;
+            float* girow = gimap + static_cast<std::size_t>(iy) * w;
+            const float* grow = gmap + oy * ow;
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec_.stride + kx) - pad;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              const float g = grow[ox];
+              wacc += static_cast<double>(g) * xrow[static_cast<std::size_t>(ix)];
+              girow[static_cast<std::size_t>(ix)] += wv * g;
+            }
+          }
+          gwk[ky * k + kx] += static_cast<float>(wacc);
+        }
+      }
+    }
+    if (spec_.use_bias) {
+      double bacc = 0.0;
+      for (std::size_t i = 0; i < oh * ow; ++i) {
+        bacc += gmap[i];
+      }
+      bias_.grad[oc] += static_cast<float>(bacc);
+    }
+  }
+  return grad_in;
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  TSNN_CHECK_SHAPE(in.size() == 3 && in[0] == spec_.in_channels,
+                   "conv " << name_ << ": bad input shape " << shape_to_string(in));
+  return Shape{spec_.out_channels, out_extent(in[1]), out_extent(in[2])};
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (spec_.use_bias) {
+    out.push_back(&bias_);
+  }
+  return out;
+}
+
+}  // namespace tsnn::dnn

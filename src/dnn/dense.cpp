@@ -1,0 +1,75 @@
+#include "dnn/dense.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::dnn {
+
+Dense::Dense(std::string name, std::size_t in_features, std::size_t out_features,
+             bool use_bias)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias) {
+  TSNN_CHECK_MSG(in_features > 0 && out_features > 0,
+                 "dense dims must be positive");
+  weight_.name = name_ + ".weight";
+  weight_.value = Tensor{Shape{out_features_, in_features_}};
+  weight_.grad = Tensor{Shape{out_features_, in_features_}};
+  if (use_bias_) {
+    bias_.name = name_ + ".bias";
+    bias_.value = Tensor{Shape{out_features_}};
+    bias_.grad = Tensor{Shape{out_features_}};
+  }
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  TSNN_CHECK_SHAPE(x.rank() == 1 && x.dim(0) == in_features_,
+                   "dense " << name_ << ": input " << shape_to_string(x.shape())
+                            << " expected {" << in_features_ << "}");
+  cached_input_ = x;
+  Tensor y = ops::matvec(weight_.value, x);
+  if (use_bias_) {
+    ops::add_inplace(y, bias_.value);
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  TSNN_CHECK_SHAPE(grad_out.rank() == 1 && grad_out.dim(0) == out_features_,
+                   "dense " << name_ << ": grad " << shape_to_string(grad_out.shape()));
+  TSNN_CHECK_MSG(!cached_input_.empty(), "backward before forward in " << name_);
+  // dW[i,k] += g[i] * x[k]
+  float* gw = weight_.grad.data();
+  const float* gx = cached_input_.data();
+  const float* gg = grad_out.data();
+  for (std::size_t i = 0; i < out_features_; ++i) {
+    const float gi = gg[i];
+    if (gi == 0.0f) {
+      continue;
+    }
+    float* row = gw + i * in_features_;
+    for (std::size_t k = 0; k < in_features_; ++k) {
+      row[k] += gi * gx[k];
+    }
+  }
+  if (use_bias_) {
+    ops::add_inplace(bias_.grad, grad_out);
+  }
+  return ops::matvec_transpose(weight_.value, grad_out);
+}
+
+Shape Dense::output_shape(const Shape& in) const {
+  TSNN_CHECK_SHAPE(in.size() == 1 && in[0] == in_features_,
+                   "dense " << name_ << ": bad input shape " << shape_to_string(in));
+  return Shape{out_features_};
+}
+
+std::vector<Param*> Dense::params() {
+  std::vector<Param*> out{&weight_};
+  if (use_bias_) {
+    out.push_back(&bias_);
+  }
+  return out;
+}
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,47 @@
+#include "dnn/dropout.h"
+
+namespace tsnn::dnn {
+
+Dropout::Dropout(std::string name, double rate, std::uint64_t seed)
+    : name_(std::move(name)), rate_(rate), rng_(seed) {
+  TSNN_CHECK_MSG(rate_ >= 0.0 && rate_ < 1.0, "dropout rate out of [0,1): " << rate_);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) {
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  cached_mask_ = Tensor{x.shape()};
+  Tensor y = x;
+  float* pm = cached_mask_.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (rng_.bernoulli(rate_)) {
+      pm[i] = 0.0f;
+      py[i] = 0.0f;
+    } else {
+      pm[i] = keep_scale;
+      py[i] *= keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_training_ || rate_ == 0.0) {
+    return grad_out;
+  }
+  TSNN_CHECK_SHAPE(grad_out.shape() == cached_mask_.shape(),
+                   "dropout " << name_ << ": grad shape mismatch");
+  Tensor grad_in = grad_out;
+  const float* pm = cached_mask_.data();
+  float* pg = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    pg[i] *= pm[i];
+  }
+  return grad_in;
+}
+
+}  // namespace tsnn::dnn

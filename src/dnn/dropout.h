@@ -1,0 +1,39 @@
+// Inverted dropout.
+//
+// Dropout is central to this paper's analysis: training the source DNN with
+// dropout makes its weights tolerant of all-or-none activation loss, which
+// is why TTFS coding (whose deletion noise zeroes whole activations) is the
+// most deletion-robust baseline (paper §III).
+#pragma once
+
+#include "common/rng.h"
+#include "dnn/layer.h"
+
+namespace tsnn::dnn {
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `rate` and survivors are scaled by 1/(1-rate); inference is the identity.
+class Dropout : public Layer {
+ public:
+  Dropout(std::string name, double rate, std::uint64_t seed = 0x5eedULL);
+
+  LayerKind kind() const override { return LayerKind::kDropout; }
+  std::string name() const override { return name_; }
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+
+  double rate() const { return rate_; }
+
+  /// Reseeds the mask stream (used for reproducible training runs).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+ private:
+  std::string name_;
+  double rate_;
+  Rng rng_;
+  Tensor cached_mask_;  ///< scaled keep mask of the last training forward
+  bool last_training_ = false;
+};
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,21 @@
+#include "dnn/flatten.h"
+
+namespace tsnn::dnn {
+
+Flatten::Flatten(std::string name) : name_(std::move(name)) {}
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  cached_in_shape_ = x.shape();
+  return x.reshaped(Shape{x.numel()});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  TSNN_CHECK_MSG(!cached_in_shape_.empty(), "backward before forward in " << name_);
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& in) const {
+  return Shape{shape_numel(in)};
+}
+
+}  // namespace tsnn::dnn

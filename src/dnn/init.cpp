@@ -1,0 +1,46 @@
+#include "dnn/init.h"
+
+#include <cmath>
+
+#include "dnn/conv2d.h"
+#include "dnn/dense.h"
+
+namespace tsnn::dnn {
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  TSNN_CHECK_MSG(fan_in > 0, "he_normal fan_in must be positive");
+  const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  TSNN_CHECK_MSG(fan_in + fan_out > 0, "xavier fan sum must be positive");
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void initialize_network(Network& net, Rng& rng) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    Layer& layer = net.layer(i);
+    if (layer.kind() == LayerKind::kConv2d) {
+      auto& conv = static_cast<Conv2d&>(layer);
+      const auto& s = conv.spec();
+      he_normal(conv.weight().value, s.in_channels * s.kernel * s.kernel, rng);
+      if (s.use_bias) {
+        conv.bias().value.fill(0.0f);
+      }
+    } else if (layer.kind() == LayerKind::kDense) {
+      auto& dense = static_cast<Dense&>(layer);
+      he_normal(dense.weight().value, dense.in_features(), rng);
+      if (dense.use_bias()) {
+        dense.bias().value.fill(0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.h"
+#include "dnn/network.h"
+
+namespace tsnn::dnn {
+
+/// He-normal initialization for a weight tensor with the given fan-in.
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Xavier-uniform initialization for a weight tensor.
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// Initializes every trainable layer of `net` (He-normal for conv/dense
+/// weights, zero biases). ReLU networks train reliably under He init.
+void initialize_network(Network& net, Rng& rng);
+
+}  // namespace tsnn::dnn

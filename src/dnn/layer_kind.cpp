@@ -1,0 +1,17 @@
+#include "dnn/layer.h"
+
+namespace tsnn::dnn {
+
+std::string layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kRelu: return "relu";
+    case LayerKind::kDropout: return "dropout";
+    case LayerKind::kFlatten: return "flatten";
+  }
+  return "unknown";
+}
+
+}  // namespace tsnn::dnn

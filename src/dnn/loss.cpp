@@ -1,0 +1,24 @@
+#include "dnn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::dnn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::size_t label) {
+  TSNN_CHECK_SHAPE(logits.rank() == 1, "loss expects rank-1 logits");
+  TSNN_CHECK_MSG(label < logits.dim(0), "label " << label << " out of range "
+                                                 << logits.dim(0));
+  LossResult out;
+  Tensor probs = ops::softmax(logits);
+  // Clamp to avoid log(0) when the network is catastrophically confident.
+  const double p_true = std::max(static_cast<double>(probs[label]), 1e-12);
+  out.loss = -std::log(p_true);
+  probs[label] -= 1.0f;
+  out.grad_logits = std::move(probs);
+  return out;
+}
+
+}  // namespace tsnn::dnn

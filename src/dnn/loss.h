@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss for classification training.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace tsnn::dnn {
+
+/// Result of a loss evaluation: scalar loss plus gradient w.r.t. logits.
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad_logits;
+};
+
+/// Numerically stable softmax cross-entropy for a single sample.
+///
+/// `logits` is rank-1 of size num_classes; `label` indexes the true class.
+/// grad_logits = softmax(logits) - onehot(label).
+LossResult softmax_cross_entropy(const Tensor& logits, std::size_t label);
+
+}  // namespace tsnn::dnn

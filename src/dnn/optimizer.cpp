@@ -1,0 +1,51 @@
+#include "dnn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsnn::dnn {
+
+SgdOptimizer::SgdOptimizer(Config config) : config_(config) {
+  TSNN_CHECK_MSG(config_.lr > 0.0, "learning rate must be positive");
+  TSNN_CHECK_MSG(config_.momentum >= 0.0 && config_.momentum < 1.0,
+                 "momentum out of [0,1)");
+  TSNN_CHECK_MSG(config_.weight_decay >= 0.0, "weight decay must be non-negative");
+}
+
+void SgdOptimizer::step(const std::vector<Param*>& params) {
+  if (!initialized_) {
+    velocity_.reserve(params.size());
+    for (const Param* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+    initialized_ = true;
+  }
+  TSNN_CHECK_MSG(velocity_.size() == params.size(),
+                 "optimizer called with a different parameter list");
+  const auto lr = static_cast<float>(config_.lr);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    Tensor& v = velocity_[pi];
+    TSNN_CHECK_SHAPE(v.shape() == p.value.shape(),
+                     "velocity shape drift for " << p.name);
+    float* pv = v.data();
+    float* pw = p.value.data();
+    const float* pg = p.grad.data();
+    for (std::size_t i = 0; i < v.numel(); ++i) {
+      pv[i] = mu * pv[i] - lr * (pg[i] + wd * pw[i]);
+      pw[i] += pv[i];
+    }
+  }
+}
+
+double step_decay_lr(double base_lr, double gamma, std::size_t step_epochs,
+                     std::size_t epoch) {
+  TSNN_CHECK_MSG(step_epochs > 0, "step_epochs must be positive");
+  const auto k = static_cast<double>(epoch / step_epochs);
+  return base_lr * std::pow(gamma, k);
+}
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,44 @@
+// Optimizers for the DNN engine.
+#pragma once
+
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace tsnn::dnn {
+
+/// SGD with classical momentum and optional L2 weight decay.
+///
+/// v <- momentum * v - lr * (g + weight_decay * w);  w <- w + v
+class SgdOptimizer {
+ public:
+  struct Config {
+    double lr = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 5e-4;
+  };
+
+  explicit SgdOptimizer(Config config);
+
+  /// Applies one update step to `params` using their accumulated gradients.
+  /// Velocity buffers are keyed by parameter identity; the same parameter
+  /// list must be passed on every call.
+  void step(const std::vector<Param*>& params);
+
+  /// Learning-rate access for schedules.
+  double lr() const { return config_.lr; }
+  void set_lr(double lr) { config_.lr = lr; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Tensor> velocity_;
+  bool initialized_ = false;
+};
+
+/// Step-decay learning-rate schedule: lr = base * gamma^(epoch / step).
+double step_decay_lr(double base_lr, double gamma, std::size_t step_epochs,
+                     std::size_t epoch);
+
+}  // namespace tsnn::dnn

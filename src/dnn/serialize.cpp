@@ -1,0 +1,233 @@
+#include "dnn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "dnn/activations.h"
+#include "dnn/avgpool.h"
+#include "dnn/conv2d.h"
+#include "dnn/dense.h"
+#include "dnn/dropout.h"
+#include "dnn/flatten.h"
+
+namespace tsnn::dnn {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'S', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u64(os, t.rank());
+  for (std::size_t d = 0; d < t.rank(); ++d) {
+    write_u64(os, t.dim(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+Tensor read_tensor(std::istream& is) {
+  const std::uint64_t rank = read_u64(is);
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = read_u64(is);
+  }
+  Tensor t{shape};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  return t;
+}
+
+}  // namespace
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw IoError("cannot open for write: " + path);
+  }
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+  write_u64(os, net.input_shape().size());
+  for (const std::size_t d : net.input_shape()) {
+    write_u64(os, d);
+  }
+  write_u64(os, net.num_layers());
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    write_u32(os, static_cast<std::uint32_t>(layer.kind()));
+    write_string(os, layer.name());
+    switch (layer.kind()) {
+      case LayerKind::kConv2d: {
+        const auto& conv = static_cast<const Conv2d&>(layer);
+        const auto& s = conv.spec();
+        write_u64(os, s.in_channels);
+        write_u64(os, s.out_channels);
+        write_u64(os, s.kernel);
+        write_u64(os, s.stride);
+        write_u64(os, s.pad);
+        write_u32(os, s.use_bias ? 1 : 0);
+        write_tensor(os, conv.weight().value);
+        if (s.use_bias) {
+          write_tensor(os, conv.bias().value);
+        }
+        break;
+      }
+      case LayerKind::kDense: {
+        const auto& dense = static_cast<const Dense&>(layer);
+        write_u64(os, dense.in_features());
+        write_u64(os, dense.out_features());
+        write_u32(os, dense.use_bias() ? 1 : 0);
+        write_tensor(os, dense.weight().value);
+        if (dense.use_bias()) {
+          write_tensor(os, dense.bias().value);
+        }
+        break;
+      }
+      case LayerKind::kAvgPool: {
+        const auto& pool = static_cast<const AvgPool&>(layer);
+        write_u64(os, pool.kernel());
+        break;
+      }
+      case LayerKind::kDropout: {
+        const auto& drop = static_cast<const Dropout&>(layer);
+        write_f64(os, drop.rate());
+        break;
+      }
+      case LayerKind::kRelu:
+      case LayerKind::kFlatten:
+        break;
+    }
+  }
+  if (!os) {
+    throw IoError("write failed: " + path);
+  }
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for read: " + path);
+  }
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw IoError("not a TSNN model file: " + path);
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion) {
+    throw IoError("unsupported model version in " + path);
+  }
+  const std::uint64_t rank = read_u64(is);
+  Shape input_shape(rank);
+  for (auto& d : input_shape) {
+    d = read_u64(is);
+  }
+  Network net(input_shape);
+  const std::uint64_t num_layers = read_u64(is);
+  for (std::uint64_t li = 0; li < num_layers; ++li) {
+    const auto kind = static_cast<LayerKind>(read_u32(is));
+    const std::string name = read_string(is);
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        Conv2dSpec s;
+        s.in_channels = read_u64(is);
+        s.out_channels = read_u64(is);
+        s.kernel = read_u64(is);
+        s.stride = read_u64(is);
+        s.pad = read_u64(is);
+        s.use_bias = read_u32(is) != 0;
+        auto conv = std::make_unique<Conv2d>(name, s);
+        conv->weight().value = read_tensor(is);
+        if (s.use_bias) {
+          conv->bias().value = read_tensor(is);
+        }
+        net.add(std::move(conv));
+        break;
+      }
+      case LayerKind::kDense: {
+        const std::uint64_t in_f = read_u64(is);
+        const std::uint64_t out_f = read_u64(is);
+        const bool use_bias = read_u32(is) != 0;
+        auto dense = std::make_unique<Dense>(name, in_f, out_f, use_bias);
+        dense->weight().value = read_tensor(is);
+        if (use_bias) {
+          dense->bias().value = read_tensor(is);
+        }
+        net.add(std::move(dense));
+        break;
+      }
+      case LayerKind::kAvgPool:
+        net.add(std::make_unique<AvgPool>(name, read_u64(is)));
+        break;
+      case LayerKind::kDropout:
+        net.add(std::make_unique<Dropout>(name, read_f64(is)));
+        break;
+      case LayerKind::kRelu:
+        net.add(std::make_unique<Relu>(name));
+        break;
+      case LayerKind::kFlatten:
+        net.add(std::make_unique<Flatten>(name));
+        break;
+      default:
+        throw IoError("corrupt layer kind in " + path);
+    }
+    if (!is) {
+      throw IoError("truncated model file: " + path);
+    }
+  }
+  return net;
+}
+
+bool is_saved_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  return is && std::string(magic, 4) == std::string(kMagic, 4);
+}
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,29 @@
+// Binary model serialization.
+//
+// Format (little-endian):
+//   magic "TSNN" | u32 version | u64 input rank | u64[] input shape |
+//   u64 layer count | per-layer records (kind tag + config + param data)
+//
+// Reconstructing the layer stack from the file means a saved model is fully
+// self-describing: the model zoo uses this to train once and reload across
+// bench invocations.
+#pragma once
+
+#include <string>
+
+#include "dnn/network.h"
+
+namespace tsnn::dnn {
+
+/// Serializes `net` (architecture + weights) to `path`. Throws IoError on
+/// filesystem failure.
+void save_network(const Network& net, const std::string& path);
+
+/// Loads a network previously written by save_network. Throws IoError on
+/// missing/corrupt files.
+Network load_network(const std::string& path);
+
+/// True if `path` exists and starts with the TSNN magic.
+bool is_saved_network(const std::string& path);
+
+}  // namespace tsnn::dnn

@@ -1,0 +1,85 @@
+#include "dnn/trainer.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dnn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::dnn {
+
+TrainResult train(Network& net, const std::vector<Tensor>& images,
+                  const std::vector<std::size_t>& labels, const TrainConfig& config) {
+  TSNN_CHECK_MSG(images.size() == labels.size(), "images/labels size mismatch");
+  TSNN_CHECK_MSG(!images.empty(), "empty training set");
+  TSNN_CHECK_MSG(config.batch_size > 0, "batch size must be positive");
+
+  SgdOptimizer opt(config.sgd);
+  const auto params = net.params();
+  Rng rng(config.shuffle_seed);
+
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  TrainResult result;
+  Stopwatch watch;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    opt.set_lr(step_decay_lr(config.sgd.lr, config.lr_decay_gamma,
+                             config.lr_decay_epochs, epoch));
+    rng.shuffle(order);
+
+    double loss_acc = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      const auto batch_n = static_cast<float>(end - start);
+      net.zero_grad();
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t idx = order[bi];
+        const Tensor logits = net.forward(images[idx], /*training=*/true);
+        const LossResult lr = softmax_cross_entropy(logits, labels[idx]);
+        loss_acc += lr.loss;
+        if (ops::argmax(logits) == labels[idx]) {
+          ++correct;
+        }
+        // Scale so the optimizer sees the batch-mean gradient.
+        net.backward(ops::scale(lr.grad_logits, 1.0f / batch_n));
+      }
+      opt.step(params);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = loss_acc / static_cast<double>(order.size());
+    stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(order.size());
+    stats.lr = opt.lr();
+    result.epochs.push_back(stats);
+    if (config.verbose) {
+      TSNN_LOG(kInfo) << "epoch " << epoch << " loss " << stats.mean_loss << " acc "
+                      << stats.train_accuracy << " lr " << stats.lr << " ("
+                      << watch.elapsed() << "s)";
+    }
+  }
+  result.final_train_accuracy =
+      result.epochs.empty() ? 0.0 : result.epochs.back().train_accuracy;
+  return result;
+}
+
+double evaluate_accuracy(Network& net, const std::vector<Tensor>& images,
+                         const std::vector<std::size_t>& labels) {
+  TSNN_CHECK_MSG(images.size() == labels.size(), "images/labels size mismatch");
+  if (images.empty()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const Tensor logits = net.forward(images[i], /*training=*/false);
+    if (ops::argmax(logits) == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(images.size());
+}
+
+}  // namespace tsnn::dnn

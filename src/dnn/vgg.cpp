@@ -1,0 +1,69 @@
+#include "dnn/vgg.h"
+
+#include "dnn/activations.h"
+#include "dnn/avgpool.h"
+#include "dnn/conv2d.h"
+#include "dnn/dense.h"
+#include "dnn/dropout.h"
+#include "dnn/flatten.h"
+#include "dnn/init.h"
+
+namespace tsnn::dnn {
+
+Network vgg_mini(const VggConfig& config) {
+  TSNN_CHECK_MSG(config.num_blocks > 0, "vgg_mini needs at least one block");
+  TSNN_CHECK_MSG(config.image_size % (1ULL << config.num_blocks) == 0,
+                 "image size " << config.image_size << " not divisible by 2^"
+                               << config.num_blocks);
+  Network net(Shape{config.in_channels, config.image_size, config.image_size});
+
+  std::size_t in_ch = config.in_channels;
+  std::size_t width = config.base_width;
+  std::size_t drop_seed = config.init_seed * 977 + 1;
+  for (std::size_t b = 0; b < config.num_blocks; ++b) {
+    const std::string tag = std::to_string(b + 1);
+    Conv2dSpec s1{.in_channels = in_ch, .out_channels = width, .kernel = 3,
+                  .stride = 1, .pad = 1, .use_bias = false};
+    net.add(std::make_unique<Conv2d>("conv" + tag + "a", s1));
+    net.add(std::make_unique<Relu>("relu" + tag + "a"));
+    Conv2dSpec s2 = s1;
+    s2.in_channels = width;
+    net.add(std::make_unique<Conv2d>("conv" + tag + "b", s2));
+    net.add(std::make_unique<Relu>("relu" + tag + "b"));
+    net.add(std::make_unique<AvgPool>("pool" + tag, 2));
+    if (config.conv_dropout > 0.0) {
+      net.add(std::make_unique<Dropout>("drop" + tag, config.conv_dropout, drop_seed++));
+    }
+    in_ch = width;
+    width *= 2;
+  }
+
+  net.add(std::make_unique<Flatten>("flatten"));
+  const std::size_t flat = shape_numel(net.output_shape());
+  net.add(std::make_unique<Dense>("fc1", flat, config.dense_width, /*use_bias=*/false));
+  net.add(std::make_unique<Relu>("relu_fc1"));
+  if (config.dense_dropout > 0.0) {
+    net.add(std::make_unique<Dropout>("drop_fc1", config.dense_dropout, drop_seed++));
+  }
+  net.add(std::make_unique<Dense>("fc2", config.dense_width, config.num_classes,
+                                  /*use_bias=*/false));
+
+  Rng rng(config.init_seed);
+  initialize_network(net, rng);
+  return net;
+}
+
+Network mlp(Shape input_shape, std::size_t hidden, std::size_t num_classes,
+            std::uint64_t init_seed) {
+  Network net(input_shape);
+  net.add(std::make_unique<Flatten>("flatten"));
+  const std::size_t flat = shape_numel(input_shape);
+  net.add(std::make_unique<Dense>("fc1", flat, hidden, /*use_bias=*/false));
+  net.add(std::make_unique<Relu>("relu1"));
+  net.add(std::make_unique<Dense>("fc2", hidden, num_classes, /*use_bias=*/false));
+  Rng rng(init_seed);
+  initialize_network(net, rng);
+  return net;
+}
+
+}  // namespace tsnn::dnn

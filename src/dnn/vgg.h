@@ -1,0 +1,36 @@
+// VGG-style network builders.
+//
+// The paper evaluates on VGG16; TSNN's substitute is "VGG-mini", the same
+// plain conv-conv-pool VGG pattern at a width and depth trainable on one
+// CPU core (see DESIGN.md). All conv/dense layers are bias-free, which is
+// the standard simplification for DNN-to-SNN conversion.
+#pragma once
+
+#include "common/rng.h"
+#include "dnn/network.h"
+
+namespace tsnn::dnn {
+
+/// Architecture knobs for vgg_mini().
+struct VggConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;      ///< square inputs
+  std::size_t num_classes = 10;
+  std::size_t base_width = 16;      ///< channels of the first block
+  std::size_t num_blocks = 3;       ///< conv-conv-pool blocks; width doubles per block
+  std::size_t dense_width = 128;    ///< hidden units of the penultimate dense layer
+  double conv_dropout = 0.1;        ///< dropout after each block
+  double dense_dropout = 0.4;       ///< dropout after the hidden dense layer
+  std::uint64_t init_seed = 42;
+};
+
+/// Builds and He-initializes a VGG-mini classifier:
+///   [conv3x3(C) relu conv3x3(C) relu avgpool2 dropout] x num_blocks
+///   flatten dense(dense_width) relu dropout dense(num_classes)
+Network vgg_mini(const VggConfig& config);
+
+/// Tiny MLP (flatten dense relu dense), used by fast tests.
+Network mlp(Shape input_shape, std::size_t hidden, std::size_t num_classes,
+            std::uint64_t init_seed = 1);
+
+}  // namespace tsnn::dnn

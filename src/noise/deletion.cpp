@@ -1,0 +1,31 @@
+#include "noise/deletion.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace tsnn::noise {
+
+DeletionNoise::DeletionNoise(double p) : p_(p) {
+  TSNN_CHECK_MSG(p_ >= 0.0 && p_ <= 1.0, "deletion probability out of [0,1]: " << p_);
+}
+
+snn::SpikeRaster DeletionNoise::apply(const snn::SpikeRaster& in, Rng& rng) const {
+  if (p_ == 0.0) {
+    return in;
+  }
+  snn::SpikeRaster out(in.num_neurons(), in.window());
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t neuron : in.at(t)) {
+      if (!rng.bernoulli(p_)) {
+        out.add(t, neuron);
+      }
+    }
+  }
+  return out;
+}
+
+std::string DeletionNoise::name() const {
+  return "deletion(p=" + str::format_fixed(p_, 2) + ")";
+}
+
+}  // namespace tsnn::noise

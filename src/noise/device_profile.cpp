@@ -1,0 +1,46 @@
+#include "noise/device_profile.h"
+
+#include "common/error.h"
+#include "noise/noise.h"
+
+namespace tsnn::noise {
+
+snn::NoiseModelPtr DeviceProfile::make_noise() const {
+  if (deletion_p == 0.0 && jitter_sigma == 0.0) {
+    return make_clean();
+  }
+  if (jitter_sigma == 0.0) {
+    return make_deletion(deletion_p);
+  }
+  if (deletion_p == 0.0) {
+    return make_jitter(jitter_sigma);
+  }
+  return make_deletion_jitter(deletion_p, jitter_sigma);
+}
+
+const std::vector<DeviceProfile>& device_catalog() {
+  static const std::vector<DeviceProfile> kCatalog = {
+      {"digital-cmos", 0.0, 0.0,
+       "Digital CMOS neuromorphic core; spike transport is effectively lossless."},
+      {"mixed-signal", 0.05, 0.5,
+       "Mixed-signal core with mild analog timing instability."},
+      {"analog-mature", 0.15, 1.0,
+       "Mature analog fabric; moderate loss and timing variability."},
+      {"memristive-early", 0.35, 2.0,
+       "Early memristive crossbar; substantial dynamic noise."},
+      {"memristive-aggressive", 0.55, 3.0,
+       "Aggressively scaled crossbar; severe loss and jitter."},
+  };
+  return kCatalog;
+}
+
+const DeviceProfile& find_device(const std::string& name) {
+  for (const DeviceProfile& d : device_catalog()) {
+    if (d.name == name) {
+      return d;
+    }
+  }
+  throw InvalidArgument("unknown device profile: " + name);
+}
+
+}  // namespace tsnn::noise

@@ -1,0 +1,35 @@
+// Neuromorphic device noise profiles.
+//
+// Bundles deletion + jitter magnitudes under a device name, modeling the
+// dynamic ("temporal variability") noise of emerging analog neuromorphic
+// hardware discussed in the paper's SS II-B. Used by the deployment example
+// to pick a robust configuration for a target device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snn/noise_base.h"
+
+namespace tsnn::noise {
+
+/// A named device noise condition.
+struct DeviceProfile {
+  std::string name;
+  double deletion_p = 0.0;   ///< per-spike loss rate of the device fabric
+  double jitter_sigma = 0.0; ///< timing instability in timesteps
+  std::string description;
+
+  /// Materializes the profile as a composite noise model.
+  snn::NoiseModelPtr make_noise() const;
+};
+
+/// Built-in catalog spanning digital CMOS (near-clean) to aggressive
+/// analog/memristive regimes. Values are illustrative operating points
+/// within the ranges the paper sweeps (p in [0,0.9], sigma in [0,4]).
+const std::vector<DeviceProfile>& device_catalog();
+
+/// Looks up a catalog profile by name; throws InvalidArgument if missing.
+const DeviceProfile& find_device(const std::string& name);
+
+}  // namespace tsnn::noise

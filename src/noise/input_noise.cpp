@@ -1,0 +1,31 @@
+#include "noise/input_noise.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tsnn::noise {
+
+Tensor gaussian_input_noise(const Tensor& image, double sigma, Rng& rng) {
+  TSNN_CHECK_MSG(sigma >= 0.0, "input noise sigma must be non-negative");
+  Tensor out = image;
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    p[i] = std::clamp(p[i] + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+  }
+  return out;
+}
+
+Tensor salt_pepper_input_noise(const Tensor& image, double rate, Rng& rng) {
+  TSNN_CHECK_MSG(rate >= 0.0 && rate <= 1.0, "salt-pepper rate out of [0,1]");
+  Tensor out = image;
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (rng.bernoulli(rate)) {
+      p[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::noise

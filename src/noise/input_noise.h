@@ -1,0 +1,22 @@
+// External (input) noise -- the paper's SS II-B first category.
+//
+// Corruption of the input data itself, before encoding: not caused by the
+// neuromorphic hardware but unavoidable with real-world sensors. TSNN
+// provides the two standard image corruptions so robustness studies can
+// separate external noise from the internal (spike) noise the paper
+// evaluates.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tsnn::noise {
+
+/// Additive iid Gaussian pixel noise, clamped back to [0,1].
+Tensor gaussian_input_noise(const Tensor& image, double sigma, Rng& rng);
+
+/// Salt-and-pepper: each pixel is forced to 0 or 1 with probability
+/// `rate` (half salt, half pepper).
+Tensor salt_pepper_input_noise(const Tensor& image, double rate, Rng& rng);
+
+}  // namespace tsnn::noise

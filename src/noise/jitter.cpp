@@ -1,0 +1,36 @@
+#include "noise/jitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace tsnn::noise {
+
+JitterNoise::JitterNoise(double sigma) : sigma_(sigma) {
+  TSNN_CHECK_MSG(sigma_ >= 0.0, "jitter sigma must be non-negative");
+}
+
+snn::SpikeRaster JitterNoise::apply(const snn::SpikeRaster& in, Rng& rng) const {
+  if (sigma_ == 0.0) {
+    return in;
+  }
+  snn::SpikeRaster out(in.num_neurons(), in.window());
+  const auto last = static_cast<std::int64_t>(in.window()) - 1;
+  for (std::size_t t = 0; t < in.window(); ++t) {
+    for (const std::uint32_t neuron : in.at(t)) {
+      const auto shift = static_cast<std::int64_t>(std::lround(rng.normal(0.0, sigma_)));
+      const std::int64_t shifted =
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(t) + shift, 0, last);
+      out.add(static_cast<std::size_t>(shifted), neuron);
+    }
+  }
+  return out;
+}
+
+std::string JitterNoise::name() const {
+  return "jitter(sigma=" + str::format_fixed(sigma_, 2) + ")";
+}
+
+}  // namespace tsnn::noise

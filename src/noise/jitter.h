@@ -1,0 +1,24 @@
+// Spike jitter noise: each spike time is shifted by quantized Gaussian
+// noise (paper SS III: zero mean, stddev sigma, rounded to integer steps).
+#pragma once
+
+#include "snn/noise_base.h"
+
+namespace tsnn::noise {
+
+/// Per-spike Gaussian time jitter, clamped into the raster window so spike
+/// *count* is preserved (only timing is corrupted).
+class JitterNoise : public snn::NoiseModel {
+ public:
+  explicit JitterNoise(double sigma);
+
+  snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  std::string name() const override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace tsnn::noise

@@ -1,0 +1,38 @@
+// Noise-model composition and factories.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "snn/noise_base.h"
+
+namespace tsnn::noise {
+
+/// Applies member models in order (e.g. deletion then jitter).
+class CompositeNoise : public snn::NoiseModel {
+ public:
+  explicit CompositeNoise(std::vector<snn::NoiseModelPtr> models);
+
+  snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  std::string name() const override;
+
+  std::size_t size() const { return models_.size(); }
+
+ private:
+  std::vector<snn::NoiseModelPtr> models_;
+};
+
+/// Identity noise (useful as a sweep baseline).
+class NoNoise : public snn::NoiseModel {
+ public:
+  snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  std::string name() const override { return "clean"; }
+};
+
+/// Factory helpers used throughout benches and examples.
+snn::NoiseModelPtr make_deletion(double p);
+snn::NoiseModelPtr make_jitter(double sigma);
+snn::NoiseModelPtr make_deletion_jitter(double p, double sigma);
+snn::NoiseModelPtr make_clean();
+
+}  // namespace tsnn::noise

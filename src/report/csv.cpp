@@ -1,0 +1,71 @@
+#include "report/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsnn::report {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TSNN_CHECK_MSG(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  TSNN_CHECK_MSG(cells.size() == headers_.size(),
+                 "csv row has " << cells.size() << " cells, expected "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        oss << ",";
+      }
+      oss << escape(row[c]);
+    }
+    oss << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return oss.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw IoError("cannot open csv for write: " + path);
+  }
+  os << to_string();
+  if (!os) {
+    throw IoError("csv write failed: " + path);
+  }
+}
+
+}  // namespace tsnn::report

@@ -1,0 +1,31 @@
+// CSV output for machine-readable bench results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsnn::report {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (fields containing
+/// commas/quotes/newlines are quoted).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serializes to a string (header + rows).
+  std::string to_string() const;
+
+  /// Writes to `path`, creating parent-less paths as-is; throws IoError on
+  /// failure.
+  void write(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsnn::report

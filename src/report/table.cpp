@@ -1,0 +1,53 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsnn::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TSNN_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TSNN_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : "  ") << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    oss << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  oss << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace tsnn::report

@@ -1,0 +1,32 @@
+// Aligned ASCII table printer for bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsnn::report {
+
+/// Column-aligned text table; benches use it to print paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cell count must match header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders with single-space-padded columns and a separator rule.
+  std::string to_string() const;
+
+  /// Writes to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsnn::report

@@ -1,0 +1,16 @@
+#include "snn/coding_base.h"
+
+namespace tsnn::snn {
+
+std::string coding_name(Coding coding) {
+  switch (coding) {
+    case Coding::kRate: return "rate";
+    case Coding::kPhase: return "phase";
+    case Coding::kBurst: return "burst";
+    case Coding::kTtfs: return "ttfs";
+    case Coding::kTtas: return "ttas";
+  }
+  return "unknown";
+}
+
+}  // namespace tsnn::snn

@@ -1,0 +1,100 @@
+// Neural coding scheme interface.
+//
+// A coding scheme defines (1) how normalized activations become input spike
+// trains, (2) the firing dynamics of hidden spiking layers, and (3) the
+// receiver-side PSC magnitude of an arriving spike. Baseline schemes (rate,
+// phase, burst, TTFS) live in src/coding/; the paper's contribution (TTAS)
+// lives in src/core/.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "snn/spike.h"
+#include "snn/topology.h"
+#include "tensor/tensor.h"
+
+namespace tsnn::snn {
+
+/// Identifies the neural coding families studied in the paper.
+enum class Coding {
+  kRate,
+  kPhase,
+  kBurst,
+  kTtfs,
+  kTtas,
+};
+
+/// Short display name ("rate", "phase", "burst", "ttfs", "ttas").
+std::string coding_name(Coding coding);
+
+/// Shared coding hyperparameters. The paper's empirically found thresholds
+/// are defaults in coding/registry.h.
+struct CodingParams {
+  std::size_t window = 64;        ///< simulation timesteps per layer
+  float threshold = 0.4f;         ///< firing threshold theta
+
+  // Phase coding (weighted spikes, Kim et al. 2018).
+  std::size_t phase_period = 8;   ///< K phases per oscillation period
+
+  // Burst coding (Park et al. DAC 2019).
+  float burst_gain = 2.0f;        ///< geometric gain g of consecutive spikes
+  std::size_t burst_cap = 4;      ///< max exponent of the gain
+
+  // TTFS (Park et al. DAC 2020) and TTAS (this paper).
+  float tau = 3.0f;               ///< exponential PSC kernel time constant
+  std::size_t burst_duration = 1; ///< t_a: phasic burst length (TTAS); 1 = TTFS
+};
+
+/// Distinguishes where a spike train comes from. The input encoder emits
+/// spikes at the "pixel" scale (base magnitude 1.0, full [0,1] range
+/// representable), while hidden layers emit at the threshold scale (base
+/// magnitude theta) -- the receiving synapse must weigh arrivals with the
+/// sender's convention. This mirrors the conversion literature, where input
+/// pixels are injected at unit rate but hidden firing is threshold-scaled.
+enum class LayerRole {
+  kFirstHidden,  ///< input train comes from the encoder (base 1.0)
+  kHidden,       ///< input train comes from a hidden spiking layer (base theta)
+};
+
+/// Abstract neural coding scheme.
+class CodingScheme {
+ public:
+  explicit CodingScheme(CodingParams params) : params_(params) {}
+  virtual ~CodingScheme() = default;
+
+  virtual Coding kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Window length of rasters produced by this scheme (may exceed
+  /// params().window, e.g. TTAS bursts that start near the window edge).
+  virtual std::size_t raster_window() const { return params_.window; }
+
+  /// Encodes normalized activations (values in [0,1], any shape; flattened
+  /// row-major) into an input spike train at base magnitude 1.0.
+  virtual SpikeRaster encode(const Tensor& activations) const = 0;
+
+  /// Simulates one hidden spiking layer fed by `in` through `syn`:
+  /// integrates PSCs (weighing arrivals per `role`), applies the scheme's
+  /// firing rule, returns the output spike train.
+  virtual SpikeRaster run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                                LayerRole role) const = 0;
+
+  /// Accumulates the non-firing readout layer: total PSC per output neuron
+  /// over the window (the "membrane potential" logits).
+  virtual Tensor readout(const SpikeRaster& in, const SynapseTopology& syn,
+                         LayerRole role) const = 0;
+
+  /// Decodes an encoder-convention spike train back to activation estimates
+  /// (per neuron). Exercised by round-trip property tests and analyses.
+  virtual Tensor decode(const SpikeRaster& in) const = 0;
+
+  const CodingParams& params() const { return params_; }
+
+ protected:
+  CodingParams params_;
+};
+
+using CodingSchemePtr = std::unique_ptr<CodingScheme>;
+
+}  // namespace tsnn::snn

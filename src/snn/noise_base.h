@@ -1,0 +1,32 @@
+// Spike-noise model interface.
+//
+// Noise transforms a spike train into a corrupted spike train. Following the
+// paper (SS II-B), TSNN models neuromorphic-device noise at the level of
+// noisy output spikes -- deletion and jitter -- applied to every layer's
+// output train including the input encoder's.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "snn/spike.h"
+
+namespace tsnn::snn {
+
+/// Abstract spike-train corruption.
+class NoiseModel {
+ public:
+  virtual ~NoiseModel() = default;
+
+  /// Returns the corrupted train. Implementations draw randomness from
+  /// `rng` only, so a fixed seed reproduces the exact corruption.
+  virtual SpikeRaster apply(const SpikeRaster& in, Rng& rng) const = 0;
+
+  /// Human-readable description ("deletion(p=0.5)").
+  virtual std::string name() const = 0;
+};
+
+using NoiseModelPtr = std::unique_ptr<NoiseModel>;
+
+}  // namespace tsnn::snn

@@ -1,0 +1,70 @@
+#include "snn/simulator.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::snn {
+
+SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng& rng) {
+  TSNN_CHECK_MSG(model.num_stages() > 0, "empty SNN model");
+  TSNN_CHECK_SHAPE(image.shape() == model.input_shape(),
+                   "image " << shape_to_string(image.shape()) << " expected "
+                            << shape_to_string(model.input_shape()));
+
+  SimResult result;
+  SpikeRaster train = scheme.encode(image);
+  if (noise != nullptr) {
+    train = noise->apply(train, rng);
+  }
+  result.layer_spikes.push_back(train.total_spikes());
+
+  // Hidden stages fire per the coding scheme; the last stage is readout.
+  LayerRole role = LayerRole::kFirstHidden;
+  for (std::size_t s = 0; s + 1 < model.num_stages(); ++s) {
+    train = scheme.run_layer(train, *model.stage(s).synapse, role);
+    role = LayerRole::kHidden;
+    if (noise != nullptr) {
+      train = noise->apply(train, rng);
+    }
+    result.layer_spikes.push_back(train.total_spikes());
+  }
+
+  result.logits =
+      scheme.readout(train, *model.stage(model.num_stages() - 1).synapse, role);
+  for (const std::size_t n : result.layer_spikes) {
+    result.total_spikes += n;
+  }
+  result.predicted_class = ops::argmax(result.logits);
+  return result;
+}
+
+SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image) {
+  Rng rng(0);
+  return simulate(model, scheme, image, nullptr, rng);
+}
+
+BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
+                     const std::vector<Tensor>& images,
+                     const std::vector<std::size_t>& labels,
+                     const NoiseModel* noise, Rng& rng) {
+  TSNN_CHECK_MSG(images.size() == labels.size(), "images/labels size mismatch");
+  BatchResult out;
+  out.num_images = images.size();
+  double spike_acc = 0.0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const SimResult r = simulate(model, scheme, images[i], noise, rng);
+    if (r.predicted_class == labels[i]) {
+      ++out.num_correct;
+    }
+    spike_acc += static_cast<double>(r.total_spikes);
+  }
+  if (!images.empty()) {
+    out.accuracy = static_cast<double>(out.num_correct) /
+                   static_cast<double>(images.size());
+    out.mean_spikes_per_image = spike_acc / static_cast<double>(images.size());
+  }
+  return out;
+}
+
+}  // namespace tsnn::snn

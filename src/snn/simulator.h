@@ -1,0 +1,50 @@
+// Layer-sequential SNN simulator.
+//
+// Runs one image through a converted SnnModel under a coding scheme, with an
+// optional noise model corrupting every spike train (input encoding and all
+// hidden layers) before it reaches the next synapse stage -- the paper's
+// noisy-output-spike model. The last stage is a non-firing readout whose
+// accumulated membrane potential is the logit vector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "snn/coding_base.h"
+#include "snn/noise_base.h"
+#include "snn/snn_model.h"
+
+namespace tsnn::snn {
+
+/// Outcome of simulating one image.
+struct SimResult {
+  Tensor logits;                            ///< readout potentials, one per class
+  std::size_t predicted_class = 0;
+  std::size_t total_spikes = 0;             ///< spikes across all spiking layers
+  std::vector<std::size_t> layer_spikes;    ///< per spike-train (encoder + hidden)
+};
+
+/// Simulates `image` through `model` with `scheme`; `noise` (may be null)
+/// corrupts every spike train using `rng`.
+SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng& rng);
+
+/// Convenience overload without noise.
+SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image);
+
+/// Batch evaluation: accuracy and mean spike count over a labeled set.
+struct BatchResult {
+  double accuracy = 0.0;
+  double mean_spikes_per_image = 0.0;
+  std::size_t num_images = 0;
+  std::size_t num_correct = 0;
+};
+
+BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
+                     const std::vector<Tensor>& images,
+                     const std::vector<std::size_t>& labels,
+                     const NoiseModel* noise, Rng& rng);
+
+}  // namespace tsnn::snn

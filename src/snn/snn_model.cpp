@@ -1,0 +1,54 @@
+#include "snn/snn_model.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsnn::snn {
+
+void SnnModel::add_stage(std::string name, std::unique_ptr<SynapseTopology> synapse) {
+  TSNN_CHECK_MSG(synapse != nullptr, "null synapse topology");
+  const std::size_t expected_in =
+      stages_.empty() ? shape_numel(input_shape_) : stages_.back().synapse->out_size();
+  TSNN_CHECK_SHAPE(synapse->in_size() == expected_in,
+                   "stage " << name << " in_size " << synapse->in_size()
+                            << " does not chain with previous out_size "
+                            << expected_in);
+  stages_.emplace_back(std::move(name), std::move(synapse));
+}
+
+const SnnStage& SnnModel::stage(std::size_t i) const {
+  TSNN_CHECK_MSG(i < stages_.size(), "stage index out of range");
+  return stages_[i];
+}
+
+SnnStage& SnnModel::stage(std::size_t i) {
+  TSNN_CHECK_MSG(i < stages_.size(), "stage index out of range");
+  return stages_[i];
+}
+
+std::size_t SnnModel::output_size() const {
+  TSNN_CHECK_MSG(!stages_.empty(), "model has no stages");
+  return stages_.back().synapse->out_size();
+}
+
+void SnnModel::scale_all_weights(float c) {
+  for (SnnStage& stage : stages_) {
+    stage.synapse->scale_weights(c);
+  }
+}
+
+SnnModel SnnModel::clone() const {
+  return *this;  // SnnStage copy ctor deep-clones topologies
+}
+
+std::string SnnModel::summary() const {
+  std::ostringstream oss;
+  oss << "snn " << shape_to_string(input_shape_);
+  for (const SnnStage& stage : stages_) {
+    oss << " -> " << stage.name << "(" << stage.synapse->out_size() << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace tsnn::snn

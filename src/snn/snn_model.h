@@ -1,0 +1,75 @@
+// Converted spiking network model.
+//
+// An SnnModel is what the DNN-to-SNN converter produces: a stack of synapse
+// stages carrying normalized weights. Nonlinearities (firing) are supplied
+// by the coding scheme at simulation time, so one converted model serves
+// every coding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snn/topology.h"
+#include "tensor/tensor.h"
+
+namespace tsnn::snn {
+
+/// One synapse stage of a converted model.
+struct SnnStage {
+  std::string name;
+  std::unique_ptr<SynapseTopology> synapse;
+
+  SnnStage() = default;
+  SnnStage(std::string stage_name, std::unique_ptr<SynapseTopology> syn)
+      : name(std::move(stage_name)), synapse(std::move(syn)) {}
+
+  SnnStage(const SnnStage& other)
+      : name(other.name),
+        synapse(other.synapse ? other.synapse->clone() : nullptr) {}
+  SnnStage& operator=(const SnnStage& other) {
+    if (this != &other) {
+      name = other.name;
+      synapse = other.synapse ? other.synapse->clone() : nullptr;
+    }
+    return *this;
+  }
+  SnnStage(SnnStage&&) = default;
+  SnnStage& operator=(SnnStage&&) = default;
+};
+
+/// Feedforward spiking model: input shape + ordered synapse stages. The
+/// final stage is the non-firing readout whose accumulated potential is the
+/// logit vector.
+class SnnModel {
+ public:
+  SnnModel() = default;
+  explicit SnnModel(Shape input_shape) : input_shape_(std::move(input_shape)) {}
+
+  /// Appends a stage; in_size must chain with the previous stage.
+  void add_stage(std::string name, std::unique_ptr<SynapseTopology> synapse);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  const SnnStage& stage(std::size_t i) const;
+  SnnStage& stage(std::size_t i);
+
+  const Shape& input_shape() const { return input_shape_; }
+  std::size_t input_size() const { return shape_numel(input_shape_); }
+
+  /// Output (class) count = out_size of the last stage.
+  std::size_t output_size() const;
+
+  /// Multiplies the weights of every stage by `c` (weight scaling, W' = CW).
+  void scale_all_weights(float c);
+
+  /// Deep copy (stages clone their topologies).
+  SnnModel clone() const;
+
+  /// Structural summary for logs.
+  std::string summary() const;
+
+ private:
+  Shape input_shape_;
+  std::vector<SnnStage> stages_;
+};
+
+}  // namespace tsnn::snn

@@ -1,0 +1,79 @@
+#include "snn/spike.h"
+
+#include "common/error.h"
+
+namespace tsnn::snn {
+
+SpikeRaster::SpikeRaster(std::size_t num_neurons, std::size_t window)
+    : num_neurons_(num_neurons), buckets_(window) {
+  TSNN_CHECK_MSG(num_neurons > 0, "raster needs at least one neuron");
+  TSNN_CHECK_MSG(window > 0, "raster window must be positive");
+}
+
+void SpikeRaster::add(std::size_t t, std::uint32_t neuron) {
+  TSNN_CHECK_MSG(t < buckets_.size(), "spike time " << t << " outside window "
+                                                    << buckets_.size());
+  TSNN_CHECK_MSG(neuron < num_neurons_,
+                 "neuron " << neuron << " out of range " << num_neurons_);
+  buckets_[t].push_back(neuron);
+}
+
+const std::vector<std::uint32_t>& SpikeRaster::at(std::size_t t) const {
+  TSNN_CHECK_MSG(t < buckets_.size(), "time " << t << " outside window");
+  return buckets_[t];
+}
+
+std::size_t SpikeRaster::total_spikes() const {
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) {
+    n += bucket.size();
+  }
+  return n;
+}
+
+std::vector<SpikeEvent> SpikeRaster::to_events() const {
+  std::vector<SpikeEvent> events;
+  events.reserve(total_spikes());
+  for (std::size_t t = 0; t < buckets_.size(); ++t) {
+    for (const std::uint32_t neuron : buckets_[t]) {
+      events.push_back(SpikeEvent{neuron, static_cast<std::int32_t>(t)});
+    }
+  }
+  return events;
+}
+
+SpikeRaster SpikeRaster::from_events(std::size_t num_neurons, std::size_t window,
+                                     const std::vector<SpikeEvent>& events) {
+  SpikeRaster raster(num_neurons, window);
+  for (const SpikeEvent& e : events) {
+    TSNN_CHECK_MSG(e.time >= 0 && static_cast<std::size_t>(e.time) < window,
+                   "event time " << e.time << " outside window " << window);
+    raster.add(static_cast<std::size_t>(e.time), e.neuron);
+  }
+  return raster;
+}
+
+std::size_t SpikeRaster::spikes_of(std::uint32_t neuron) const {
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) {
+    for (const std::uint32_t id : bucket) {
+      if (id == neuron) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::int32_t SpikeRaster::first_spike_time(std::uint32_t neuron) const {
+  for (std::size_t t = 0; t < buckets_.size(); ++t) {
+    for (const std::uint32_t id : buckets_[t]) {
+      if (id == neuron) {
+        return static_cast<std::int32_t>(t);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace tsnn::snn

@@ -1,0 +1,64 @@
+// Spike-train data structures.
+//
+// TSNN spikes are pure events (neuron id, integer timestep). Everything a
+// spike "carries" -- rate unit charge, phase weight, burst gain, exponential
+// TTFS kernel value -- is computed by the *receiving* synapse from the
+// arrival time and history (see coding_base.h). This mirrors physical
+// neuromorphic links and is what makes the paper's noise effects emerge:
+// deleting or time-shifting an event corrupts exactly the quantity the
+// coding scheme relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsnn::snn {
+
+/// One spike: emitting neuron and discrete emission time.
+struct SpikeEvent {
+  std::uint32_t neuron = 0;
+  std::int32_t time = 0;
+
+  friend bool operator==(const SpikeEvent&, const SpikeEvent&) = default;
+};
+
+/// Spike train of one layer over a time window, bucketed by timestep for
+/// cache-friendly per-step simulation.
+class SpikeRaster {
+ public:
+  SpikeRaster() = default;
+
+  /// Raster for `num_neurons` neurons over `window` timesteps [0, window).
+  SpikeRaster(std::size_t num_neurons, std::size_t window);
+
+  std::size_t num_neurons() const { return num_neurons_; }
+  std::size_t window() const { return buckets_.size(); }
+
+  /// Records a spike of `neuron` at step `t` (both bounds-checked).
+  void add(std::size_t t, std::uint32_t neuron);
+
+  /// Neurons that spiked at step `t`, in insertion order.
+  const std::vector<std::uint32_t>& at(std::size_t t) const;
+
+  /// Total number of spikes across the window.
+  std::size_t total_spikes() const;
+
+  /// Flattened event list ordered by time then insertion.
+  std::vector<SpikeEvent> to_events() const;
+
+  /// Rebuilds a raster from events (times must lie in [0, window)).
+  static SpikeRaster from_events(std::size_t num_neurons, std::size_t window,
+                                 const std::vector<SpikeEvent>& events);
+
+  /// Number of spikes emitted by `neuron` over the window.
+  std::size_t spikes_of(std::uint32_t neuron) const;
+
+  /// First spike time of `neuron`, or -1 if it never spiked.
+  std::int32_t first_spike_time(std::uint32_t neuron) const;
+
+ private:
+  std::size_t num_neurons_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+};
+
+}  // namespace tsnn::snn

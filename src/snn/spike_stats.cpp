@@ -1,0 +1,61 @@
+#include "snn/spike_stats.h"
+
+namespace tsnn::snn {
+
+RasterStats raster_stats(const SpikeRaster& raster) {
+  RasterStats s;
+  std::vector<std::size_t> per_neuron(raster.num_neurons(), 0);
+  double time_acc = 0.0;
+  for (std::size_t t = 0; t < raster.window(); ++t) {
+    for (const std::uint32_t neuron : raster.at(t)) {
+      ++per_neuron[neuron];
+      ++s.total_spikes;
+      time_acc += static_cast<double>(t);
+      if (s.first_time < 0) {
+        s.first_time = static_cast<std::int32_t>(t);
+      }
+      s.last_time = static_cast<std::int32_t>(t);
+    }
+  }
+  for (const std::size_t n : per_neuron) {
+    if (n > 0) {
+      ++s.active_neurons;
+    }
+  }
+  if (s.total_spikes > 0) {
+    s.mean_spike_time = time_acc / static_cast<double>(s.total_spikes);
+  }
+  if (s.active_neurons > 0) {
+    s.mean_spikes_per_active = static_cast<double>(s.total_spikes) /
+                               static_cast<double>(s.active_neurons);
+  }
+  return s;
+}
+
+std::vector<std::size_t> spikes_per_step(const SpikeRaster& raster) {
+  std::vector<std::size_t> out(raster.window(), 0);
+  for (std::size_t t = 0; t < raster.window(); ++t) {
+    out[t] = raster.at(t).size();
+  }
+  return out;
+}
+
+std::vector<double> mean_spike_time_per_neuron(const SpikeRaster& raster) {
+  std::vector<double> sum(raster.num_neurons(), 0.0);
+  std::vector<std::size_t> count(raster.num_neurons(), 0);
+  for (std::size_t t = 0; t < raster.window(); ++t) {
+    for (const std::uint32_t neuron : raster.at(t)) {
+      sum[neuron] += static_cast<double>(t);
+      ++count[neuron];
+    }
+  }
+  std::vector<double> out(raster.num_neurons(), -1.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (count[i] > 0) {
+      out[i] = sum[i] / static_cast<double>(count[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsnn::snn

@@ -1,0 +1,30 @@
+// Spike-train statistics used by analysis benches and tests.
+#pragma once
+
+#include <vector>
+
+#include "snn/spike.h"
+
+namespace tsnn::snn {
+
+/// Per-raster summary statistics.
+struct RasterStats {
+  std::size_t total_spikes = 0;
+  std::size_t active_neurons = 0;   ///< neurons that fired at least once
+  double mean_spikes_per_active = 0.0;
+  double mean_spike_time = 0.0;
+  std::int32_t first_time = -1;     ///< earliest spike, -1 if silent
+  std::int32_t last_time = -1;      ///< latest spike, -1 if silent
+};
+
+/// Computes summary statistics of `raster`.
+RasterStats raster_stats(const SpikeRaster& raster);
+
+/// Per-timestep spike counts (length == raster.window()).
+std::vector<std::size_t> spikes_per_step(const SpikeRaster& raster);
+
+/// Mean of each neuron's spike times (time-to-average-spike view); neurons
+/// that never fire get -1.
+std::vector<double> mean_spike_time_per_neuron(const SpikeRaster& raster);
+
+}  // namespace tsnn::snn

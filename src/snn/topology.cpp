@@ -1,0 +1,227 @@
+#include "snn/topology.h"
+
+#include "common/error.h"
+
+namespace tsnn::snn {
+
+// ---------------------------------------------------------------- Dense ----
+
+DenseTopology::DenseTopology(Tensor weight) : weight_(std::move(weight)) {
+  TSNN_CHECK_SHAPE(weight_.rank() == 2, "dense topology weight must be rank 2");
+}
+
+void DenseTopology::accumulate(std::size_t pre, float m, float* u) const {
+  const std::size_t out = weight_.dim(0);
+  const std::size_t in = weight_.dim(1);
+  TSNN_CHECK_MSG(pre < in, "pre neuron " << pre << " out of range " << in);
+  const float* w = weight_.data() + pre;  // column `pre`, stride `in`
+  for (std::size_t j = 0; j < out; ++j) {
+    u[j] += m * w[j * in];
+  }
+}
+
+void DenseTopology::apply_dense(const float* x, float* y) const {
+  const std::size_t out = weight_.dim(0);
+  const std::size_t in = weight_.dim(1);
+  const float* w = weight_.data();
+  for (std::size_t j = 0; j < out; ++j) {
+    const float* row = w + j * in;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < in; ++i) {
+      acc += row[i] * x[i];
+    }
+    y[j] += acc;
+  }
+}
+
+void DenseTopology::scale_weights(float c) {
+  float* w = weight_.data();
+  for (std::size_t i = 0; i < weight_.numel(); ++i) {
+    w[i] *= c;
+  }
+}
+
+void DenseTopology::map_weights(const std::function<float(float)>& f) {
+  float* w = weight_.data();
+  for (std::size_t i = 0; i < weight_.numel(); ++i) {
+    w[i] = f(w[i]);
+  }
+}
+
+std::unique_ptr<SynapseTopology> DenseTopology::clone() const {
+  return std::make_unique<DenseTopology>(weight_);
+}
+
+// ----------------------------------------------------------------- Conv ----
+
+ConvTopology::ConvTopology(Tensor weight, std::size_t in_h, std::size_t in_w,
+                           std::size_t stride, std::size_t pad)
+    : weight_(std::move(weight)),
+      in_h_(in_h),
+      in_w_(in_w),
+      stride_(stride),
+      pad_(pad) {
+  TSNN_CHECK_SHAPE(weight_.rank() == 4 && weight_.dim(2) == weight_.dim(3),
+                   "conv topology weight must be {oc,ic,k,k}");
+  TSNN_CHECK_MSG(stride_ > 0, "conv stride must be positive");
+  out_ch_ = weight_.dim(0);
+  in_ch_ = weight_.dim(1);
+  kernel_ = weight_.dim(2);
+  const std::size_t padded_h = in_h_ + 2 * pad_;
+  const std::size_t padded_w = in_w_ + 2 * pad_;
+  TSNN_CHECK_SHAPE(padded_h >= kernel_ && padded_w >= kernel_,
+                   "conv input smaller than kernel");
+  out_h_ = (padded_h - kernel_) / stride_ + 1;
+  out_w_ = (padded_w - kernel_) / stride_ + 1;
+}
+
+std::size_t ConvTopology::in_size() const { return in_ch_ * in_h_ * in_w_; }
+
+std::size_t ConvTopology::out_size() const { return out_ch_ * out_h_ * out_w_; }
+
+void ConvTopology::accumulate(std::size_t pre, float m, float* u) const {
+  TSNN_CHECK_MSG(pre < in_size(), "pre neuron out of range");
+  const std::size_t ic = pre / (in_h_ * in_w_);
+  const std::size_t rem = pre % (in_h_ * in_w_);
+  const std::size_t iy = rem / in_w_;
+  const std::size_t ix = rem % in_w_;
+  const float* w = weight_.data();
+  // Output positions receiving from (iy, ix): oy*stride + ky - pad == iy.
+  for (std::size_t ky = 0; ky < kernel_; ++ky) {
+    const std::ptrdiff_t num_y =
+        static_cast<std::ptrdiff_t>(iy + pad_) - static_cast<std::ptrdiff_t>(ky);
+    if (num_y < 0 || num_y % static_cast<std::ptrdiff_t>(stride_) != 0) {
+      continue;
+    }
+    const std::size_t oy = static_cast<std::size_t>(num_y) / stride_;
+    if (oy >= out_h_) {
+      continue;
+    }
+    for (std::size_t kx = 0; kx < kernel_; ++kx) {
+      const std::ptrdiff_t num_x =
+          static_cast<std::ptrdiff_t>(ix + pad_) - static_cast<std::ptrdiff_t>(kx);
+      if (num_x < 0 || num_x % static_cast<std::ptrdiff_t>(stride_) != 0) {
+        continue;
+      }
+      const std::size_t ox = static_cast<std::size_t>(num_x) / stride_;
+      if (ox >= out_w_) {
+        continue;
+      }
+      const std::size_t spatial = oy * out_w_ + ox;
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        const float wv = w[((oc * in_ch_ + ic) * kernel_ + ky) * kernel_ + kx];
+        u[oc * out_h_ * out_w_ + spatial] += m * wv;
+      }
+    }
+  }
+}
+
+void ConvTopology::apply_dense(const float* x, float* y) const {
+  const float* w = weight_.data();
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    float* ymap = y + oc * out_h_ * out_w_;
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* xmap = x + ic * in_h_ * in_w_;
+      const float* wk = w + (oc * in_ch_ + ic) * kernel_ * kernel_;
+      for (std::size_t ky = 0; ky < kernel_; ++ky) {
+        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+          const float wv = wk[ky * kernel_ + kx];
+          if (wv == 0.0f) {
+            continue;
+          }
+          for (std::size_t oy = 0; oy < out_h_; ++oy) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h_)) {
+              continue;
+            }
+            const float* xrow = xmap + static_cast<std::size_t>(iy) * in_w_;
+            float* yrow = ymap + oy * out_w_;
+            for (std::size_t ox = 0; ox < out_w_; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w_)) {
+                continue;
+              }
+              yrow[ox] += wv * xrow[static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvTopology::scale_weights(float c) {
+  float* w = weight_.data();
+  for (std::size_t i = 0; i < weight_.numel(); ++i) {
+    w[i] *= c;
+  }
+}
+
+void ConvTopology::map_weights(const std::function<float(float)>& f) {
+  float* w = weight_.data();
+  for (std::size_t i = 0; i < weight_.numel(); ++i) {
+    w[i] = f(w[i]);
+  }
+}
+
+std::unique_ptr<SynapseTopology> ConvTopology::clone() const {
+  return std::make_unique<ConvTopology>(weight_, in_h_, in_w_, stride_, pad_);
+}
+
+// ----------------------------------------------------------------- Pool ----
+
+PoolTopology::PoolTopology(std::size_t channels, std::size_t in_h,
+                           std::size_t in_w, std::size_t kernel)
+    : channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      kernel_(kernel),
+      out_h_(in_h / kernel),
+      out_w_(in_w / kernel),
+      weight_(1.0f / static_cast<float>(kernel * kernel)) {
+  TSNN_CHECK_MSG(kernel_ > 0, "pool kernel must be positive");
+  TSNN_CHECK_SHAPE(in_h_ % kernel_ == 0 && in_w_ % kernel_ == 0,
+                   "pool extent not divisible by kernel");
+}
+
+void PoolTopology::accumulate(std::size_t pre, float m, float* u) const {
+  TSNN_CHECK_MSG(pre < in_size(), "pre neuron out of range");
+  const std::size_t c = pre / (in_h_ * in_w_);
+  const std::size_t rem = pre % (in_h_ * in_w_);
+  const std::size_t iy = rem / in_w_;
+  const std::size_t ix = rem % in_w_;
+  const std::size_t oy = iy / kernel_;
+  const std::size_t ox = ix / kernel_;
+  u[(c * out_h_ + oy) * out_w_ + ox] += m * weight_;
+}
+
+void PoolTopology::apply_dense(const float* x, float* y) const {
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* xmap = x + c * in_h_ * in_w_;
+    float* ymap = y + c * out_h_ * out_w_;
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        float acc = 0.0f;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const float* xrow = xmap + (oy * kernel_ + ky) * in_w_ + ox * kernel_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            acc += xrow[kx];
+          }
+        }
+        ymap[oy * out_w_ + ox] += acc * weight_;
+      }
+    }
+  }
+}
+
+std::unique_ptr<SynapseTopology> PoolTopology::clone() const {
+  auto copy = std::make_unique<PoolTopology>(channels_, in_h_, in_w_, kernel_);
+  copy->weight_ = weight_;
+  return copy;
+}
+
+}  // namespace tsnn::snn

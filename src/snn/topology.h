@@ -1,0 +1,116 @@
+// Synaptic connectivity between two spiking layers.
+//
+// A SynapseTopology answers one question efficiently: when presynaptic
+// neuron `pre` delivers post-synaptic current of magnitude `m`, which
+// membrane potentials increase by how much? Conv, dense, and pooling
+// connectivity share converted DNN weights through this interface, so the
+// simulator is topology-agnostic and event-driven (cost scales with spike
+// count, not layer size).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace tsnn::snn {
+
+/// Abstract synapse fan-out.
+class SynapseTopology {
+ public:
+  virtual ~SynapseTopology() = default;
+
+  /// Number of presynaptic / postsynaptic neurons.
+  virtual std::size_t in_size() const = 0;
+  virtual std::size_t out_size() const = 0;
+
+  /// Adds `m`-scaled weights of presynaptic neuron `pre` into `u`
+  /// (length out_size()).
+  virtual void accumulate(std::size_t pre, float m, float* u) const = 0;
+
+  /// Dense reference: y += W x. Used by tests and the activation-transport
+  /// analysis; must agree with accumulate() summed over inputs.
+  virtual void apply_dense(const float* x, float* y) const = 0;
+
+  /// Multiplies every weight by `c` (weight scaling, TTAS C_A folding).
+  virtual void scale_weights(float c) = 0;
+
+  /// Applies `f` to every distinct weight parameter (static parametric
+  /// noise, quantization experiments, inspection).
+  virtual void map_weights(const std::function<float(float)>& f) = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<SynapseTopology> clone() const = 0;
+};
+
+/// Fully connected synapses from a dense DNN layer; weight {out, in}.
+class DenseTopology : public SynapseTopology {
+ public:
+  explicit DenseTopology(Tensor weight);
+
+  std::size_t in_size() const override { return weight_.dim(1); }
+  std::size_t out_size() const override { return weight_.dim(0); }
+  void accumulate(std::size_t pre, float m, float* u) const override;
+  void apply_dense(const float* x, float* y) const override;
+  void scale_weights(float c) override;
+  void map_weights(const std::function<float(float)>& f) override;
+  std::unique_ptr<SynapseTopology> clone() const override;
+
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+};
+
+/// Convolutional synapses; weight {out_ch, in_ch, k, k}, stride 1 semantics
+/// follow dnn::Conv2d with symmetric zero padding.
+class ConvTopology : public SynapseTopology {
+ public:
+  ConvTopology(Tensor weight, std::size_t in_h, std::size_t in_w,
+               std::size_t stride, std::size_t pad);
+
+  std::size_t in_size() const override;
+  std::size_t out_size() const override;
+  void accumulate(std::size_t pre, float m, float* u) const override;
+  void apply_dense(const float* x, float* y) const override;
+  void scale_weights(float c) override;
+  void map_weights(const std::function<float(float)>& f) override;
+  std::unique_ptr<SynapseTopology> clone() const override;
+
+  std::size_t out_h() const { return out_h_; }
+  std::size_t out_w() const { return out_w_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+  std::size_t in_ch_, in_h_, in_w_;
+  std::size_t out_ch_, out_h_, out_w_;
+  std::size_t kernel_, stride_, pad_;
+};
+
+/// Non-overlapping average pooling as fixed uniform synapses (1/k^2 each),
+/// optionally pre-scaled (weight scaling applies here too).
+class PoolTopology : public SynapseTopology {
+ public:
+  PoolTopology(std::size_t channels, std::size_t in_h, std::size_t in_w,
+               std::size_t kernel);
+
+  std::size_t in_size() const override { return channels_ * in_h_ * in_w_; }
+  std::size_t out_size() const override { return channels_ * out_h_ * out_w_; }
+  void accumulate(std::size_t pre, float m, float* u) const override;
+  void apply_dense(const float* x, float* y) const override;
+  void scale_weights(float c) override { weight_ *= c; }
+  void map_weights(const std::function<float(float)>& f) override {
+    weight_ = f(weight_);
+  }
+  std::unique_ptr<SynapseTopology> clone() const override;
+
+  float pool_weight() const { return weight_; }
+
+ private:
+  std::size_t channels_, in_h_, in_w_, kernel_, out_h_, out_w_;
+  float weight_;
+};
+
+}  // namespace tsnn::snn

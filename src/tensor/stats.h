@@ -1,0 +1,53 @@
+// Descriptive statistics over float sequences and tensors.
+//
+// Used by the conversion pipeline (activation percentiles for weight
+// normalization), the activation-distribution analysis (Fig. 5-B), and
+// tests that assert statistical invariants of the noise models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tsnn::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<float>& v);
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(const std::vector<float>& v);
+
+/// Sample standard deviation.
+double stddev(const std::vector<float>& v);
+
+/// Linear-interpolated percentile, q in [0, 100]. Input need not be sorted.
+double percentile(std::vector<float> v, double q);
+
+/// Histogram of `v` with `bins` equal-width bins over [lo, hi]; values
+/// outside the range are clamped into the edge bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  /// Total number of samples counted.
+  std::size_t total() const;
+
+  /// Fraction of samples in bin `i`.
+  double fraction(std::size_t i) const;
+
+  /// Center of bin `i`.
+  double bin_center(std::size_t i) const;
+};
+
+Histogram histogram(const std::vector<float>& v, std::size_t bins, double lo,
+                    double hi);
+
+/// Mean over all tensor elements.
+double tensor_mean(const Tensor& t);
+
+/// Percentile over all tensor elements.
+double tensor_percentile(const Tensor& t, double q);
+
+}  // namespace tsnn::stats

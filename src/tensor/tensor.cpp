@@ -1,0 +1,148 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace tsnn {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "{";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << shape[i];
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  TSNN_CHECK_SHAPE(data_.size() == shape_numel(shape_),
+                   "value count " << data_.size() << " does not match shape "
+                                  << shape_to_string(shape_));
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  return Tensor{Shape{values.size()}, std::vector<float>(values)};
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor{std::move(shape)}; }
+
+Tensor Tensor::ones(Shape shape) { return Tensor{std::move(shape), 1.0f}; }
+
+std::size_t Tensor::dim(std::size_t d) const {
+  TSNN_CHECK_SHAPE(d < shape_.size(),
+                   "dim " << d << " out of range for shape " << shape_to_string(shape_));
+  return shape_[d];
+}
+
+float& Tensor::at(std::size_t i) {
+  TSNN_CHECK_MSG(i < data_.size(), "flat index " << i << " out of range " << data_.size());
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  TSNN_CHECK_MSG(i < data_.size(), "flat index " << i << " out of range " << data_.size());
+  return data_[i];
+}
+
+void Tensor::check_rank(std::size_t expected) const {
+  TSNN_CHECK_SHAPE(shape_.size() == expected,
+                   "rank " << shape_.size() << " tensor indexed with " << expected
+                           << " indices, shape " << shape_to_string(shape_));
+}
+
+float& Tensor::operator()(std::size_t i0) {
+  check_rank(1);
+  return data_[i0];
+}
+
+float& Tensor::operator()(std::size_t i0, std::size_t i1) {
+  check_rank(2);
+  return data_[i0 * shape_[1] + i1];
+}
+
+float& Tensor::operator()(std::size_t i0, std::size_t i1, std::size_t i2) {
+  check_rank(3);
+  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+}
+
+float& Tensor::operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+  check_rank(4);
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+float Tensor::operator()(std::size_t i0) const {
+  check_rank(1);
+  return data_[i0];
+}
+
+float Tensor::operator()(std::size_t i0, std::size_t i1) const {
+  check_rank(2);
+  return data_[i0 * shape_[1] + i1];
+}
+
+float Tensor::operator()(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  check_rank(3);
+  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+}
+
+float Tensor::operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+  check_rank(4);
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+std::size_t Tensor::offset(const std::vector<std::size_t>& idx) const {
+  TSNN_CHECK_SHAPE(idx.size() == shape_.size(),
+                   "index rank " << idx.size() << " != tensor rank " << shape_.size());
+  std::size_t off = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    TSNN_CHECK_SHAPE(idx[d] < shape_[d], "index " << idx[d] << " out of extent "
+                                                  << shape_[d] << " in dim " << d);
+    off = off * shape_[d] + idx[d];
+  }
+  return off;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  TSNN_CHECK_SHAPE(shape_numel(new_shape) == data_.size(),
+                   "reshape " << shape_to_string(shape_) << " -> "
+                              << shape_to_string(new_shape) << " changes element count");
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  TSNN_CHECK_SHAPE(shape_numel(new_shape) == data_.size(),
+                   "reshape " << shape_to_string(shape_) << " -> "
+                              << shape_to_string(new_shape) << " changes element count");
+  shape_ = std::move(new_shape);
+}
+
+bool Tensor::operator==(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+}  // namespace tsnn

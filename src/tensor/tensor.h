@@ -1,0 +1,109 @@
+// Dense N-dimensional float tensor.
+//
+// Tensor is the numeric workhorse of TSNN: DNN activations and weights,
+// dataset images, and SNN membrane potentials are all Tensors. It is a
+// value type (deep copy on copy, cheap move) holding contiguous row-major
+// float32 storage. Shapes use the convention:
+//   images / feature maps : {channels, height, width}
+//   batches                : {n, channels, height, width}
+//   dense weights          : {out, in}
+//   conv weights           : {out_ch, in_ch, kh, kw}
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tsnn {
+
+/// Shape of a tensor: a list of non-negative extents.
+using Shape = std::vector<std::size_t>;
+
+/// Renders a shape as "{a, b, c}" for error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Number of elements implied by `shape` (1 for the empty shape).
+std::size_t shape_numel(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, single element would be wrong: numel()==0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor of the given shape adopting `values` (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Convenience factory: 1-d tensor from a braced list.
+  static Tensor from_values(std::initializer_list<float> values);
+
+  /// Tensor of `shape` filled with zeros / ones.
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+
+  /// Accessors ------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `dim` (bounds-checked).
+  std::size_t dim(std::size_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access (bounds-checked in debug via at()).
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// Multi-dimensional access; index count must equal rank.
+  float& operator()(std::size_t i0);
+  float& operator()(std::size_t i0, std::size_t i1);
+  float& operator()(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  float operator()(std::size_t i0) const;
+  float operator()(std::size_t i0, std::size_t i1) const;
+  float operator()(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  float operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const;
+
+  /// Flat offset of a multi-index (row-major).
+  std::size_t offset(const std::vector<std::size_t>& idx) const;
+
+  /// Mutators ---------------------------------------------------------------
+  void fill(float value);
+
+  /// Reinterprets the data with a new shape of equal element count.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (same element count).
+  void reshape(Shape new_shape);
+
+  /// Returns a deep copy.
+  Tensor clone() const { return *this; }
+
+  /// Equality: same shape and bit-identical contents.
+  bool operator==(const Tensor& other) const;
+  bool operator!=(const Tensor& other) const { return !(*this == other); }
+
+ private:
+  void check_rank(std::size_t expected) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tsnn

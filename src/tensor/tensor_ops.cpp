@@ -1,0 +1,244 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsnn::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  TSNN_CHECK_SHAPE(a.shape() == b.shape(),
+                   op << ": shape mismatch " << shape_to_string(a.shape()) << " vs "
+                      << shape_to_string(b.shape()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] += pb[i];
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] -= pb[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] *= pb[i];
+  }
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    pa[i] += pb[i];
+  }
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    pa[i] += s * pb[i];
+  }
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    pa[i] *= s;
+  }
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out = a;
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] = f(po[i]);
+  }
+  return out;
+}
+
+Tensor matvec(const Tensor& w, const Tensor& x) {
+  TSNN_CHECK_SHAPE(w.rank() == 2 && x.rank() == 1 && w.dim(1) == x.dim(0),
+                   "matvec: w " << shape_to_string(w.shape()) << " x "
+                                << shape_to_string(x.shape()));
+  const std::size_t m = w.dim(0);
+  const std::size_t n = w.dim(1);
+  Tensor out{Shape{m}};
+  const float* pw = w.data();
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = pw + i * n;
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += row[k] * px[k];
+    }
+    po[i] = acc;
+  }
+  return out;
+}
+
+Tensor matvec_transpose(const Tensor& w, const Tensor& g) {
+  TSNN_CHECK_SHAPE(w.rank() == 2 && g.rank() == 1 && w.dim(0) == g.dim(0),
+                   "matvec_transpose: w " << shape_to_string(w.shape()) << " g "
+                                          << shape_to_string(g.shape()));
+  const std::size_t m = w.dim(0);
+  const std::size_t n = w.dim(1);
+  Tensor out{Shape{n}};
+  const float* pw = w.data();
+  const float* pg = g.data();
+  float* po = out.data();
+  // Row-major traversal keeps w accesses sequential.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float gi = pg[i];
+    if (gi == 0.0f) {
+      continue;
+    }
+    const float* row = pw + i * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      po[k] += gi * row[k];
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TSNN_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+                   "matmul: a " << shape_to_string(a.shape()) << " b "
+                                << shape_to_string(b.shape()));
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor out{Shape{m, n}};
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: streams through b rows and out rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    acc += pa[i];
+  }
+  return acc;
+}
+
+float max_value(const Tensor& a) {
+  TSNN_CHECK_MSG(!a.empty(), "max_value of empty tensor");
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float min_value(const Tensor& a) {
+  TSNN_CHECK_MSG(!a.empty(), "min_value of empty tensor");
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+std::size_t argmax(const Tensor& a) {
+  TSNN_CHECK_MSG(!a.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(a.data(), a.data() + a.numel()) - a.data());
+}
+
+Tensor softmax(const Tensor& logits) {
+  TSNN_CHECK_SHAPE(logits.rank() == 1, "softmax expects rank-1 logits");
+  Tensor out = logits;
+  const float mx = max_value(logits);
+  double denom = 0.0;
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] = std::exp(po[i] - mx);
+    denom += po[i];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] *= inv;
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  float* po = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    po[i] = po[i] > 0.0f ? po[i] : 0.0f;
+  }
+  return out;
+}
+
+double mean_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mean_abs_diff");
+  if (a.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    acc += std::fabs(static_cast<double>(pa[i]) - pb[i]);
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double diff = std::fabs(static_cast<double>(pa[i]) - pb[i]);
+    if (diff > atol + rtol * std::fabs(static_cast<double>(pb[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tsnn::ops

@@ -1,0 +1,74 @@
+// Elementwise, linear-algebra, and reduction operations on Tensor.
+//
+// These free functions implement the small set of numeric kernels the DNN
+// engine and conversion pipeline need. They are deliberately simple,
+// cache-aware loops (no BLAS dependency); micro-benchmarks for the hot ones
+// live in bench/micro_kernels.cpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace tsnn::ops {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b (shapes must match).
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise (shapes must match).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// a += s * b in place (axpy).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+
+/// a *= s in place.
+void scale_inplace(Tensor& a, float s);
+
+/// out = s * a.
+Tensor scale(const Tensor& a, float s);
+
+/// Applies `f` to each element, returning a new tensor.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// out[i,j] = sum_k w[i,k] * x[k]   for w {m,n}, x {n} -> out {m}.
+Tensor matvec(const Tensor& w, const Tensor& x);
+
+/// out[k] = sum_i w[i,k] * g[i]     (transpose matvec; used in backprop).
+Tensor matvec_transpose(const Tensor& w, const Tensor& g);
+
+/// General matrix multiply: a {m,k} * b {k,n} -> {m,n}.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+
+/// Maximum element value (tensor must be non-empty).
+float max_value(const Tensor& a);
+
+/// Minimum element value (tensor must be non-empty).
+float min_value(const Tensor& a);
+
+/// Index of the maximum element (first occurrence wins; non-empty).
+std::size_t argmax(const Tensor& a);
+
+/// Softmax over a rank-1 tensor (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+/// ReLU applied out-of-place.
+Tensor relu(const Tensor& a);
+
+/// Mean absolute difference between two same-shape tensors.
+double mean_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when all |a-b| <= atol + rtol*|b| elementwise (same shape required).
+bool allclose(const Tensor& a, const Tensor& b, double rtol = 1e-5,
+              double atol = 1e-7);
+
+}  // namespace tsnn::ops

@@ -1,0 +1,256 @@
+// Tests for common utilities: RNG, env, strings, errors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace tsnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    acc += rng.uniform();
+  }
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(3.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  const int n = 50000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(29);
+  Rng child = parent.split();
+  // Child continues to produce values not identical to the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Env, StringFallback) {
+  unsetenv("TSNN_TEST_VAR");
+  EXPECT_EQ(env::get_string("TSNN_TEST_VAR", "dflt"), "dflt");
+  setenv("TSNN_TEST_VAR", "value", 1);
+  EXPECT_EQ(env::get_string("TSNN_TEST_VAR", "dflt"), "value");
+  unsetenv("TSNN_TEST_VAR");
+}
+
+TEST(Env, IntParsing) {
+  setenv("TSNN_TEST_INT", "123", 1);
+  EXPECT_EQ(env::get_int("TSNN_TEST_INT", 0), 123);
+  setenv("TSNN_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env::get_int("TSNN_TEST_INT", 7), 7);
+  unsetenv("TSNN_TEST_INT");
+}
+
+TEST(Env, DoubleParsing) {
+  setenv("TSNN_TEST_DBL", "2.75", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("TSNN_TEST_DBL", 0.0), 2.75);
+  unsetenv("TSNN_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env::get_double("TSNN_TEST_DBL", 1.5), 1.5);
+}
+
+TEST(Env, BoolParsing) {
+  setenv("TSNN_TEST_BOOL", "1", 1);
+  EXPECT_TRUE(env::get_bool("TSNN_TEST_BOOL", false));
+  setenv("TSNN_TEST_BOOL", "off", 1);
+  EXPECT_FALSE(env::get_bool("TSNN_TEST_BOOL", true));
+  unsetenv("TSNN_TEST_BOOL");
+  EXPECT_TRUE(env::get_bool("TSNN_TEST_BOOL", true));
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(str::join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(str::join({}, "-"), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(str::trim("  hello \t\n"), "hello");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim("x"), "x");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(str::to_lower("AbC-9"), "abc-9");
+}
+
+TEST(StringUtil, SciFormatsLikePaperTables) {
+  EXPECT_EQ(str::sci(94800.0), "9.48E4");
+  EXPECT_EQ(str::sci(3050.0), "3.05E3");
+  EXPECT_EQ(str::sci(0.0), "0");
+  EXPECT_EQ(str::sci(1.71e7), "1.71E7");
+}
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(str::format_fixed(99.185, 2), "99.19");  // rounds
+  EXPECT_EQ(str::format_fixed(1.0, 0), "1");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(str::starts_with("ttas(5)+WS", "ttas"));
+  EXPECT_FALSE(str::starts_with("x", "xy"));
+  EXPECT_TRUE(str::ends_with("ttas(5)+WS", "+WS"));
+  EXPECT_FALSE(str::ends_with("a", "ab"));
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    TSNN_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Error, ShapeCheckThrowsShapeError) {
+  EXPECT_THROW(TSNN_CHECK_SHAPE(false, "bad shape"), ShapeError);
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  try {
+    throw IoError("io");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "io");
+  }
+}
+
+}  // namespace
+}  // namespace tsnn

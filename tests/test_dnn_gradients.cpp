@@ -1,0 +1,204 @@
+// Numerical gradient checks: central differences vs. backprop for every
+// trainable layer and for a full small network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "dnn/activations.h"
+#include "dnn/avgpool.h"
+#include "dnn/conv2d.h"
+#include "dnn/dense.h"
+#include "dnn/flatten.h"
+#include "dnn/init.h"
+#include "dnn/loss.h"
+#include "dnn/network.h"
+
+namespace tsnn::dnn {
+namespace {
+
+/// Scalar objective of a layer output used for gradient checking: a fixed
+/// random projection so every output element contributes.
+class Objective {
+ public:
+  explicit Objective(std::size_t n, std::uint64_t seed = 99) : coeffs_(Shape{n}) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      coeffs_[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+
+  double value(const Tensor& y) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      acc += coeffs_[i] * y[i];
+    }
+    return acc;
+  }
+
+  Tensor gradient(const Shape& shape) const {
+    Tensor g{shape};
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      g[i] = coeffs_[i];
+    }
+    return g;
+  }
+
+ private:
+  Tensor coeffs_;
+};
+
+/// Checks dObjective/dInput and dObjective/dParams of `layer` numerically.
+void check_layer_gradients(Layer& layer, const Tensor& x0, double tol = 2e-2) {
+  const Tensor y0 = layer.forward(x0.clone(), /*training=*/false);
+  const Objective obj(y0.numel());
+
+  for (Param* p : layer.params()) {
+    p->zero_grad();
+  }
+  layer.forward(x0.clone(), false);
+  const Tensor grad_in = layer.backward(obj.gradient(y0.shape()));
+
+  const float eps = 1e-3f;
+  // Input gradient.
+  for (std::size_t i = 0; i < x0.numel(); ++i) {
+    Tensor xp = x0;
+    Tensor xm = x0;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fp = obj.value(layer.forward(xp, false));
+    const double fm = obj.value(layer.forward(xm, false));
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at " << i;
+  }
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double fp = obj.value(layer.forward(x0.clone(), false));
+      p->value[i] = orig - eps;
+      const double fm = obj.value(layer.forward(x0.clone(), false));
+      p->value[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+          << "param grad mismatch in " << p->name << " at " << i;
+    }
+  }
+}
+
+Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  Tensor x{shape};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+TEST(Gradients, DenseWithBias) {
+  Dense layer("fc", 5, 4, /*use_bias=*/true);
+  Rng rng(1);
+  he_normal(layer.weight().value, 5, rng);
+  check_layer_gradients(layer, random_input(Shape{5}, 2));
+}
+
+TEST(Gradients, DenseWithoutBias) {
+  Dense layer("fc", 6, 3, /*use_bias=*/false);
+  Rng rng(3);
+  he_normal(layer.weight().value, 6, rng);
+  check_layer_gradients(layer, random_input(Shape{6}, 4));
+}
+
+TEST(Gradients, ConvPadded) {
+  Conv2dSpec spec{.in_channels = 2, .out_channels = 3, .kernel = 3,
+                  .stride = 1, .pad = 1, .use_bias = false};
+  Conv2d layer("c", spec);
+  Rng rng(5);
+  he_normal(layer.weight().value, 2 * 9, rng);
+  check_layer_gradients(layer, random_input(Shape{2, 4, 4}, 6));
+}
+
+TEST(Gradients, ConvWithBiasNoPad) {
+  Conv2dSpec spec{.in_channels = 1, .out_channels = 2, .kernel = 3,
+                  .stride = 1, .pad = 0, .use_bias = true};
+  Conv2d layer("c", spec);
+  Rng rng(7);
+  he_normal(layer.weight().value, 9, rng);
+  check_layer_gradients(layer, random_input(Shape{1, 5, 5}, 8));
+}
+
+TEST(Gradients, ConvStride2) {
+  Conv2dSpec spec{.in_channels = 1, .out_channels = 2, .kernel = 3,
+                  .stride = 2, .pad = 1, .use_bias = false};
+  Conv2d layer("c", spec);
+  Rng rng(9);
+  he_normal(layer.weight().value, 9, rng);
+  check_layer_gradients(layer, random_input(Shape{1, 6, 6}, 10));
+}
+
+TEST(Gradients, AvgPool) {
+  AvgPool layer("p", 2);
+  check_layer_gradients(layer, random_input(Shape{2, 4, 4}, 11));
+}
+
+TEST(Gradients, ReluAwayFromKink) {
+  Relu layer("r");
+  // Keep inputs away from zero where ReLU is non-differentiable.
+  Tensor x = random_input(Shape{8}, 12);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.1f) {
+      x[i] = 0.5f;
+    }
+  }
+  check_layer_gradients(layer, x);
+}
+
+TEST(Gradients, FullNetworkLossGradient) {
+  // End-to-end: d(cross-entropy)/d(all params) via backprop vs numeric.
+  Network net(Shape{1, 4, 4});
+  net.add(std::make_unique<Conv2d>(
+      "c1", Conv2dSpec{.in_channels = 1, .out_channels = 2, .kernel = 3,
+                       .stride = 1, .pad = 1, .use_bias = false}));
+  net.add(std::make_unique<Relu>("r1"));
+  net.add(std::make_unique<AvgPool>("p1", 2));
+  net.add(std::make_unique<Flatten>("f"));
+  net.add(std::make_unique<Dense>("fc", 8, 3, false));
+  Rng rng(13);
+  initialize_network(net, rng);
+
+  const Tensor x = random_input(Shape{1, 4, 4}, 14);
+  const std::size_t label = 1;
+
+  net.zero_grad();
+  const Tensor logits = net.forward(x, false);
+  const LossResult lr = softmax_cross_entropy(logits, label);
+  net.backward(lr.grad_logits);
+
+  const float eps = 1e-3f;
+  for (Param* p : net.params()) {
+    // Spot-check a handful of parameters per tensor to bound runtime.
+    const std::size_t step = std::max<std::size_t>(1, p->value.numel() / 7);
+    for (std::size_t i = 0; i < p->value.numel(); i += step) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double fp = softmax_cross_entropy(net.forward(x, false), label).loss;
+      p->value[i] = orig - eps;
+      const double fm = softmax_cross_entropy(net.forward(x, false), label).loss;
+      p->value[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, 2e-2 * std::max(1.0, std::fabs(numeric)))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Gradients, BackwardBeforeForwardThrows) {
+  Dense layer("fc", 2, 2);
+  EXPECT_THROW(layer.backward(Tensor{Shape{2}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsnn::dnn

@@ -1,0 +1,140 @@
+// Training-loop tests: the engine actually learns.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dnn/optimizer.h"
+#include "dnn/trainer.h"
+#include "dnn/vgg.h"
+
+namespace tsnn::dnn {
+namespace {
+
+/// Tiny linearly-structured 3-class problem: class = argmax of three probe
+/// sums over disjoint input thirds, plus noise.
+void make_toy_problem(std::size_t n, std::vector<Tensor>& images,
+                      std::vector<std::size_t>& labels, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor x{Shape{12}};
+    const std::size_t cls = rng.uniform_index(3);
+    for (std::size_t j = 0; j < 12; ++j) {
+      x[j] = static_cast<float>(rng.uniform(0.0, 0.3));
+    }
+    for (std::size_t j = cls * 4; j < cls * 4 + 4; ++j) {
+      x[j] += static_cast<float>(rng.uniform(0.4, 0.7));
+    }
+    images.push_back(std::move(x));
+    labels.push_back(cls);
+  }
+}
+
+TEST(Trainer, LearnsToyProblem) {
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+  make_toy_problem(300, images, labels, 1);
+
+  Network net = mlp(Shape{12}, 16, 3, /*init_seed=*/7);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.batch_size = 16;
+  cfg.sgd.lr = 0.1;
+  cfg.sgd.weight_decay = 0.0;
+  const TrainResult result = train(net, images, labels, cfg);
+
+  EXPECT_GT(result.final_train_accuracy, 0.95);
+  // Loss decreased substantially from the first epoch.
+  EXPECT_LT(result.epochs.back().mean_loss, result.epochs.front().mean_loss * 0.5);
+
+  std::vector<Tensor> test_images;
+  std::vector<std::size_t> test_labels;
+  make_toy_problem(100, test_images, test_labels, 2);
+  EXPECT_GT(evaluate_accuracy(net, test_images, test_labels), 0.9);
+}
+
+TEST(Trainer, EpochStatsArePopulated) {
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+  make_toy_problem(60, images, labels, 3);
+  Network net = mlp(Shape{12}, 8, 3);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  const TrainResult result = train(net, images, labels, cfg);
+  ASSERT_EQ(result.epochs.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(result.epochs[e].epoch, e);
+    EXPECT_GT(result.epochs[e].lr, 0.0);
+    EXPECT_GE(result.epochs[e].train_accuracy, 0.0);
+    EXPECT_LE(result.epochs[e].train_accuracy, 1.0);
+  }
+}
+
+TEST(Trainer, RejectsBadInputs) {
+  Network net = mlp(Shape{12}, 8, 3);
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels{0};
+  EXPECT_THROW(train(net, images, labels, TrainConfig{}), InvalidArgument);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+  make_toy_problem(100, images, labels, 5);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.shuffle_seed = 11;
+
+  Network net1 = mlp(Shape{12}, 8, 3, /*init_seed=*/9);
+  Network net2 = mlp(Shape{12}, 8, 3, /*init_seed=*/9);
+  const TrainResult r1 = train(net1, images, labels, cfg);
+  const TrainResult r2 = train(net2, images, labels, cfg);
+  EXPECT_DOUBLE_EQ(r1.epochs.back().mean_loss, r2.epochs.back().mean_loss);
+}
+
+TEST(Optimizer, MomentumAcceleratesConstantGradient) {
+  Param p;
+  p.name = "w";
+  p.value = Tensor{Shape{1}, {0.0f}};
+  p.grad = Tensor{Shape{1}, {1.0f}};
+  SgdOptimizer opt({.lr = 0.1, .momentum = 0.9, .weight_decay = 0.0});
+  std::vector<Param*> params{&p};
+  opt.step(params);
+  const float step1 = -p.value[0];
+  const float before = p.value[0];
+  opt.step(params);
+  const float step2 = before - p.value[0];
+  EXPECT_FLOAT_EQ(step1, 0.1f);
+  EXPECT_GT(step2, step1);  // velocity accumulated
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Param p;
+  p.name = "w";
+  p.value = Tensor{Shape{1}, {10.0f}};
+  p.grad = Tensor{Shape{1}, {0.0f}};
+  SgdOptimizer opt({.lr = 0.1, .momentum = 0.0, .weight_decay = 0.1});
+  std::vector<Param*> params{&p};
+  opt.step(params);
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+TEST(Optimizer, RejectsInvalidConfig) {
+  EXPECT_THROW(SgdOptimizer({.lr = 0.0}), InvalidArgument);
+  EXPECT_THROW(SgdOptimizer({.lr = 0.1, .momentum = 1.0}), InvalidArgument);
+  EXPECT_THROW(SgdOptimizer({.lr = 0.1, .momentum = 0.5, .weight_decay = -1.0}),
+               InvalidArgument);
+}
+
+TEST(Optimizer, StepDecaySchedule) {
+  EXPECT_DOUBLE_EQ(step_decay_lr(0.1, 0.5, 4, 0), 0.1);
+  EXPECT_DOUBLE_EQ(step_decay_lr(0.1, 0.5, 4, 3), 0.1);
+  EXPECT_DOUBLE_EQ(step_decay_lr(0.1, 0.5, 4, 4), 0.05);
+  EXPECT_DOUBLE_EQ(step_decay_lr(0.1, 0.5, 4, 8), 0.025);
+}
+
+TEST(Evaluate, EmptySetIsZero) {
+  Network net = mlp(Shape{12}, 8, 3);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(net, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace tsnn::dnn

@@ -1,0 +1,143 @@
+// Tests for the experiment harness (method specs and noise sweeps).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "snn/topology.h"
+
+namespace tsnn::core {
+namespace {
+
+using snn::Coding;
+
+snn::SnnModel tiny_model() {
+  snn::SnnModel model(Shape{4});
+  Tensor eye{Shape{4, 4}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    eye(i, i) = 1.0f;
+  }
+  model.add_stage("hidden", std::make_unique<snn::DenseTopology>(eye));
+  Tensor readout{Shape{2, 4}, {1, 1, 0, 0, 0, 0, 1, 1}};
+  model.add_stage("readout", std::make_unique<snn::DenseTopology>(readout));
+  return model;
+}
+
+struct Fixture {
+  snn::SnnModel model = tiny_model();
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+
+  Fixture() {
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+      Tensor x{Shape{4}};
+      const std::size_t cls = i % 2;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const bool hot = (j / 2) == cls;
+        x[j] = static_cast<float>(rng.uniform(hot ? 0.6 : 0.05, hot ? 0.9 : 0.2));
+      }
+      images.push_back(std::move(x));
+      labels.push_back(cls);
+    }
+  }
+
+  SweepInputs inputs() const {
+    SweepInputs in;
+    in.model = &model;
+    in.images = &images;
+    in.labels = &labels;
+    return in;
+  }
+};
+
+TEST(MethodSpec, BaselineLabels) {
+  EXPECT_EQ(baseline_method(Coding::kRate, false).label, "rate");
+  EXPECT_EQ(baseline_method(Coding::kBurst, true).label, "burst+WS");
+  EXPECT_TRUE(baseline_method(Coding::kBurst, true).weight_scaling);
+}
+
+TEST(MethodSpec, TtasLabels) {
+  const MethodSpec spec = ttas_method(5, true);
+  EXPECT_EQ(spec.label, "ttas(5)+WS");
+  EXPECT_EQ(spec.params.burst_duration, 5u);
+  EXPECT_EQ(spec.coding, Coding::kTtas);
+}
+
+TEST(DeletionSweep, ProducesRowPerMethodAndLevel) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, false),
+                                        ttas_method(3, true)};
+  const std::vector<double> levels{0.0, 0.3, 0.6};
+  const auto rows = deletion_sweep(f.inputs(), methods, levels);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const SweepRow& r : rows) {
+    EXPECT_GE(r.accuracy, 0.0);
+    EXPECT_LE(r.accuracy, 1.0);
+    EXPECT_GT(r.mean_spikes, 0.0);
+  }
+}
+
+TEST(DeletionSweep, CleanLevelIsNoiseless) {
+  const Fixture f;
+  const auto rows = deletion_sweep(
+      f.inputs(), {baseline_method(Coding::kRate, false)}, {0.0});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].accuracy, 1.0);  // tiny problem is separable
+}
+
+TEST(DeletionSweep, SpikesDecreaseWithP) {
+  const Fixture f;
+  const auto rows = deletion_sweep(
+      f.inputs(), {baseline_method(Coding::kRate, false)}, {0.0, 0.5, 0.9});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[0].mean_spikes, rows[1].mean_spikes);
+  EXPECT_GT(rows[1].mean_spikes, rows[2].mean_spikes);
+}
+
+TEST(JitterSweep, SpikeCountStableUnderJitter) {
+  const Fixture f;
+  const auto rows = jitter_sweep(
+      f.inputs(), {baseline_method(Coding::kRate, false)}, {0.0, 2.0});
+  ASSERT_EQ(rows.size(), 2u);
+  // Jitter never deletes: spike counts stay within a few percent (layer
+  // dynamics can shift slightly).
+  EXPECT_NEAR(rows[1].mean_spikes / rows[0].mean_spikes, 1.0, 0.1);
+}
+
+TEST(JitterSweep, WeightScalingNotAppliedForJitter) {
+  // WS compensates charge loss; jitter loses no charge, so a WS method at
+  // jitter level sigma uses the unscaled model and matches the non-WS one.
+  const Fixture f;
+  const auto ws_rows = jitter_sweep(
+      f.inputs(), {baseline_method(Coding::kRate, true)}, {1.0});
+  const auto plain_rows = jitter_sweep(
+      f.inputs(), {baseline_method(Coding::kRate, false)}, {1.0});
+  EXPECT_DOUBLE_EQ(ws_rows[0].accuracy, plain_rows[0].accuracy);
+  EXPECT_DOUBLE_EQ(ws_rows[0].mean_spikes, plain_rows[0].mean_spikes);
+}
+
+TEST(Sweep, RowsForFiltersByMethod) {
+  std::vector<SweepRow> rows{{"a", 0, 1, 1}, {"b", 0, 1, 1}, {"a", 1, 0.5, 1}};
+  const auto only_a = rows_for(rows, "a");
+  ASSERT_EQ(only_a.size(), 2u);
+  EXPECT_EQ(only_a[1].level, 1.0);
+  EXPECT_TRUE(rows_for(rows, "c").empty());
+}
+
+TEST(Sweep, ValidatesInputs) {
+  SweepInputs in;  // null everything
+  EXPECT_THROW(deletion_sweep(in, {}, {}), InvalidArgument);
+}
+
+TEST(Sweep, DeterministicForSeed) {
+  const Fixture f;
+  SweepInputs in = f.inputs();
+  in.seed = 123;
+  const auto a = deletion_sweep(in, {baseline_method(Coding::kRate, false)}, {0.4});
+  const auto b = deletion_sweep(in, {baseline_method(Coding::kRate, false)}, {0.4});
+  EXPECT_DOUBLE_EQ(a[0].accuracy, b[0].accuracy);
+  EXPECT_DOUBLE_EQ(a[0].mean_spikes, b[0].mean_spikes);
+}
+
+}  // namespace
+}  // namespace tsnn::core

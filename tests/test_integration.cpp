@@ -1,0 +1,229 @@
+// End-to-end integration tests: train a small CNN on synthetic data,
+// convert, and verify the paper's qualitative claims hold through the whole
+// stack (the quantitative versions are the benches).
+#include <gtest/gtest.h>
+
+#include "coding/registry.h"
+#include "convert/converter.h"
+#include "core/experiment.h"
+#include "core/ttas.h"
+#include "data/mnist_like.h"
+#include "dnn/trainer.h"
+#include "dnn/vgg.h"
+#include "noise/noise.h"
+#include "snn/simulator.h"
+
+namespace tsnn {
+namespace {
+
+using snn::Coding;
+
+/// Shared fixture: a VGG-mini trained on a small S-MNIST, converted once.
+struct EndToEnd {
+  data::DatasetPair data;
+  dnn::Network net;
+  convert::Conversion conversion;
+  double dnn_accuracy = 0.0;
+  std::vector<Tensor> test_images;
+  std::vector<std::size_t> test_labels;
+
+  EndToEnd() : net(Shape{1}) {
+    data::MnistLikeConfig dcfg;
+    dcfg.train_per_class = 70;
+    dcfg.test_per_class = 10;
+    data = data::make_mnist_like(dcfg);
+
+    dnn::VggConfig vcfg;
+    vcfg.in_channels = 1;
+    vcfg.image_size = 16;
+    vcfg.num_blocks = 2;
+    vcfg.base_width = 8;
+    vcfg.dense_width = 48;
+    vcfg.num_classes = 10;
+    net = dnn::vgg_mini(vcfg);
+
+    dnn::TrainConfig tcfg;
+    tcfg.epochs = 12;
+    tcfg.sgd.lr = 0.05;
+    dnn::train(net, data.train.images, data.train.labels, tcfg);
+    dnn_accuracy =
+        dnn::evaluate_accuracy(net, data.test.images, data.test.labels);
+
+    const std::vector<Tensor> calib(data.train.images.begin(),
+                                    data.train.images.begin() + 60);
+    conversion = convert::convert(net, calib);
+
+    test_images.assign(data.test.images.begin(), data.test.images.begin() + 40);
+    test_labels.assign(data.test.labels.begin(), data.test.labels.begin() + 40);
+  }
+
+  core::SweepInputs inputs() const {
+    core::SweepInputs in;
+    in.model = &conversion.model;
+    in.images = &test_images;
+    in.labels = &test_labels;
+    return in;
+  }
+};
+
+EndToEnd& fixture() {
+  static EndToEnd f;
+  return f;
+}
+
+TEST(Integration, SourceDnnLearns) {
+  EXPECT_GT(fixture().dnn_accuracy, 0.8);
+}
+
+class CleanConversion : public ::testing::TestWithParam<Coding> {};
+
+TEST_P(CleanConversion, SnnTracksDnnAccuracy) {
+  auto& f = fixture();
+  const auto scheme = coding::make_scheme(GetParam());
+  Rng rng(1);
+  const auto r = snn::evaluate(f.conversion.model, *scheme, f.test_images,
+                               f.test_labels, nullptr, rng);
+  EXPECT_GT(r.accuracy, f.dnn_accuracy - 0.15)
+      << "clean " << scheme->name() << " lost too much accuracy";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodings, CleanConversion,
+                         ::testing::Values(Coding::kRate, Coding::kPhase,
+                                           Coding::kBurst, Coding::kTtfs),
+                         [](const ::testing::TestParamInfo<Coding>& info) {
+                           return snn::coding_name(info.param);
+                         });
+
+TEST(Integration, TtasCleanAccuracyMatchesTtfs) {
+  auto& f = fixture();
+  Rng rng(1);
+  const auto ttfs = coding::make_scheme(Coding::kTtfs);
+  const auto r_ttfs = snn::evaluate(f.conversion.model, *ttfs, f.test_images,
+                                    f.test_labels, nullptr, rng);
+  const auto ttas = core::make_ttas(5);
+  Rng rng2(1);
+  const auto r_ttas = snn::evaluate(f.conversion.model, *ttas, f.test_images,
+                                    f.test_labels, nullptr, rng2);
+  EXPECT_NEAR(r_ttas.accuracy, r_ttfs.accuracy, 0.1);
+  // TTAS uses ~5x the spikes of TTFS, still far below rate coding.
+  EXPECT_GT(r_ttas.mean_spikes_per_image, 3.0 * r_ttfs.mean_spikes_per_image);
+}
+
+TEST(Integration, DeletionDegradesAllCodings) {
+  auto& f = fixture();
+  const std::vector<core::MethodSpec> methods{
+      core::baseline_method(Coding::kRate, false),
+      core::baseline_method(Coding::kTtfs, false)};
+  const auto rows = core::deletion_sweep(f.inputs(), methods, {0.0, 0.8});
+  const auto rate = core::rows_for(rows, "rate");
+  const auto ttfs = core::rows_for(rows, "ttfs");
+  EXPECT_LT(rate[1].accuracy, rate[0].accuracy - 0.2);
+  EXPECT_LT(ttfs[1].accuracy, ttfs[0].accuracy);
+}
+
+TEST(Integration, TtfsMoreDeletionRobustThanCountCodings) {
+  // Paper SS III: the all-or-none activation of TTFS (plus dropout-trained
+  // weights) makes it more deletion-robust than the count-based codings
+  // whose activations shrink uniformly. (The full "most robust of all"
+  // claim is depth-dependent and reproduced by the Fig. 2 bench on the
+  // deeper S-CIFAR10 model.)
+  auto& f = fixture();
+  const auto rows = core::deletion_sweep(
+      f.inputs(),
+      {core::baseline_method(Coding::kRate, false),
+       core::baseline_method(Coding::kBurst, false),
+       core::baseline_method(Coding::kTtfs, false)},
+      {0.5});
+  const double rate = core::rows_for(rows, "rate")[0].accuracy;
+  const double burst = core::rows_for(rows, "burst")[0].accuracy;
+  const double ttfs = core::rows_for(rows, "ttfs")[0].accuracy;
+  EXPECT_GT(ttfs, rate);
+  EXPECT_GT(ttfs, burst);
+}
+
+TEST(Integration, WeightScalingImprovesDeletionRobustness) {
+  auto& f = fixture();
+  const auto rows = core::deletion_sweep(
+      f.inputs(),
+      {core::baseline_method(Coding::kRate, false),
+       core::baseline_method(Coding::kRate, true)},
+      {0.5});
+  const double plain = core::rows_for(rows, "rate")[0].accuracy;
+  const double ws = core::rows_for(rows, "rate+WS")[0].accuracy;
+  EXPECT_GT(ws, plain + 0.2);
+}
+
+TEST(Integration, TtasWithWsBeatsTtfsWithWsUnderDeletion) {
+  // The paper's headline deletion result (Fig. 4 / Table I).
+  auto& f = fixture();
+  const auto rows = core::deletion_sweep(
+      f.inputs(),
+      {core::baseline_method(Coding::kTtfs, true), core::ttas_method(5, true)},
+      {0.5});
+  const double ttfs_ws = core::rows_for(rows, "ttfs+WS")[0].accuracy;
+  const double ttas_ws = core::rows_for(rows, "ttas(5)+WS")[0].accuracy;
+  EXPECT_GT(ttas_ws, ttfs_ws);
+}
+
+TEST(Integration, RateIsFlatUnderJitterPhaseIsNot) {
+  // Paper Fig. 3: rate coding carries no timing information; phase carries
+  // almost only timing information.
+  auto& f = fixture();
+  const auto rows = core::jitter_sweep(
+      f.inputs(),
+      {core::baseline_method(Coding::kRate, false),
+       core::baseline_method(Coding::kPhase, false)},
+      {0.0, 2.0});
+  const auto rate = core::rows_for(rows, "rate");
+  const auto phase = core::rows_for(rows, "phase");
+  EXPECT_GT(rate[1].accuracy, rate[0].accuracy - 0.05);
+  EXPECT_LT(phase[1].accuracy, phase[0].accuracy - 0.15);
+}
+
+TEST(Integration, TtasMoreJitterRobustThanTtfs) {
+  // Paper Fig. 6: averaging over the burst cancels spike-time jitter.
+  auto& f = fixture();
+  const auto rows = core::jitter_sweep(
+      f.inputs(),
+      {core::baseline_method(Coding::kTtfs, false), core::ttas_method(10, false)},
+      {3.0});
+  const double ttfs = core::rows_for(rows, "ttfs")[0].accuracy;
+  const double ttas = core::rows_for(rows, "ttas(10)")[0].accuracy;
+  EXPECT_GT(ttas, ttfs);
+}
+
+TEST(Integration, SpikeCountOrderingMatchesPaper) {
+  // Table I ordering: TTFS << TTAS << rate/burst/phase spike budgets.
+  auto& f = fixture();
+  Rng rng(1);
+  const auto count = [&](const snn::CodingScheme& s) {
+    Rng r(1);
+    return snn::evaluate(f.conversion.model, s, f.test_images, f.test_labels,
+                         nullptr, r)
+        .mean_spikes_per_image;
+  };
+  const double rate = count(*coding::make_scheme(Coding::kRate));
+  const double ttfs = count(*coding::make_scheme(Coding::kTtfs));
+  const double ttas = count(*core::make_ttas(5));
+  EXPECT_LT(ttfs, rate / 4);
+  EXPECT_GT(ttas, ttfs);
+  EXPECT_LT(ttas, rate);
+}
+
+TEST(Integration, SimulatorReportsPerLayerSpikes) {
+  auto& f = fixture();
+  const auto scheme = coding::make_scheme(Coding::kRate);
+  const snn::SimResult r =
+      snn::simulate(f.conversion.model, *scheme, f.test_images[0]);
+  // Encoder + one train per hidden stage (all but the readout stage).
+  EXPECT_EQ(r.layer_spikes.size(), f.conversion.model.num_stages());
+  std::size_t sum = 0;
+  for (const std::size_t n : r.layer_spikes) {
+    sum += n;
+  }
+  EXPECT_EQ(sum, r.total_spikes);
+  EXPECT_EQ(r.logits.numel(), 10u);
+}
+
+}  // namespace
+}  // namespace tsnn

@@ -1,0 +1,211 @@
+// Tests for the spike-noise models: statistical invariants of deletion and
+// jitter, composition, and device profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "noise/deletion.h"
+#include "noise/device_profile.h"
+#include "noise/jitter.h"
+#include "noise/noise.h"
+
+namespace tsnn::noise {
+namespace {
+
+/// Dense test raster: every neuron spikes at every step.
+snn::SpikeRaster full_raster(std::size_t neurons, std::size_t window) {
+  snn::SpikeRaster r(neurons, window);
+  for (std::size_t t = 0; t < window; ++t) {
+    for (std::uint32_t n = 0; n < neurons; ++n) {
+      r.add(t, n);
+    }
+  }
+  return r;
+}
+
+class DeletionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeletionSweep, RemovesApproximatelyPFraction) {
+  const double p = GetParam();
+  const DeletionNoise noise(p);
+  const snn::SpikeRaster in = full_raster(50, 40);  // 2000 spikes
+  Rng rng(77);
+  const snn::SpikeRaster out = noise.apply(in, rng);
+  const double kept = static_cast<double>(out.total_spikes()) /
+                      static_cast<double>(in.total_spikes());
+  EXPECT_NEAR(kept, 1.0 - p, 0.04) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, DeletionSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+TEST(Deletion, NeverAddsOrMovesSpikes) {
+  const DeletionNoise noise(0.5);
+  snn::SpikeRaster in(4, 10);
+  in.add(2, 1);
+  in.add(5, 3);
+  in.add(7, 0);
+  Rng rng(3);
+  const snn::SpikeRaster out = noise.apply(in, rng);
+  // Every surviving event must exist in the input.
+  const auto in_events = in.to_events();
+  for (const auto& e : out.to_events()) {
+    bool found = false;
+    for (const auto& orig : in_events) {
+      if (orig == e) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_LE(out.total_spikes(), in.total_spikes());
+}
+
+TEST(Deletion, ZeroAndOneAreExact) {
+  snn::SpikeRaster in = full_raster(10, 10);
+  Rng rng(5);
+  EXPECT_EQ(DeletionNoise(0.0).apply(in, rng).total_spikes(), 100u);
+  EXPECT_EQ(DeletionNoise(1.0).apply(in, rng).total_spikes(), 0u);
+}
+
+TEST(Deletion, RejectsInvalidP) {
+  EXPECT_THROW(DeletionNoise(-0.1), InvalidArgument);
+  EXPECT_THROW(DeletionNoise(1.1), InvalidArgument);
+}
+
+TEST(Deletion, NameDescribesP) {
+  EXPECT_EQ(DeletionNoise(0.5).name(), "deletion(p=0.50)");
+}
+
+TEST(Jitter, PreservesSpikeCountExactly) {
+  const JitterNoise noise(2.5);
+  const snn::SpikeRaster in = full_raster(20, 30);
+  Rng rng(11);
+  const snn::SpikeRaster out = noise.apply(in, rng);
+  EXPECT_EQ(out.total_spikes(), in.total_spikes());
+}
+
+TEST(Jitter, PreservesPerNeuronCounts) {
+  const JitterNoise noise(1.5);
+  snn::SpikeRaster in(5, 20);
+  in.add(3, 2);
+  in.add(8, 2);
+  in.add(10, 4);
+  Rng rng(13);
+  const snn::SpikeRaster out = noise.apply(in, rng);
+  EXPECT_EQ(out.spikes_of(2), 2u);
+  EXPECT_EQ(out.spikes_of(4), 1u);
+  EXPECT_EQ(out.spikes_of(0), 0u);
+}
+
+TEST(Jitter, ShiftMagnitudesFollowSigma) {
+  const double sigma = 1.0;
+  const JitterNoise noise(sigma);
+  snn::SpikeRaster in(1, 200);
+  in.add(100, 0);  // far from the boundary so clamping is negligible
+  Rng rng(17);
+  double sum_sq = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const snn::SpikeRaster out = noise.apply(in, rng);
+    const std::int32_t t = out.first_spike_time(0);
+    const double d = static_cast<double>(t) - 100.0;
+    sum_sq += d * d;
+  }
+  // Quantized Gaussian variance ~ sigma^2 + 1/12 (rounding).
+  EXPECT_NEAR(std::sqrt(sum_sq / trials), std::sqrt(sigma * sigma + 1.0 / 12.0), 0.1);
+}
+
+TEST(Jitter, ClampsIntoWindow) {
+  const JitterNoise noise(50.0);  // extreme jitter
+  snn::SpikeRaster in(1, 10);
+  in.add(0, 0);
+  in.add(9, 0);
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const snn::SpikeRaster out = noise.apply(in, rng);
+    EXPECT_EQ(out.total_spikes(), 2u);  // nothing fell off the window
+  }
+}
+
+TEST(Jitter, ZeroSigmaIsIdentity) {
+  snn::SpikeRaster in(2, 5);
+  in.add(3, 1);
+  Rng rng(23);
+  const snn::SpikeRaster out = JitterNoise(0.0).apply(in, rng);
+  EXPECT_EQ(out.to_events(), in.to_events());
+}
+
+TEST(Jitter, RejectsNegativeSigma) {
+  EXPECT_THROW(JitterNoise(-1.0), InvalidArgument);
+}
+
+TEST(Composite, AppliesInOrder) {
+  std::vector<snn::NoiseModelPtr> models;
+  models.push_back(make_deletion(0.5));
+  models.push_back(make_jitter(1.0));
+  const CompositeNoise composite(std::move(models));
+  const snn::SpikeRaster in = full_raster(20, 20);
+  Rng rng(29);
+  const snn::SpikeRaster out = composite.apply(in, rng);
+  EXPECT_LT(out.total_spikes(), in.total_spikes());
+  EXPECT_NEAR(static_cast<double>(out.total_spikes()), 200.0, 60.0);
+  EXPECT_NE(composite.name().find("deletion"), std::string::npos);
+  EXPECT_NE(composite.name().find("jitter"), std::string::npos);
+}
+
+TEST(Composite, FactoryHelper) {
+  const auto n = make_deletion_jitter(0.2, 0.5);
+  snn::SpikeRaster in = full_raster(5, 5);
+  Rng rng(31);
+  EXPECT_LE(n->apply(in, rng).total_spikes(), 25u);
+}
+
+TEST(NoNoise, IsIdentity) {
+  const NoNoise n;
+  snn::SpikeRaster in(2, 4);
+  in.add(1, 0);
+  Rng rng(37);
+  EXPECT_EQ(n.apply(in, rng).to_events(), in.to_events());
+  EXPECT_EQ(n.name(), "clean");
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  const DeletionNoise noise(0.5);
+  const snn::SpikeRaster in = full_raster(10, 10);
+  Rng rng1(41);
+  Rng rng2(41);
+  EXPECT_EQ(noise.apply(in, rng1).to_events(), noise.apply(in, rng2).to_events());
+}
+
+TEST(DeviceProfile, CatalogIsOrderedByHarshness) {
+  const auto& catalog = device_catalog();
+  ASSERT_GE(catalog.size(), 3u);
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_GE(catalog[i].deletion_p, catalog[i - 1].deletion_p);
+    EXPECT_GE(catalog[i].jitter_sigma, catalog[i - 1].jitter_sigma);
+  }
+}
+
+TEST(DeviceProfile, FindAndMaterialize) {
+  const DeviceProfile& d = find_device("memristive-early");
+  EXPECT_GT(d.deletion_p, 0.0);
+  const auto noise = d.make_noise();
+  snn::SpikeRaster in = full_raster(10, 10);
+  Rng rng(43);
+  EXPECT_LT(noise->apply(in, rng).total_spikes(), 100u);
+  EXPECT_THROW(find_device("no-such-device"), InvalidArgument);
+}
+
+TEST(DeviceProfile, CleanDeviceIsIdentity) {
+  const DeviceProfile& d = find_device("digital-cmos");
+  const auto noise = d.make_noise();
+  snn::SpikeRaster in = full_raster(4, 4);
+  Rng rng(47);
+  EXPECT_EQ(noise->apply(in, rng).total_spikes(), 16u);
+}
+
+}  // namespace
+}  // namespace tsnn::noise

@@ -1,0 +1,182 @@
+// Tests for the NoiseRobustPipeline public API and activation analysis.
+#include <gtest/gtest.h>
+
+#include "coding/registry.h"
+#include "common/rng.h"
+#include "core/activation_analysis.h"
+#include "core/pipeline.h"
+#include "core/ttas.h"
+#include "noise/noise.h"
+#include "snn/topology.h"
+
+namespace tsnn::core {
+namespace {
+
+using snn::Coding;
+
+/// A hand-built two-stage model: identity 4->4 then a 2-class readout that
+/// sums the first/last two inputs.
+snn::SnnModel tiny_model() {
+  snn::SnnModel model(Shape{4});
+  Tensor eye{Shape{4, 4}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    eye(i, i) = 1.0f;
+  }
+  model.add_stage("hidden", std::make_unique<snn::DenseTopology>(eye));
+  Tensor readout{Shape{2, 4}, {1, 1, 0, 0, 0, 0, 1, 1}};
+  model.add_stage("readout", std::make_unique<snn::DenseTopology>(readout));
+  return model;
+}
+
+TEST(Pipeline, ClassifiesTinyProblemCleanly) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  Tensor lo{Shape{4}, {0.8f, 0.7f, 0.1f, 0.1f}};  // class 0
+  Tensor hi{Shape{4}, {0.1f, 0.1f, 0.9f, 0.6f}};  // class 1
+  EXPECT_EQ(pipe.run(lo, nullptr).predicted_class, 0u);
+  EXPECT_EQ(pipe.run(hi, nullptr).predicted_class, 1u);
+}
+
+TEST(Pipeline, EvaluateAggregates) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kTtfs;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  std::vector<Tensor> images{Tensor{Shape{4}, {0.8f, 0.7f, 0.1f, 0.1f}},
+                             Tensor{Shape{4}, {0.1f, 0.1f, 0.9f, 0.6f}}};
+  std::vector<std::size_t> labels{0, 1};
+  const auto r = pipe.evaluate(images, labels, nullptr);
+  EXPECT_EQ(r.num_images, 2u);
+  EXPECT_EQ(r.num_correct, 2u);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_GT(r.mean_spikes_per_image, 0.0);
+}
+
+TEST(Pipeline, DefaultParamsComeFromRegistry) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kPhase;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  EXPECT_FLOAT_EQ(pipe.scheme().params().threshold, 1.2f);
+}
+
+TEST(Pipeline, TtasBurstDurationHonored) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kTtas;
+  cfg.params.burst_duration = 7;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  EXPECT_EQ(pipe.scheme().params().burst_duration, 7u);
+  EXPECT_EQ(pipe.scheme().name(), "ttas(7)");
+}
+
+TEST(Pipeline, ExplicitParamsOverrideDefaults) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  cfg.use_default_params = false;
+  cfg.params = coding::default_params(Coding::kRate);
+  cfg.params.window = 32;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  EXPECT_EQ(pipe.scheme().params().window, 32u);
+}
+
+TEST(Pipeline, WeightScalingAppliedToModelCopy) {
+  const snn::SnnModel base = tiny_model();
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  cfg.weight_scaling = true;
+  cfg.assumed_deletion_p = 0.5;
+  NoiseRobustPipeline pipe(base, cfg);
+  std::vector<float> u(4, 0.0f);
+  pipe.model().stage(0).synapse->accumulate(0, 1.0f, u.data());
+  EXPECT_FLOAT_EQ(u[0], 2.0f);  // C = 2 applied
+  // The caller's model is untouched.
+  u.assign(4, 0.0f);
+  base.stage(0).synapse->accumulate(0, 1.0f, u.data());
+  EXPECT_FLOAT_EQ(u[0], 1.0f);
+}
+
+TEST(Pipeline, NoiseEvaluationReproducibleAfterReseed) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  cfg.noise_seed = 5;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  std::vector<Tensor> images{Tensor{Shape{4}, {0.8f, 0.7f, 0.1f, 0.1f}},
+                             Tensor{Shape{4}, {0.1f, 0.1f, 0.9f, 0.6f}}};
+  std::vector<std::size_t> labels{0, 1};
+  const auto noise = noise::make_deletion(0.5);
+  const auto r1 = pipe.evaluate(images, labels, noise.get());
+  pipe.reseed(5);
+  const auto r2 = pipe.evaluate(images, labels, noise.get());
+  EXPECT_DOUBLE_EQ(r1.mean_spikes_per_image, r2.mean_spikes_per_image);
+  EXPECT_EQ(r1.num_correct, r2.num_correct);
+}
+
+TEST(ActivationAnalysis, TtfsIsAllOrNone) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.6f;
+  cfg.deletion_p = 0.5;
+  cfg.trials = 1500;
+  const auto dist =
+      analyze_activation(*coding::make_scheme(Coding::kTtfs), cfg);
+  EXPECT_NEAR(dist.p_zero, 0.5, 0.05);
+  EXPECT_NEAR(dist.p_full, 0.5, 0.05);
+  EXPECT_NEAR(dist.p_zero + dist.p_full, 1.0, 0.01);
+}
+
+TEST(ActivationAnalysis, RateIsConcentratedAroundScaledMean) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.6f;
+  cfg.deletion_p = 0.5;
+  cfg.trials = 1500;
+  const auto dist =
+      analyze_activation(*coding::make_scheme(Coding::kRate), cfg);
+  EXPECT_NEAR(dist.mean, 0.3, 0.02);   // (1-p) * A
+  EXPECT_LT(dist.p_zero, 0.01);        // essentially never fully lost
+  EXPECT_LT(dist.p_full, 0.05);        // and essentially never intact
+}
+
+TEST(ActivationAnalysis, WeightScalingRestoresMean) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.6f;
+  cfg.deletion_p = 0.4;
+  cfg.weight_scaling = true;
+  cfg.trials = 1500;
+  const auto dist =
+      analyze_activation(*coding::make_scheme(Coding::kRate), cfg);
+  EXPECT_NEAR(dist.mean, 0.6, 0.03);
+}
+
+TEST(ActivationAnalysis, TtasSplitsMassTowardEnds) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.6f;
+  cfg.deletion_p = 0.5;
+  cfg.trials = 1500;
+  const auto ttas = analyze_activation(*make_ttas(5), cfg);
+  const auto ttfs = analyze_activation(*coding::make_scheme(Coding::kTtfs), cfg);
+  const auto rate = analyze_activation(*coding::make_scheme(Coding::kRate), cfg);
+  // TTAS keeps more near-full deliveries than rate but loses everything far
+  // less often than TTFS (the Fig. 5-B "both ends" distribution).
+  EXPECT_GT(ttas.p_full, rate.p_full);
+  EXPECT_LT(ttas.p_zero, ttfs.p_zero / 4);
+}
+
+TEST(ActivationAnalysis, JitterOnlyMode) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.5f;
+  cfg.deletion_p = 0.0;
+  cfg.jitter_sigma = 1.0;
+  cfg.trials = 500;
+  const auto dist =
+      analyze_activation(*coding::make_scheme(Coding::kTtfs), cfg);
+  EXPECT_GT(dist.stddev, 0.0);
+  EXPECT_LT(dist.p_zero, 0.05);  // jitter shifts, never deletes
+}
+
+TEST(ActivationAnalysis, RejectsBadConfig) {
+  ActivationAnalysisConfig cfg;
+  cfg.activation = 0.0f;
+  EXPECT_THROW(analyze_activation(*coding::make_scheme(Coding::kRate), cfg),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsnn::core

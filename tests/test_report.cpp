@@ -1,0 +1,86 @@
+// Tests for table/CSV reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace tsnn::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"Method", "Acc"});
+  t.add_row({"rate", "92.15"});
+  t.add_row({"ttas(5)+WS", "89.95"});
+  const std::string s = t.to_string();
+  // Header present, separator present, rows present.
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("ttas(5)+WS"), std::string::npos);
+  // All lines align: every row line has the Acc column at the same offset.
+  const std::size_t header_acc = s.find("Acc");
+  const std::size_t row_acc = s.find("92.15");
+  EXPECT_EQ(header_acc % (s.find('\n') + 1), row_acc % (s.find('\n') + 1));
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Csv, SerializesRows) {
+  CsvWriter csv({"method", "p", "acc"});
+  csv.add_row({"rate", "0.5", "0.78"});
+  const std::string s = csv.to_string();
+  EXPECT_EQ(s, "method,p,acc\nrate,0.5,0.78\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"name"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsnn_test.csv").string();
+  csv.write(path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFailureThrows) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write("/nonexistent-dir/x.csv"), IoError);
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsnn::report

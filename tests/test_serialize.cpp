@@ -1,0 +1,115 @@
+// Model serialization round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "dnn/activations.h"
+#include "dnn/dense.h"
+#include "dnn/dropout.h"
+#include "dnn/flatten.h"
+#include "dnn/init.h"
+#include "dnn/serialize.h"
+#include "dnn/trainer.h"
+#include "dnn/vgg.h"
+#include "tensor/tensor_ops.h"
+
+namespace tsnn::dnn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  VggConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 8;
+  cfg.num_blocks = 1;
+  cfg.base_width = 4;
+  cfg.dense_width = 16;
+  cfg.num_classes = 5;
+  Network net = vgg_mini(cfg);
+
+  const std::string path = temp_path("tsnn_roundtrip.tsnn");
+  save_network(net, path);
+  Network loaded = load_network(path);
+
+  EXPECT_EQ(loaded.input_shape(), net.input_shape());
+  EXPECT_EQ(loaded.num_layers(), net.num_layers());
+  EXPECT_EQ(loaded.num_parameters(), net.num_parameters());
+
+  Rng rng(4);
+  Tensor x{Shape{1, 8, 8}};
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+  }
+  EXPECT_TRUE(ops::allclose(net.forward(x, false), loaded.forward(x, false), 0.0, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripWithBiasedMlp) {
+  Network net(Shape{6});
+  net.add(std::make_unique<Flatten>("f"));
+  net.add(std::make_unique<Dense>("fc1", 6, 4, /*use_bias=*/true));
+  net.add(std::make_unique<Relu>("r"));
+  net.add(std::make_unique<Dense>("fc2", 4, 2, /*use_bias=*/true));
+  Rng rng(8);
+  initialize_network(net, rng);
+  // Give the biases nonzero values so the round trip is meaningful.
+  for (Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      if (p->value[i] == 0.0f) {
+        p->value[i] = 0.25f;
+      }
+    }
+  }
+
+  const std::string path = temp_path("tsnn_mlp.tsnn");
+  save_network(net, path);
+  Network loaded = load_network(path);
+  Tensor x{Shape{6}, {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f}};
+  EXPECT_TRUE(ops::allclose(net.forward(x, false), loaded.forward(x, false), 0.0, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, PreservesDropoutRate) {
+  Network net(Shape{4});
+  net.add(std::make_unique<Dense>("fc", 4, 4, false));
+  net.add(std::make_unique<Dropout>("d", 0.35));
+  const std::string path = temp_path("tsnn_drop.tsnn");
+  save_network(net, path);
+  Network loaded = load_network(path);
+  const auto& drop = static_cast<const Dropout&>(loaded.layer(1));
+  EXPECT_DOUBLE_EQ(drop.rate(), 0.35);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_network("/nonexistent/path/model.tsnn"), IoError);
+}
+
+TEST(Serialize, CorruptMagicThrows) {
+  const std::string path = temp_path("tsnn_corrupt.tsnn");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE garbage";
+  }
+  EXPECT_THROW(load_network(path), IoError);
+  EXPECT_FALSE(is_saved_network(path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, IsSavedNetworkDetectsValidFiles) {
+  Network net = mlp(Shape{4}, 4, 2);
+  const std::string path = temp_path("tsnn_detect.tsnn");
+  save_network(net, path);
+  EXPECT_TRUE(is_saved_network(path));
+  EXPECT_FALSE(is_saved_network("/nonexistent.tsnn"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsnn::dnn

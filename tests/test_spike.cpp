@@ -1,0 +1,107 @@
+// Tests for spike-train structures and statistics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "snn/spike.h"
+#include "snn/spike_stats.h"
+
+namespace tsnn::snn {
+namespace {
+
+TEST(SpikeRaster, ConstructionAndBounds) {
+  SpikeRaster r(4, 10);
+  EXPECT_EQ(r.num_neurons(), 4u);
+  EXPECT_EQ(r.window(), 10u);
+  EXPECT_EQ(r.total_spikes(), 0u);
+  EXPECT_THROW(SpikeRaster(0, 10), InvalidArgument);
+  EXPECT_THROW(SpikeRaster(4, 0), InvalidArgument);
+}
+
+TEST(SpikeRaster, AddAndQuery) {
+  SpikeRaster r(4, 10);
+  r.add(0, 1);
+  r.add(0, 2);
+  r.add(5, 1);
+  EXPECT_EQ(r.total_spikes(), 3u);
+  EXPECT_EQ(r.at(0).size(), 2u);
+  EXPECT_EQ(r.at(5).size(), 1u);
+  EXPECT_EQ(r.at(9).size(), 0u);
+  EXPECT_EQ(r.spikes_of(1), 2u);
+  EXPECT_EQ(r.spikes_of(3), 0u);
+  EXPECT_EQ(r.first_spike_time(1), 0);
+  EXPECT_EQ(r.first_spike_time(3), -1);
+}
+
+TEST(SpikeRaster, AddRejectsOutOfRange) {
+  SpikeRaster r(4, 10);
+  EXPECT_THROW(r.add(10, 0), InvalidArgument);
+  EXPECT_THROW(r.add(0, 4), InvalidArgument);
+  EXPECT_THROW(r.at(10), InvalidArgument);
+}
+
+TEST(SpikeRaster, EventRoundTrip) {
+  SpikeRaster r(3, 8);
+  r.add(1, 0);
+  r.add(1, 2);
+  r.add(7, 1);
+  const auto events = r.to_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (SpikeEvent{0, 1}));
+  EXPECT_EQ(events[1], (SpikeEvent{2, 1}));
+  EXPECT_EQ(events[2], (SpikeEvent{1, 7}));
+
+  const SpikeRaster rebuilt = SpikeRaster::from_events(3, 8, events);
+  EXPECT_EQ(rebuilt.total_spikes(), 3u);
+  EXPECT_EQ(rebuilt.at(1).size(), 2u);
+}
+
+TEST(SpikeRaster, FromEventsValidatesWindow) {
+  EXPECT_THROW(SpikeRaster::from_events(2, 4, {{0, 5}}), InvalidArgument);
+  EXPECT_THROW(SpikeRaster::from_events(2, 4, {{0, -1}}), InvalidArgument);
+}
+
+TEST(SpikeStats, SummaryValues) {
+  SpikeRaster r(3, 10);
+  r.add(2, 0);
+  r.add(4, 0);
+  r.add(6, 1);
+  const RasterStats s = raster_stats(r);
+  EXPECT_EQ(s.total_spikes, 3u);
+  EXPECT_EQ(s.active_neurons, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_spikes_per_active, 1.5);
+  EXPECT_DOUBLE_EQ(s.mean_spike_time, 4.0);
+  EXPECT_EQ(s.first_time, 2);
+  EXPECT_EQ(s.last_time, 6);
+}
+
+TEST(SpikeStats, SilentRaster) {
+  SpikeRaster r(3, 10);
+  const RasterStats s = raster_stats(r);
+  EXPECT_EQ(s.total_spikes, 0u);
+  EXPECT_EQ(s.active_neurons, 0u);
+  EXPECT_EQ(s.first_time, -1);
+  EXPECT_EQ(s.last_time, -1);
+}
+
+TEST(SpikeStats, PerStepCounts) {
+  SpikeRaster r(2, 4);
+  r.add(0, 0);
+  r.add(0, 1);
+  r.add(3, 0);
+  const auto counts = spikes_per_step(r);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{2, 0, 0, 1}));
+}
+
+TEST(SpikeStats, MeanSpikeTimePerNeuron) {
+  SpikeRaster r(3, 10);
+  r.add(2, 0);
+  r.add(6, 0);
+  r.add(5, 2);
+  const auto means = mean_spike_time_per_neuron(r);
+  EXPECT_DOUBLE_EQ(means[0], 4.0);
+  EXPECT_DOUBLE_EQ(means[1], -1.0);
+  EXPECT_DOUBLE_EQ(means[2], 5.0);
+}
+
+}  // namespace
+}  // namespace tsnn::snn

@@ -1,0 +1,81 @@
+// Tests for descriptive statistics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/stats.h"
+
+namespace tsnn {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::mean({2.0f}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::mean({1.0f, 2.0f, 3.0f}), 2.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  EXPECT_DOUBLE_EQ(stats::variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::variance({5.0f}), 0.0);
+  // Sample variance of {1,2,3} = 1.
+  EXPECT_DOUBLE_EQ(stats::variance({1.0f, 2.0f, 3.0f}), 1.0);
+  EXPECT_DOUBLE_EQ(stats::stddev({1.0f, 2.0f, 3.0f}), 1.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<float> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 12.5), 1.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<float> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 50), 3.0);
+}
+
+TEST(Stats, PercentileErrors) {
+  EXPECT_THROW(stats::percentile({}, 50), InvalidArgument);
+  EXPECT_THROW(stats::percentile({1.0f}, 101), InvalidArgument);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const auto h = stats::histogram({-1.0f, 0.1f, 0.5f, 0.9f, 2.0f}, 2, 0.0, 1.0);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 2u);  // -1 clamped into bin 0, 0.1 in bin 0
+  EXPECT_EQ(h.counts[1], 3u);  // 0.5, 0.9, 2.0 clamped
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
+}
+
+TEST(Stats, HistogramErrors) {
+  EXPECT_THROW(stats::histogram({1.0f}, 0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(stats::histogram({1.0f}, 2, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Stats, TensorMeanAndPercentile) {
+  Tensor t{Shape{2, 2}, {1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(stats::tensor_mean(t), 2.5);
+  EXPECT_DOUBLE_EQ(stats::tensor_percentile(t, 100), 4.0);
+  EXPECT_DOUBLE_EQ(stats::tensor_mean(Tensor{}), 0.0);
+}
+
+TEST(Stats, GaussianSampleMomentsRecovered) {
+  Rng rng(77);
+  std::vector<float> v;
+  v.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    v.push_back(static_cast<float>(rng.normal(1.5, 2.0)));
+  }
+  EXPECT_NEAR(stats::mean(v), 1.5, 0.05);
+  EXPECT_NEAR(stats::stddev(v), 2.0, 0.05);
+  // ~50th percentile should be near the mean for a symmetric distribution.
+  EXPECT_NEAR(stats::percentile(v, 50), 1.5, 0.06);
+}
+
+}  // namespace
+}  // namespace tsnn

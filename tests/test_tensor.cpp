@@ -1,0 +1,203 @@
+// Tests for the tensor type and numeric kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace tsnn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t{Shape{2, 3}};
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t{Shape{4}, 2.5f};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(Tensor, AdoptValuesChecksCount) {
+  EXPECT_NO_THROW((Tensor{Shape{2, 2}, {1, 2, 3, 4}}));
+  EXPECT_THROW((Tensor{Shape{2, 2}, {1, 2, 3}}), ShapeError);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t{Shape{2, 3}, {0, 1, 2, 3, 4, 5}};
+  EXPECT_EQ(t(0, 0), 0.0f);
+  EXPECT_EQ(t(0, 2), 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(Tensor, Rank3And4Indexing) {
+  Tensor t3{Shape{2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7}};
+  EXPECT_EQ(t3(1, 0, 1), 5.0f);
+  Tensor t4{Shape{1, 2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7}};
+  EXPECT_EQ(t4(0, 1, 1, 0), 6.0f);
+}
+
+TEST(Tensor, IndexingWrongRankThrows) {
+  Tensor t{Shape{2, 3}};
+  EXPECT_THROW(t(0), ShapeError);
+  EXPECT_THROW(t(0, 0, 0), ShapeError);
+}
+
+TEST(Tensor, OffsetComputesRowMajor) {
+  Tensor t{Shape{3, 4, 5}};
+  EXPECT_EQ(t.offset({0, 0, 0}), 0u);
+  EXPECT_EQ(t.offset({1, 2, 3}), 1u * 20 + 2u * 5 + 3u);
+  EXPECT_THROW(t.offset({3, 0, 0}), ShapeError);
+  EXPECT_THROW(t.offset({0, 0}), ShapeError);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t{Shape{2}};
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), InvalidArgument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t{Shape{2, 3}, {0, 1, 2, 3, 4, 5}};
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), ShapeError);
+}
+
+TEST(Tensor, Equality) {
+  Tensor a{Shape{2}, {1, 2}};
+  Tensor b{Shape{2}, {1, 2}};
+  Tensor c{Shape{2}, {1, 3}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, a.reshaped(Shape{1, 2}));
+}
+
+TEST(Tensor, OnesFactory) {
+  const Tensor t = Tensor::ones(Shape{3});
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 1.0f);
+}
+
+TEST(TensorOps, AddSubMul) {
+  Tensor a{Shape{3}, {1, 2, 3}};
+  Tensor b{Shape{3}, {4, 5, 6}};
+  EXPECT_EQ(ops::add(a, b), (Tensor{Shape{3}, {5, 7, 9}}));
+  EXPECT_EQ(ops::sub(b, a), (Tensor{Shape{3}, {3, 3, 3}}));
+  EXPECT_EQ(ops::mul(a, b), (Tensor{Shape{3}, {4, 10, 18}}));
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  Tensor a{Shape{3}};
+  Tensor b{Shape{4}};
+  EXPECT_THROW(ops::add(a, b), ShapeError);
+}
+
+TEST(TensorOps, AxpyAndScale) {
+  Tensor a{Shape{2}, {1, 1}};
+  Tensor b{Shape{2}, {2, 4}};
+  ops::axpy_inplace(a, 0.5f, b);
+  EXPECT_EQ(a, (Tensor{Shape{2}, {2, 3}}));
+  ops::scale_inplace(a, 2.0f);
+  EXPECT_EQ(a, (Tensor{Shape{2}, {4, 6}}));
+  EXPECT_EQ(ops::scale(a, 0.5f), (Tensor{Shape{2}, {2, 3}}));
+}
+
+TEST(TensorOps, Map) {
+  Tensor a{Shape{3}, {-1, 0, 2}};
+  const Tensor out = ops::map(a, [](float x) { return x * x; });
+  EXPECT_EQ(out, (Tensor{Shape{3}, {1, 0, 4}}));
+}
+
+TEST(TensorOps, MatvecMatchesManual) {
+  Tensor w{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+  Tensor x{Shape{3}, {1, 0, -1}};
+  const Tensor y = ops::matvec(w, x);
+  EXPECT_FLOAT_EQ(y[0], 1 - 3);
+  EXPECT_FLOAT_EQ(y[1], 4 - 6);
+}
+
+TEST(TensorOps, MatvecTransposeMatchesManual) {
+  Tensor w{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+  Tensor g{Shape{2}, {1, -1}};
+  const Tensor x = ops::matvec_transpose(w, g);
+  EXPECT_FLOAT_EQ(x[0], 1 - 4);
+  EXPECT_FLOAT_EQ(x[1], 2 - 5);
+  EXPECT_FLOAT_EQ(x[2], 3 - 6);
+}
+
+TEST(TensorOps, MatmulMatchesManual) {
+  Tensor a{Shape{2, 2}, {1, 2, 3, 4}};
+  Tensor b{Shape{2, 2}, {5, 6, 7, 8}};
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c, (Tensor{Shape{2, 2}, {19, 22, 43, 50}}));
+}
+
+TEST(TensorOps, MatmulShapeCheck) {
+  Tensor a{Shape{2, 3}};
+  Tensor b{Shape{4, 2}};
+  EXPECT_THROW(ops::matmul(a, b), ShapeError);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a{Shape{4}, {3, -1, 7, 0}};
+  EXPECT_DOUBLE_EQ(ops::sum(a), 9.0);
+  EXPECT_FLOAT_EQ(ops::max_value(a), 7.0f);
+  EXPECT_FLOAT_EQ(ops::min_value(a), -1.0f);
+  EXPECT_EQ(ops::argmax(a), 2u);
+}
+
+TEST(TensorOps, ArgmaxFirstOccurrence) {
+  Tensor a{Shape{3}, {5, 5, 1}};
+  EXPECT_EQ(ops::argmax(a), 0u);
+}
+
+TEST(TensorOps, SoftmaxNormalizes) {
+  Tensor logits{Shape{3}, {1.0f, 2.0f, 3.0f}};
+  const Tensor p = ops::softmax(logits);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(p[i], 0.0f);
+    sum += p[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(TensorOps, SoftmaxStableForLargeLogits) {
+  Tensor logits{Shape{2}, {1000.0f, 1000.0f}};
+  const Tensor p = ops::softmax(logits);
+  EXPECT_NEAR(p[0], 0.5, 1e-6);
+}
+
+TEST(TensorOps, Relu) {
+  Tensor a{Shape{3}, {-2, 0, 3}};
+  EXPECT_EQ(ops::relu(a), (Tensor{Shape{3}, {0, 0, 3}}));
+}
+
+TEST(TensorOps, MeanAbsDiffAndAllclose) {
+  Tensor a{Shape{2}, {1.0f, 2.0f}};
+  Tensor b{Shape{2}, {1.1f, 1.9f}};
+  EXPECT_NEAR(ops::mean_abs_diff(a, b), 0.1, 1e-6);
+  EXPECT_TRUE(ops::allclose(a, a));
+  EXPECT_FALSE(ops::allclose(a, b));
+  EXPECT_TRUE(ops::allclose(a, b, /*rtol=*/0.2, /*atol=*/0.0));
+  EXPECT_FALSE(ops::allclose(a, Tensor{Shape{3}}));
+}
+
+}  // namespace
+}  // namespace tsnn

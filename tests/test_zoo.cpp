@@ -1,0 +1,68 @@
+// Tests for the model zoo (fast mode: tiny models, short training).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/zoo.h"
+
+namespace tsnn::core {
+namespace {
+
+class ZooTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "tsnn_zoo_test").string();
+    std::filesystem::remove_all(dir_);
+    setenv("TSNN_ZOO_DIR", dir_.c_str(), 1);
+    setenv("TSNN_FAST", "1", 1);
+  }
+  void TearDown() override {
+    unsetenv("TSNN_ZOO_DIR");
+    unsetenv("TSNN_FAST");
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(ZooTest, DatasetNamesAreStable) {
+  EXPECT_EQ(dataset_name(DatasetKind::kMnistLike), "s-mnist");
+  EXPECT_EQ(dataset_name(DatasetKind::kCifar10Like), "s-cifar10");
+  EXPECT_EQ(dataset_name(DatasetKind::kCifar20Like), "s-cifar20");
+}
+
+TEST_F(ZooTest, MakeDatasetIsDeterministicAndValid) {
+  const data::DatasetPair a = make_dataset(DatasetKind::kCifar10Like);
+  const data::DatasetPair b = make_dataset(DatasetKind::kCifar10Like);
+  a.train.check_valid();
+  a.test.check_valid();
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.images[0], b.train.images[0]);
+  EXPECT_EQ(a.train.num_classes, 10u);
+  EXPECT_EQ(make_dataset(DatasetKind::kCifar20Like).train.num_classes, 20u);
+}
+
+TEST_F(ZooTest, TrainsCachesAndReloads) {
+  // First call trains and writes the cache.
+  ModelBundle first = get_or_train(DatasetKind::kMnistLike);
+  EXPECT_FALSE(first.loaded_from_cache);
+  EXPECT_GT(first.dnn_test_accuracy, 0.2);  // fast mode: weak but learning
+  EXPECT_TRUE(std::filesystem::exists(zoo_model_path(DatasetKind::kMnistLike)));
+
+  // Second call reloads with identical accuracy.
+  ModelBundle second = get_or_train(DatasetKind::kMnistLike);
+  EXPECT_TRUE(second.loaded_from_cache);
+  EXPECT_DOUBLE_EQ(second.dnn_test_accuracy, first.dnn_test_accuracy);
+}
+
+TEST_F(ZooTest, FastModePathIsSeparate) {
+  const std::string fast_path = zoo_model_path(DatasetKind::kMnistLike);
+  EXPECT_NE(fast_path.find("-fast"), std::string::npos);
+  unsetenv("TSNN_FAST");
+  const std::string full_path = zoo_model_path(DatasetKind::kMnistLike);
+  EXPECT_EQ(full_path.find("-fast"), std::string::npos);
+  setenv("TSNN_FAST", "1", 1);
+}
+
+}  // namespace
+}  // namespace tsnn::core
