@@ -16,10 +16,12 @@
 #include "report/table.h"
 #include "snn/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Ablation | TTFS/TTAS kernel time constant tau\n");
   const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+  const snn::EvalOptions options = bench::eval_options();
 
   const std::vector<float> taus{2.0f, 3.0f, 4.0f, 6.0f, 8.0f};
   report::Table table({"Coding", "tau", "clean (%)", "jitter s=2 (%)",
@@ -35,15 +37,12 @@ int main() {
     tparams.burst_duration = 5;
     const auto ttas = coding::make_scheme(snn::Coding::kTtas, tparams);
 
-    Rng rng1(bench::bench_seed());
     const auto clean = snn::evaluate(w.conversion.model, *ttfs, w.test_images,
-                                     w.test_labels, nullptr, rng1);
-    Rng rng2(bench::bench_seed());
+                                     w.test_labels, nullptr, options);
     const auto noisy = snn::evaluate(w.conversion.model, *ttfs, w.test_images,
-                                     w.test_labels, jitter.get(), rng2);
-    Rng rng3(bench::bench_seed());
+                                     w.test_labels, jitter.get(), options);
     const auto rescued = snn::evaluate(w.conversion.model, *ttas, w.test_images,
-                                       w.test_labels, jitter.get(), rng3);
+                                       w.test_labels, jitter.get(), options);
     table.add_row({"ttfs/ttas", str::format_fixed(tau, 1), bench::pct(clean.accuracy),
                    bench::pct(noisy.accuracy), bench::pct(rescued.accuracy)});
   }

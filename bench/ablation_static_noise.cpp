@@ -20,11 +20,13 @@
 #include "report/table.h"
 #include "snn/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Ablation | static (parametric) vs dynamic (spike) noise\n");
   const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
   const auto scheme = coding::make_scheme(snn::Coding::kRate);
+  const snn::EvalOptions options = bench::eval_options();
 
   report::Table table({"Noise", "level", "Accuracy (%)"});
 
@@ -32,9 +34,8 @@ int main() {
     noise::StaticNoiseConfig cfg;
     cfg.weight_sigma = sigma;
     const snn::SnnModel noisy = noise::with_static_noise(w.conversion.model, cfg);
-    Rng rng(bench::bench_seed());
     const auto r = snn::evaluate(noisy, *scheme, w.test_images, w.test_labels,
-                                 nullptr, rng);
+                                 nullptr, options);
     table.add_row({"weight sigma", str::format_fixed(sigma, 2), bench::pct(r.accuracy)});
   }
 
@@ -42,17 +43,15 @@ int main() {
     noise::StaticNoiseConfig cfg;
     cfg.stuck_at_zero = q;
     const snn::SnnModel noisy = noise::with_static_noise(w.conversion.model, cfg);
-    Rng rng(bench::bench_seed());
     const auto r = snn::evaluate(noisy, *scheme, w.test_images, w.test_labels,
-                                 nullptr, rng);
+                                 nullptr, options);
     table.add_row({"stuck-at-0 q", str::format_fixed(q, 2), bench::pct(r.accuracy)});
   }
 
   for (const double p : {0.1, 0.2, 0.3, 0.5}) {
     const auto deletion = noise::make_deletion(p);
-    Rng rng(bench::bench_seed());
     const auto r = snn::evaluate(w.conversion.model, *scheme, w.test_images,
-                                 w.test_labels, deletion.get(), rng);
+                                 w.test_labels, deletion.get(), options);
     table.add_row({"deletion p", str::format_fixed(p, 2), bench::pct(r.accuracy)});
   }
 

@@ -17,10 +17,12 @@
 #include "report/table.h"
 #include "snn/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Ablation | weight-scaling factor C at deletion p = 0.5\n");
   const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
+  const snn::EvalOptions options = bench::eval_options();
 
   const double p = 0.5;
   const float c_star = core::weight_scaling_factor(p);
@@ -40,9 +42,8 @@ int main() {
     for (const float c : factors) {
       snn::SnnModel model = w.conversion.model.clone();
       model.scale_all_weights(c);
-      Rng rng(bench::bench_seed());
       const snn::BatchResult r = snn::evaluate(model, *m.scheme, w.test_images,
-                                               w.test_labels, noise.get(), rng);
+                                               w.test_labels, noise.get(), options);
       table.add_row({m.label, str::format_fixed(c, 2), bench::pct(r.accuracy),
                      c == c_star ? "C = 1/(1-p)" : ""});
     }

@@ -1,7 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <optional>
 
 #include "common/env.h"
 #include "common/string_util.h"
@@ -10,21 +13,124 @@
 
 namespace tsnn::bench {
 
+namespace {
+
+/// Flag overrides captured by init(); fall back to TSNN_BENCH_* env vars.
+struct CliOverrides {
+  std::optional<std::int64_t> images;
+  std::optional<std::int64_t> seed;
+  std::optional<std::int64_t> threads;
+  std::optional<std::string> out;
+};
+
+CliOverrides& cli() {
+  static CliOverrides overrides;
+  return overrides;
+}
+
+[[noreturn]] void usage(const char* prog, int exit_code) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "usage: %s [--images N] [--seed S] [--threads N] [--out DIR]\n"
+               "  --images N   test images per configuration (default 40)\n"
+               "  --seed S     base noise seed (default 0xBEEF)\n"
+               "  --threads N  evaluation workers, 0 = all cores (default 1)\n"
+               "  --out DIR    CSV output directory (default ./bench_results)\n",
+               prog);
+  std::exit(exit_code);
+}
+
+std::int64_t parse_int_arg(const char* prog, const char* flag, const char* value,
+                           bool allow_negative) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s: %s needs a value\n", prog, flag);
+    usage(prog, 2);
+  }
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(value, &end, 0);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "%s: %s got non-numeric value '%s'\n", prog, flag, value);
+    usage(prog, 2);
+  }
+  if (!allow_negative && parsed < 0) {
+    std::fprintf(stderr, "%s: %s must be >= 0, got %s\n", prog, flag, value);
+    usage(prog, 2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+void init(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(prog, 0);
+    } else if (std::strcmp(arg, "--images") == 0) {
+      cli().images = parse_int_arg(prog, arg, value, /*allow_negative=*/false);
+      ++i;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      // Any 64-bit pattern is a valid seed; negative values just wrap.
+      cli().seed = parse_int_arg(prog, arg, value, /*allow_negative=*/true);
+      ++i;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      cli().threads = parse_int_arg(prog, arg, value, /*allow_negative=*/false);
+      ++i;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (value == nullptr) {
+        std::fprintf(stderr, "%s: --out needs a value\n", prog);
+        usage(prog, 2);
+      }
+      cli().out = value;
+      ++i;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, arg);
+      usage(prog, 2);
+    }
+  }
+  if (cli().out) {
+    // write_csv reads the env var, so route the flag through it.
+    setenv("TSNN_BENCH_OUT", cli().out->c_str(), /*overwrite=*/1);
+  }
+}
+
 core::SweepInputs Workload::inputs() const {
   core::SweepInputs in;
   in.model = &conversion.model;
   in.images = &test_images;
   in.labels = &test_labels;
   in.seed = bench_seed();
+  in.num_threads = bench_threads();
   return in;
 }
 
 std::size_t bench_images() {
+  if (cli().images) {
+    return static_cast<std::size_t>(*cli().images);
+  }
   return static_cast<std::size_t>(env::get_int("TSNN_BENCH_IMAGES", 40));
 }
 
 std::uint64_t bench_seed() {
+  if (cli().seed) {
+    return static_cast<std::uint64_t>(*cli().seed);
+  }
   return static_cast<std::uint64_t>(env::get_int("TSNN_BENCH_SEED", 0xBEEF));
+}
+
+std::size_t bench_threads() {
+  if (cli().threads) {
+    return static_cast<std::size_t>(*cli().threads);
+  }
+  return static_cast<std::size_t>(env::get_int("TSNN_BENCH_THREADS", 1));
+}
+
+snn::EvalOptions eval_options() {
+  snn::EvalOptions options;
+  options.base_seed = bench_seed();
+  options.num_threads = bench_threads();
+  return options;
 }
 
 Workload prepare_workload(core::DatasetKind kind) {

@@ -6,11 +6,12 @@
 // paper-style table, and writes machine-readable CSV into
 // TSNN_BENCH_OUT (default ./bench_results).
 //
-// Knobs (environment):
-//   TSNN_BENCH_IMAGES  test images per configuration (default 40)
-//   TSNN_BENCH_SEED    noise stream seed               (default 0xBEEF)
-//   TSNN_BENCH_OUT     CSV output directory            (default ./bench_results)
-//   TSNN_ZOO_DIR       model cache (see core/zoo.h)
+// Knobs (flag overrides environment overrides default):
+//   --images N   / TSNN_BENCH_IMAGES   test images per configuration  (40)
+//   --seed S     / TSNN_BENCH_SEED     base noise seed                (0xBEEF)
+//   --threads N  / TSNN_BENCH_THREADS  evaluation workers, 0 = all    (1)
+//   --out DIR    / TSNN_BENCH_OUT      CSV output directory  (./bench_results)
+//                  TSNN_ZOO_DIR        model cache (see core/zoo.h)
 #pragma once
 
 #include <string>
@@ -19,6 +20,7 @@
 #include "convert/converter.h"
 #include "core/experiment.h"
 #include "core/zoo.h"
+#include "snn/simulator.h"
 
 namespace tsnn::bench {
 
@@ -33,11 +35,23 @@ struct Workload {
   core::SweepInputs inputs() const;
 };
 
-/// Number of evaluation images per configuration (TSNN_BENCH_IMAGES).
+/// Parses the shared bench flags (--images, --seed, --threads, --out; see
+/// file comment). Call first in every bench main. Unknown arguments abort
+/// with a usage message; `--help` prints it and exits 0.
+void init(int argc, char** argv);
+
+/// Number of evaluation images per configuration (--images).
 std::size_t bench_images();
 
-/// Noise seed (TSNN_BENCH_SEED).
+/// Base noise seed; image i draws from Rng::for_stream(seed, i) (--seed).
 std::uint64_t bench_seed();
+
+/// Evaluation worker threads, 0 meaning hardware concurrency (--threads).
+std::size_t bench_threads();
+
+/// The snn::evaluate options the shared knobs imply: base_seed from
+/// bench_seed(), num_threads from bench_threads().
+snn::EvalOptions eval_options();
 
 /// Loads/trains the zoo model for `kind`, converts it, and slices the test
 /// set down to bench_images() samples.

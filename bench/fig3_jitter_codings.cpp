@@ -11,8 +11,9 @@
 #include "bench_common.h"
 #include "coding/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Fig. 3 | jitter vs accuracy & spikes | baseline codings\n");
   const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
 

@@ -8,6 +8,7 @@
 // none dropout synergy with weight-scaling mean compensation.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "coding/registry.h"
 #include "common/string_util.h"
 #include "core/activation_analysis.h"
@@ -51,8 +52,9 @@ void print_spike_pattern(const std::string& label, const snn::CodingScheme& sche
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Fig. 5 | A) TTFS vs TTAS spike patterns  B) activation distribution\n");
 
   // Panel A: spike trains for one activation, TTFS vs TTAS(5).

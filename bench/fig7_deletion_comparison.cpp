@@ -10,8 +10,9 @@
 #include "bench_common.h"
 #include "coding/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Fig. 7 | deletion comparison | baselines, +WS, TTAS(5)+WS\n");
   const bench::Workload w = bench::prepare_workload(core::DatasetKind::kCifar10Like);
 

@@ -60,8 +60,9 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Table I | spike deletion across datasets | +WS methods and TTAS+WS\n");
   std::vector<core::SweepRow> all_rows;
   run_dataset(core::DatasetKind::kMnistLike, all_rows);

@@ -54,8 +54,9 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsnn;
+  bench::init(argc, argv);
   std::printf("Table II | spike jitter across datasets | temporal codings\n");
   std::vector<core::SweepRow> all_rows;
   run_dataset(core::DatasetKind::kMnistLike, all_rows);

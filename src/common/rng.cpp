@@ -103,4 +103,13 @@ Rng Rng::split() {
   return Rng((*this)());
 }
 
+Rng Rng::for_stream(std::uint64_t base_seed, std::uint64_t stream_index) {
+  // Decorrelate the base, then fold the stream index in through a second
+  // splitmix64 round so neighbouring indices land on unrelated seeds.
+  std::uint64_t x = base_seed;
+  const std::uint64_t base = splitmix64(x);
+  x = base ^ (stream_index * 0xD2B74407B1CE6E93ULL + 0x8BB84B93962EACC9ULL);
+  return Rng(splitmix64(x));
+}
+
 }  // namespace tsnn

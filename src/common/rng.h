@@ -5,6 +5,21 @@
 // single seed. Rng wraps xoshiro256** -- fast, high-quality, and independent
 // of the standard library's unspecified distributions (we implement our own
 // uniform/normal/bernoulli so results are bit-identical across platforms).
+//
+// Stream seeding contract
+// -----------------------
+// Batch work (notably snn::evaluate) must NOT thread one shared Rng& through
+// its items: that makes every item's randomness depend on how many draws the
+// previous items consumed, so results change with evaluation order, with
+// subsetting, and with any attempt to parallelize. Instead, each independent
+// work item i of a batch seeded with `base_seed` uses its own generator
+//
+//   Rng rng = Rng::for_stream(base_seed, i);
+//
+// for_stream mixes (base_seed, stream_index) through splitmix64 into a fresh
+// xoshiro state, giving decorrelated streams that are a pure function of the
+// pair -- image i sees the same noise no matter the thread count, the batch
+// ordering, or which other images are evaluated alongside it.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +69,12 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// subsystem its own stream that does not perturb the others.
   Rng split();
+
+  /// Deterministic per-item stream: the generator for work item
+  /// `stream_index` of a batch seeded with `base_seed`. Pure function of the
+  /// pair, so parallel and serial evaluation see identical randomness (see
+  /// the stream seeding contract above).
+  static Rng for_stream(std::uint64_t base_seed, std::uint64_t stream_index);
 
   /// Fisher-Yates shuffle of `v` using this generator.
   template <typename T>

@@ -1,0 +1,70 @@
+// Fixed-size worker pool for data-parallel evaluation.
+//
+// TSNN's batch evaluators fan independent per-image simulations out across a
+// pool; determinism is preserved by giving every work item its own RNG
+// stream (see common/rng.h, Rng::for_stream) so results never depend on the
+// number of workers or on scheduling order.
+//
+// Tasks submitted via submit() are *started* in FIFO order (with one worker
+// the pool degenerates to strict sequential execution). parallel_for(n, fn)
+// runs fn(0..n-1) across the workers and blocks until every index finished.
+// The first exception thrown by any task is captured and rethrown on the
+// calling thread from wait()/parallel_for(); subsequent exceptions are
+// swallowed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+#include <condition_variable>
+
+namespace tsnn {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks (blocking) and joins the workers. Exceptions
+  /// still pending at destruction are dropped -- call wait() to observe them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks are dequeued in submission order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any of them threw (if any).
+  void wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all are
+  /// done; rethrows the first exception. Equivalent to n submit()s + wait().
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps a requested thread count to an actual one: 0 -> hardware
+  /// concurrency (at least 1), otherwise the request itself.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;   ///< queue non-empty or stopping
+  std::condition_variable all_done_;     ///< pending_ reached zero
+  std::size_t pending_ = 0;              ///< queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace tsnn

@@ -20,9 +20,10 @@ ThresholdSearchResult search_threshold(const snn::SnnModel& model,
     snn::CodingParams params = base;
     params.threshold = theta;
     const snn::CodingSchemePtr scheme = coding::make_scheme(coding, params);
-    Rng rng(0xC0FFEE);
+    snn::EvalOptions options;
+    options.base_seed = 0xC0FFEE;
     const snn::BatchResult r =
-        snn::evaluate(model, *scheme, images, labels, nullptr, rng);
+        snn::evaluate(model, *scheme, images, labels, nullptr, options);
     out.curve.push_back({theta, r.accuracy, r.mean_spikes_per_image});
   }
 

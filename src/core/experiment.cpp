@@ -68,9 +68,11 @@ std::vector<SweepRow> sweep(const SweepInputs& in,
         noise = kind == NoiseKind::kDeletion ? noise::make_deletion(level)
                                              : noise::make_jitter(level);
       }
-      Rng rng(in.seed);
+      snn::EvalOptions options;
+      options.base_seed = in.seed;
+      options.num_threads = in.num_threads;
       const snn::BatchResult r = snn::evaluate(
-          model, *scheme, *in.images, *in.labels, noise.get(), rng);
+          model, *scheme, *in.images, *in.labels, noise.get(), options);
       rows.push_back({method.label, level, r.accuracy, r.mean_spikes_per_image});
       TSNN_LOG(kInfo) << method.label << " level " << level << " acc " << r.accuracy
                       << " spikes " << r.mean_spikes_per_image;

@@ -44,7 +44,8 @@ struct SweepInputs {
   const snn::SnnModel* model = nullptr;           ///< converted, unscaled
   const std::vector<Tensor>* images = nullptr;
   const std::vector<std::size_t>* labels = nullptr;
-  std::uint64_t seed = 0xBEEF;
+  std::uint64_t seed = 0xBEEF;  ///< base of the per-image noise streams
+  std::size_t num_threads = 1;  ///< evaluation workers; 0 = hardware
 };
 
 /// Accuracy/spikes of every method at every deletion probability.

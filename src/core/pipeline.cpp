@@ -39,7 +39,10 @@ snn::SimResult NoiseRobustPipeline::run(const Tensor& image,
 snn::BatchResult NoiseRobustPipeline::evaluate(
     const std::vector<Tensor>& images, const std::vector<std::size_t>& labels,
     const snn::NoiseModel* noise) {
-  return snn::evaluate(model_, *scheme_, images, labels, noise, rng_);
+  snn::EvalOptions options;
+  options.base_seed = config_.noise_seed;
+  options.num_threads = config_.num_threads;
+  return snn::evaluate(model_, *scheme_, images, labels, noise, options);
 }
 
 }  // namespace tsnn::core

@@ -35,8 +35,14 @@ struct PipelineConfig {
   bool weight_scaling = false;
   double assumed_deletion_p = 0.0;
 
-  /// Seed for the noise stream during evaluate()/run().
+  /// Seed for the noise streams during evaluate()/run(). evaluate() derives
+  /// a private stream per image from (noise_seed, image_index) -- see the
+  /// stream seeding contract in common/rng.h.
   std::uint64_t noise_seed = 0x7157A5;
+
+  /// Worker threads for evaluate(); 0 = hardware concurrency. The
+  /// BatchResult is bit-identical at any thread count.
+  std::size_t num_threads = 1;
 };
 
 /// A ready-to-run noisy-SNN evaluation pipeline (owns a scaled model copy).
@@ -58,14 +64,18 @@ class NoiseRobustPipeline {
   const snn::CodingScheme& scheme() const { return *scheme_; }
   const PipelineConfig& config() const { return config_; }
 
-  /// Resets the internal noise stream (evaluations become reproducible).
-  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+  /// Resets the noise seed: evaluate() batches and the run() stream restart
+  /// from `seed` exactly as a freshly built pipeline would.
+  void reseed(std::uint64_t seed) {
+    config_.noise_seed = seed;
+    rng_ = Rng(seed);
+  }
 
  private:
   PipelineConfig config_;
   snn::SnnModel model_;
   snn::CodingSchemePtr scheme_;
-  Rng rng_;
+  Rng rng_;  ///< stream for single-image run() calls
 };
 
 }  // namespace tsnn::core

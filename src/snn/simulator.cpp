@@ -1,5 +1,8 @@
 #include "snn/simulator.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace tsnn::snn {
@@ -47,23 +50,45 @@ SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
                      const std::vector<Tensor>& images,
                      const std::vector<std::size_t>& labels,
-                     const NoiseModel* noise, Rng& rng) {
+                     const NoiseModel* noise, const EvalOptions& options) {
   TSNN_CHECK_MSG(images.size() == labels.size(), "images/labels size mismatch");
+  const std::size_t n = images.size();
   BatchResult out;
-  out.num_images = images.size();
-  double spike_acc = 0.0;
-  for (std::size_t i = 0; i < images.size(); ++i) {
+  out.num_images = n;
+  if (n == 0) {
+    return out;
+  }
+
+  // Per-image slots written independently, then reduced in index order so
+  // the result is bit-identical at any thread count.
+  std::vector<std::uint8_t> correct(n, 0);
+  std::vector<std::size_t> spikes(n, 0);
+  const auto eval_one = [&](std::size_t i) {
+    Rng rng = Rng::for_stream(options.base_seed, i);
     const SimResult r = simulate(model, scheme, images[i], noise, rng);
-    if (r.predicted_class == labels[i]) {
-      ++out.num_correct;
+    correct[i] = r.predicted_class == labels[i] ? 1 : 0;
+    spikes[i] = r.total_spikes;
+  };
+
+  const std::size_t num_threads =
+      std::min(ThreadPool::resolve_threads(options.num_threads), n);
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      eval_one(i);
     }
-    spike_acc += static_cast<double>(r.total_spikes);
+  } else {
+    ThreadPool pool(num_threads);
+    pool.parallel_for(n, eval_one);
   }
-  if (!images.empty()) {
-    out.accuracy = static_cast<double>(out.num_correct) /
-                   static_cast<double>(images.size());
-    out.mean_spikes_per_image = spike_acc / static_cast<double>(images.size());
+
+  double spike_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.num_correct += correct[i];
+    spike_acc += static_cast<double>(spikes[i]);
   }
+  out.accuracy =
+      static_cast<double>(out.num_correct) / static_cast<double>(n);
+  out.mean_spikes_per_image = spike_acc / static_cast<double>(n);
   return out;
 }
 

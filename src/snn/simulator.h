@@ -42,9 +42,17 @@ struct BatchResult {
   std::size_t num_correct = 0;
 };
 
+/// How evaluate() runs the batch. Image i draws its noise from the private
+/// stream Rng::for_stream(base_seed, i), so the BatchResult is a pure
+/// function of (inputs, base_seed) -- bit-identical at any `num_threads`.
+struct EvalOptions {
+  std::uint64_t base_seed = 0;  ///< seed of the per-image noise streams
+  std::size_t num_threads = 1;  ///< worker count; 0 = hardware concurrency
+};
+
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
                      const std::vector<Tensor>& images,
                      const std::vector<std::size_t>& labels,
-                     const NoiseModel* noise, Rng& rng);
+                     const NoiseModel* noise, const EvalOptions& options = {});
 
 }  // namespace tsnn::snn

@@ -149,6 +149,38 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ForStreamIsPureFunctionOfPair) {
+  Rng a = Rng::for_stream(0xBEEF, 12);
+  Rng b = Rng::for_stream(0xBEEF, 12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, ForStreamNeighbouringIndicesDecorrelated) {
+  Rng a = Rng::for_stream(0xBEEF, 0);
+  Rng b = Rng::for_stream(0xBEEF, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForStreamDistinctBaseSeedsDecorrelated) {
+  Rng a = Rng::for_stream(1, 5);
+  Rng b = Rng::for_stream(2, 5);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
 TEST(Rng, ShufflePermutes) {
   Rng rng(31);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

@@ -80,9 +80,10 @@ class CleanConversion : public ::testing::TestWithParam<Coding> {};
 TEST_P(CleanConversion, SnnTracksDnnAccuracy) {
   auto& f = fixture();
   const auto scheme = coding::make_scheme(GetParam());
-  Rng rng(1);
+  snn::EvalOptions options;
+  options.base_seed = 1;
   const auto r = snn::evaluate(f.conversion.model, *scheme, f.test_images,
-                               f.test_labels, nullptr, rng);
+                               f.test_labels, nullptr, options);
   EXPECT_GT(r.accuracy, f.dnn_accuracy - 0.15)
       << "clean " << scheme->name() << " lost too much accuracy";
 }
@@ -96,14 +97,14 @@ INSTANTIATE_TEST_SUITE_P(AllCodings, CleanConversion,
 
 TEST(Integration, TtasCleanAccuracyMatchesTtfs) {
   auto& f = fixture();
-  Rng rng(1);
+  snn::EvalOptions options;
+  options.base_seed = 1;
   const auto ttfs = coding::make_scheme(Coding::kTtfs);
   const auto r_ttfs = snn::evaluate(f.conversion.model, *ttfs, f.test_images,
-                                    f.test_labels, nullptr, rng);
+                                    f.test_labels, nullptr, options);
   const auto ttas = core::make_ttas(5);
-  Rng rng2(1);
   const auto r_ttas = snn::evaluate(f.conversion.model, *ttas, f.test_images,
-                                    f.test_labels, nullptr, rng2);
+                                    f.test_labels, nullptr, options);
   EXPECT_NEAR(r_ttas.accuracy, r_ttfs.accuracy, 0.1);
   // TTAS uses ~5x the spikes of TTFS, still far below rate coding.
   EXPECT_GT(r_ttas.mean_spikes_per_image, 3.0 * r_ttfs.mean_spikes_per_image);
@@ -195,11 +196,11 @@ TEST(Integration, TtasMoreJitterRobustThanTtfs) {
 TEST(Integration, SpikeCountOrderingMatchesPaper) {
   // Table I ordering: TTFS << TTAS << rate/burst/phase spike budgets.
   auto& f = fixture();
-  Rng rng(1);
   const auto count = [&](const snn::CodingScheme& s) {
-    Rng r(1);
+    snn::EvalOptions options;
+    options.base_seed = 1;
     return snn::evaluate(f.conversion.model, s, f.test_images, f.test_labels,
-                         nullptr, r)
+                         nullptr, options)
         .mean_spikes_per_image;
   };
   const double rate = count(*coding::make_scheme(Coding::kRate));

@@ -148,9 +148,10 @@ TEST(InputNoise, DegradesTinyClassifier) {
     images.push_back(std::move(x));
     labels.push_back(cls);
   }
-  Rng eval_rng(13);
+  snn::EvalOptions eval_options;
+  eval_options.base_seed = 13;
   const auto clean =
-      snn::evaluate(model, *scheme, images, labels, nullptr, eval_rng);
+      snn::evaluate(model, *scheme, images, labels, nullptr, eval_options);
 
   Rng noise_rng(15);
   std::vector<Tensor> corrupted;
@@ -158,9 +159,8 @@ TEST(InputNoise, DegradesTinyClassifier) {
   for (const Tensor& img : images) {
     corrupted.push_back(gaussian_input_noise(img, 0.6, noise_rng));
   }
-  Rng eval_rng2(13);
   const auto noisy =
-      snn::evaluate(model, *scheme, corrupted, labels, nullptr, eval_rng2);
+      snn::evaluate(model, *scheme, corrupted, labels, nullptr, eval_options);
   EXPECT_EQ(clean.accuracy, 1.0);
   EXPECT_LT(noisy.accuracy, clean.accuracy);
 }
