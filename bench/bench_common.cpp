@@ -21,6 +21,7 @@ struct CliOverrides {
   std::optional<std::int64_t> seed;
   std::optional<std::int64_t> threads;
   std::optional<std::string> out;
+  std::optional<std::string> json;
 };
 
 CliOverrides& cli() {
@@ -30,11 +31,13 @@ CliOverrides& cli() {
 
 [[noreturn]] void usage(const char* prog, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
-               "usage: %s [--images N] [--seed S] [--threads N] [--out DIR]\n"
+               "usage: %s [--images N] [--seed S] [--threads N] [--out DIR]"
+               " [--json PATH]\n"
                "  --images N   test images per configuration (default 40)\n"
                "  --seed S     base noise seed (default 0xBEEF)\n"
                "  --threads N  evaluation workers, 0 = all cores (default 1)\n"
-               "  --out DIR    CSV output directory (default ./bench_results)\n",
+               "  --out DIR    CSV output directory (default ./bench_results)\n"
+               "  --json PATH  also write results as JSON to PATH\n",
                prog);
   std::exit(exit_code);
 }
@@ -84,6 +87,13 @@ void init(int argc, char** argv) {
       }
       cli().out = value;
       ++i;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      if (value == nullptr) {
+        std::fprintf(stderr, "%s: --json needs a value\n", prog);
+        usage(prog, 2);
+      }
+      cli().json = value;
+      ++i;
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, arg);
       usage(prog, 2);
@@ -124,6 +134,13 @@ std::size_t bench_threads() {
     return static_cast<std::size_t>(*cli().threads);
   }
   return static_cast<std::size_t>(env::get_int("TSNN_BENCH_THREADS", 1));
+}
+
+std::string bench_json() {
+  if (cli().json) {
+    return *cli().json;
+  }
+  return env::get_string("TSNN_BENCH_JSON", "");
 }
 
 snn::EvalOptions eval_options() {
@@ -190,8 +207,69 @@ void print_sweep(const std::string& title, const std::string& level_name,
   }
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Emits the sweep rows as one JSON document to the --json path. Failures
+/// degrade to a warning, matching write_csv.
+void write_json_results(const std::string& name, const std::string& level_name,
+                        const std::vector<core::SweepRow>& rows) {
+  const std::string path = bench_json();
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s; skipping JSON\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"%s\",\n"
+               "  \"level_name\": \"%s\",\n"
+               "  \"images\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"rows\": [",
+               json_escape(name).c_str(), json_escape(level_name).c_str(),
+               bench_images(),
+               static_cast<unsigned long long>(bench_seed()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const core::SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"method\": \"%s\", \"level\": %.6g, "
+                 "\"accuracy\": %.8g, \"mean_spikes\": %.8g}",
+                 i == 0 ? "" : ",", json_escape(r.method).c_str(), r.level,
+                 r.accuracy, r.mean_spikes);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
+}
+
+}  // namespace
+
 void write_csv(const std::string& name, const std::string& level_name,
                const std::vector<core::SweepRow>& rows) {
+  write_json_results(name, level_name, rows);
   const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);

@@ -11,6 +11,8 @@
 //   --seed S     / TSNN_BENCH_SEED     base noise seed                (0xBEEF)
 //   --threads N  / TSNN_BENCH_THREADS  evaluation workers, 0 = all    (1)
 //   --out DIR    / TSNN_BENCH_OUT      CSV output directory  (./bench_results)
+//   --json PATH  / TSNN_BENCH_JSON     also write results as JSON to PATH
+//                                      (CI perf-tracking artifacts)
 //                  TSNN_ZOO_DIR        model cache (see core/zoo.h)
 #pragma once
 
@@ -64,8 +66,15 @@ void print_sweep(const std::string& title, const std::string& level_name,
                  const std::vector<double>& levels,
                  const std::vector<core::SweepRow>& rows, bool show_spikes);
 
+/// JSON results path (--json / TSNN_BENCH_JSON); empty when unset.
+std::string bench_json();
+
 /// Writes the sweep rows as CSV into TSNN_BENCH_OUT/<name>.csv; prints the
 /// path (failures degrade to a warning so benches still run read-only).
+/// When --json PATH is set, the same rows are additionally emitted as a
+/// JSON document at PATH ({name, level_name, images, seed, rows[]}) for
+/// CI perf-trajectory artifacts; a bench that calls write_csv more than
+/// once overwrites PATH, so the last result set wins.
 void write_csv(const std::string& name, const std::string& level_name,
                const std::vector<core::SweepRow>& rows);
 

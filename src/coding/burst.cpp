@@ -71,12 +71,17 @@ SpikeRaster BurstScheme::run_layer(const SpikeRaster& in, const SynapseTopology&
   std::vector<float> u(out, 0.0f);
   std::vector<IsiDecoder> decoders(in.num_neurons());
   std::vector<std::size_t> k_out(out, 0);
+  // Burst magnitudes depend on each sender's ISI history, so the batch is
+  // assembled spike by spike (unlike the uniform-magnitude schemes).
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < params_.window; ++t) {
     if (t < in.window()) {
+      batch.clear();
       for (const std::uint32_t pre : in.at(t)) {
         const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
-        syn.accumulate(pre, base_in * burst_gain(k), u.data());
+        batch.add(pre, base_in * burst_gain(k));
       }
+      syn.propagate(batch, u.data());
     }
     for (std::size_t j = 0; j < out; ++j) {
       const float quantum = theta * burst_gain(k_out[j]);
@@ -98,11 +103,14 @@ Tensor BurstScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
   Tensor logits{Shape{syn.out_size()}};
   std::vector<IsiDecoder> decoders(in.num_neurons());
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window(); ++t) {
+    batch.clear();
     for (const std::uint32_t pre : in.at(t)) {
       const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
-      syn.accumulate(pre, base_in * burst_gain(k), logits.data());
+      batch.add(pre, base_in * burst_gain(k));
     }
+    syn.propagate(batch, logits.data());
   }
   return logits;
 }

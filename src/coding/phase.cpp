@@ -54,12 +54,10 @@ SpikeRaster PhaseScheme::run_layer(const SpikeRaster& in, const SynapseTopology&
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
   SpikeRaster out_raster(out, params_.window);
   std::vector<float> u(out, 0.0f);
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < params_.window; ++t) {
     if (t < in.window()) {
-      const float m_in = base_in * phase_weight(t);
-      for (const std::uint32_t pre : in.at(t)) {
-        syn.accumulate(pre, m_in, u.data());
-      }
+      snn::propagate_step(in, t, base_in * phase_weight(t), syn, batch, u.data());
     }
     // Greedy weighted-spike emission: a neuron fires at phase t if its
     // potential covers theta-scaled phase weight, draining that quantum.
@@ -79,11 +77,10 @@ Tensor PhaseScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
   Tensor logits{Shape{syn.out_size()}};
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window(); ++t) {
-    const float m_in = base_in * phase_weight(t);
-    for (const std::uint32_t pre : in.at(t)) {
-      syn.accumulate(pre, m_in, logits.data());
-    }
+    snn::propagate_step(in, t, base_in * phase_weight(t), syn, batch,
+                        logits.data());
   }
   return logits;
 }

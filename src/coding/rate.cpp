@@ -45,10 +45,9 @@ SpikeRaster RateScheme::run_layer(const SpikeRaster& in, const SynapseTopology& 
   static_cast<void>(role);
   SpikeRaster out_raster(out, params_.window);
   std::vector<float> u(out, 0.0f);
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window() && t < params_.window; ++t) {
-    for (const std::uint32_t pre : in.at(t)) {
-      syn.accumulate(pre, m_in, u.data());
-    }
+    snn::propagate_step(in, t, m_in, syn, batch, u.data());
     for (std::size_t j = 0; j < out; ++j) {
       if (u[j] >= theta) {
         u[j] -= theta;  // soft reset preserves the residual (RMP-SNN)
@@ -65,10 +64,9 @@ Tensor RateScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
   static_cast<void>(role);
   const float m_in = params_.threshold;
   Tensor logits{Shape{syn.out_size()}};
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window(); ++t) {
-    for (const std::uint32_t pre : in.at(t)) {
-      syn.accumulate(pre, m_in, logits.data());
-    }
+    snn::propagate_step(in, t, m_in, syn, batch, logits.data());
   }
   return logits;
 }

@@ -68,15 +68,12 @@ void TtfsScheme::charge(const SpikeRaster& in, const SynapseTopology& syn,
                         float base_in, float* u) const {
   // Arrival order is irrelevant in the layered-window regime: the charge
   // phase integrates the whole input window before any firing decision.
+  // Serves TTFS and TTAS alike (TTAS only widens the encode/fire bursts).
   const float scale = base_in * kernel_sum_scale_;
+  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window(); ++t) {
-    if (in.at(t).empty()) {
-      continue;
-    }
     const float m = scale * kernel(static_cast<std::int64_t>(t));
-    for (const std::uint32_t pre : in.at(t)) {
-      syn.accumulate(pre, m, u);
-    }
+    snn::propagate_step(in, t, m, syn, batch, u);
   }
 }
 

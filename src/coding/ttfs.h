@@ -59,7 +59,9 @@ class TtfsScheme : public snn::CodingScheme {
   float min_activation() const { return kernel(static_cast<std::int64_t>(params_.window) - 1); }
 
  private:
-  /// Accumulates all arrivals of `in` into `u` (length syn.out_size()).
+  /// Accumulates all arrivals of `in` into `u` (length syn.out_size())
+  /// via per-step SpikeBatch propagation -- the shared hot path of both
+  /// run_layer() and readout(), for TTFS and TTAS alike.
   void charge(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
               float base_in, float* u) const;
 

@@ -97,4 +97,20 @@ class CodingScheme {
 
 using CodingSchemePtr = std::unique_ptr<CodingScheme>;
 
+/// Propagates step `t` of `in` through `syn` at uniform magnitude `m` --
+/// the shared hot-path shape of rate/phase/TTFS/TTAS inner loops, where the
+/// PSC magnitude depends on the timestep but not on the individual spike.
+/// `batch` is caller-owned scratch (reused across steps so the per-step
+/// assembly allocates only on growth); must not be shared across threads.
+inline void propagate_step(const SpikeRaster& in, std::size_t t, float m,
+                           const SynapseTopology& syn, SpikeBatch& batch,
+                           float* u) {
+  const std::vector<std::uint32_t>& ids = in.at(t);
+  if (ids.empty()) {
+    return;
+  }
+  batch.assign(ids, m);
+  syn.propagate(batch, u);
+}
+
 }  // namespace tsnn::snn

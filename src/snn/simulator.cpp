@@ -7,8 +7,16 @@
 
 namespace tsnn::snn {
 
-SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng& rng) {
+namespace {
+
+/// Shared implementation of both simulate() overloads. `rng` may be null
+/// only when `noise` is null -- the no-noise path draws nothing, so it
+/// constructs no Rng at all.
+SimResult simulate_impl(const SnnModel& model, const CodingScheme& scheme,
+                        const Tensor& image, const NoiseModel* noise,
+                        Rng* rng) {
+  TSNN_CHECK_MSG(noise == nullptr || rng != nullptr,
+                 "noise model requires an rng");
   TSNN_CHECK_MSG(model.num_stages() > 0, "empty SNN model");
   TSNN_CHECK_SHAPE(image.shape() == model.input_shape(),
                    "image " << shape_to_string(image.shape()) << " expected "
@@ -17,7 +25,7 @@ SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
   SimResult result;
   SpikeRaster train = scheme.encode(image);
   if (noise != nullptr) {
-    train = noise->apply(train, rng);
+    train = noise->apply(train, *rng);
   }
   result.layer_spikes.push_back(train.total_spikes());
 
@@ -27,7 +35,7 @@ SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
     train = scheme.run_layer(train, *model.stage(s).synapse, role);
     role = LayerRole::kHidden;
     if (noise != nullptr) {
-      train = noise->apply(train, rng);
+      train = noise->apply(train, *rng);
     }
     result.layer_spikes.push_back(train.total_spikes());
   }
@@ -41,10 +49,16 @@ SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
   return result;
 }
 
+}  // namespace
+
+SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng& rng) {
+  return simulate_impl(model, scheme, image, noise, &rng);
+}
+
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image) {
-  Rng rng(0);
-  return simulate(model, scheme, image, nullptr, rng);
+  return simulate_impl(model, scheme, image, /*noise=*/nullptr, /*rng=*/nullptr);
 }
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,

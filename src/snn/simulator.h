@@ -30,7 +30,8 @@ struct SimResult {
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image, const NoiseModel* noise, Rng& rng);
 
-/// Convenience overload without noise.
+/// Convenience overload without noise; draws no randomness (no Rng is
+/// constructed), so the result is a pure function of (model, scheme, image).
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image);
 

@@ -4,6 +4,47 @@
 
 namespace tsnn::snn {
 
+namespace {
+
+/// Thread-local gather scratch for the dense drive. Sized to the largest
+/// in_size() seen on this thread; zeroed per use (cost amortized by the
+/// density threshold that gates the dense path).
+std::vector<float>& dense_scratch(std::size_t n) {
+  thread_local std::vector<float> x;
+  x.assign(n, 0.0f);
+  return x;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- base ----
+
+void SynapseTopology::dense_drive(const SpikeBatch& batch, float* u) const {
+  std::vector<float>& x = dense_scratch(in_size());
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
+    x[pre[i]] += mag[i];
+  }
+  apply_dense(x.data(), u);
+}
+
+void SynapseTopology::propagate(const SpikeBatch& batch, float* u) const {
+  if (batch.empty()) {
+    return;
+  }
+  if (batch.size() >= dense_drive_threshold()) {
+    dense_drive(batch, u);
+    return;
+  }
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    accumulate(pre[i], mag[i], u);
+  }
+}
+
 // ---------------------------------------------------------------- Dense ----
 
 DenseTopology::DenseTopology(Tensor weight) : weight_(std::move(weight)) {
@@ -17,6 +58,54 @@ void DenseTopology::accumulate(std::size_t pre, float m, float* u) const {
   const float* w = weight_.data() + pre;  // column `pre`, stride `in`
   for (std::size_t j = 0; j < out; ++j) {
     u[j] += m * w[j * in];
+  }
+}
+
+const float* DenseTopology::transposed() const {
+  if (!cache_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!cache_ready_.load(std::memory_order_relaxed)) {
+      const std::size_t out = weight_.dim(0);
+      const std::size_t in = weight_.dim(1);
+      weight_t_.resize(out * in);
+      const float* w = weight_.data();
+      for (std::size_t j = 0; j < out; ++j) {
+        for (std::size_t i = 0; i < in; ++i) {
+          weight_t_[i * out + j] = w[j * in + i];
+        }
+      }
+      cache_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return weight_t_.data();
+}
+
+void DenseTopology::invalidate_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  weight_t_.clear();
+  cache_ready_.store(false, std::memory_order_release);
+}
+
+void DenseTopology::propagate(const SpikeBatch& batch, float* u) const {
+  if (batch.empty()) {
+    return;
+  }
+  const std::size_t out = weight_.dim(0);
+  const std::size_t in = weight_.dim(1);
+  if (batch.size() >= dense_drive_threshold()) {
+    dense_drive(batch, u);
+    return;
+  }
+  const float* wt = transposed();
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in, "pre neuron " << pre[i] << " out of range " << in);
+    const float m = mag[i];
+    const float* col = wt + static_cast<std::size_t>(pre[i]) * out;
+    for (std::size_t j = 0; j < out; ++j) {
+      u[j] += m * col[j];
+    }
   }
 }
 
@@ -39,6 +128,7 @@ void DenseTopology::scale_weights(float c) {
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] *= c;
   }
+  invalidate_cache();
 }
 
 void DenseTopology::map_weights(const std::function<float(float)>& f) {
@@ -46,6 +136,7 @@ void DenseTopology::map_weights(const std::function<float(float)>& f) {
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] = f(w[i]);
   }
+  invalidate_cache();
 }
 
 std::unique_ptr<SynapseTopology> DenseTopology::clone() const {
@@ -116,6 +207,109 @@ void ConvTopology::accumulate(std::size_t pre, float m, float* u) const {
   }
 }
 
+const ConvTopology::PropagateCache& ConvTopology::cache() const {
+  if (!cache_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!cache_ready_.load(std::memory_order_relaxed)) {
+      const std::size_t hw = in_h_ * in_w_;
+      const std::size_t k2 = kernel_ * kernel_;
+      cache_.tap_offset.assign(hw + 1, 0);
+      cache_.taps.clear();
+      cache_.taps.reserve(hw * k2);
+      // Same (ky, kx) walk as accumulate(), with the div/mod validity test
+      // resolved once per input position instead of once per spike.
+      for (std::size_t iy = 0; iy < in_h_; ++iy) {
+        for (std::size_t ix = 0; ix < in_w_; ++ix) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t num_y = static_cast<std::ptrdiff_t>(iy + pad_) -
+                                         static_cast<std::ptrdiff_t>(ky);
+            if (num_y < 0 ||
+                num_y % static_cast<std::ptrdiff_t>(stride_) != 0) {
+              continue;
+            }
+            const std::size_t oy = static_cast<std::size_t>(num_y) / stride_;
+            if (oy >= out_h_) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::ptrdiff_t num_x =
+                  static_cast<std::ptrdiff_t>(ix + pad_) -
+                  static_cast<std::ptrdiff_t>(kx);
+              if (num_x < 0 ||
+                  num_x % static_cast<std::ptrdiff_t>(stride_) != 0) {
+                continue;
+              }
+              const std::size_t ox = static_cast<std::size_t>(num_x) / stride_;
+              if (ox >= out_w_) {
+                continue;
+              }
+              cache_.taps.push_back(
+                  Tap{static_cast<std::uint32_t>(oy * out_w_ + ox),
+                      static_cast<std::uint32_t>(ky * kernel_ + kx)});
+            }
+          }
+          cache_.tap_offset[iy * in_w_ + ix + 1] =
+              static_cast<std::uint32_t>(cache_.taps.size());
+        }
+      }
+      // {ic, oc, k*k} layout: the per-spike inner loops read one contiguous
+      // k*k block per output channel instead of striding by in_ch*k*k.
+      cache_.weight_t.resize(weight_.numel());
+      const float* w = weight_.data();
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          for (std::size_t t = 0; t < k2; ++t) {
+            cache_.weight_t[(ic * out_ch_ + oc) * k2 + t] =
+                w[(oc * in_ch_ + ic) * k2 + t];
+          }
+        }
+      }
+      cache_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return cache_;
+}
+
+void ConvTopology::invalidate_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_ = PropagateCache{};
+  cache_ready_.store(false, std::memory_order_release);
+}
+
+void ConvTopology::propagate(const SpikeBatch& batch, float* u) const {
+  if (batch.empty()) {
+    return;
+  }
+  if (batch.size() >= dense_drive_threshold()) {
+    dense_drive(batch, u);
+    return;
+  }
+  const PropagateCache& c = cache();
+  const std::size_t hw = in_h_ * in_w_;
+  const std::size_t out_hw = out_h_ * out_w_;
+  const std::size_t k2 = kernel_ * kernel_;
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
+    const std::size_t ic = pre[i] / hw;
+    const std::size_t sp = pre[i] - ic * hw;
+    const Tap* taps = c.taps.data() + c.tap_offset[sp];
+    const std::size_t num_taps = c.tap_offset[sp + 1] - c.tap_offset[sp];
+    if (num_taps == 0) {
+      continue;
+    }
+    const float m = mag[i];
+    const float* wt = c.weight_t.data() + ic * out_ch_ * k2;
+    float* umap = u;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc, wt += k2, umap += out_hw) {
+      for (std::size_t t = 0; t < num_taps; ++t) {
+        umap[taps[t].spatial] += m * wt[taps[t].wofs];
+      }
+    }
+  }
+}
+
 void ConvTopology::apply_dense(const float* x, float* y) const {
   const float* w = weight_.data();
   for (std::size_t oc = 0; oc < out_ch_; ++oc) {
@@ -159,6 +353,7 @@ void ConvTopology::scale_weights(float c) {
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] *= c;
   }
+  invalidate_cache();
 }
 
 void ConvTopology::map_weights(const std::function<float(float)>& f) {
@@ -166,6 +361,7 @@ void ConvTopology::map_weights(const std::function<float(float)>& f) {
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] = f(w[i]);
   }
+  invalidate_cache();
 }
 
 std::unique_ptr<SynapseTopology> ConvTopology::clone() const {
@@ -197,6 +393,39 @@ void PoolTopology::accumulate(std::size_t pre, float m, float* u) const {
   const std::size_t oy = iy / kernel_;
   const std::size_t ox = ix / kernel_;
   u[(c * out_h_ + oy) * out_w_ + ox] += m * weight_;
+}
+
+const std::uint32_t* PoolTopology::post_map() const {
+  if (!cache_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!cache_ready_.load(std::memory_order_relaxed)) {
+      post_.resize(in_size());
+      std::size_t pre = 0;
+      for (std::size_t c = 0; c < channels_; ++c) {
+        for (std::size_t iy = 0; iy < in_h_; ++iy) {
+          for (std::size_t ix = 0; ix < in_w_; ++ix, ++pre) {
+            post_[pre] = static_cast<std::uint32_t>(
+                (c * out_h_ + iy / kernel_) * out_w_ + ix / kernel_);
+          }
+        }
+      }
+      cache_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return post_.data();
+}
+
+void PoolTopology::propagate(const SpikeBatch& batch, float* u) const {
+  // Pool fan-out is O(1) per spike, so the per-spike scatter always beats
+  // the dense drive; batching removes the virtual dispatch and div/mod.
+  const std::uint32_t* post = post_map();
+  const float w = weight_;
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
+    u[post[pre[i]]] += mag[i] * w;
+  }
 }
 
 void PoolTopology::apply_dense(const float* x, float* y) const {

@@ -6,15 +6,67 @@
 // connectivity share converted DNN weights through this interface, so the
 // simulator is topology-agnostic and event-driven (cost scales with spike
 // count, not layer size).
+//
+// Two entry points exist: accumulate() applies a single spike and is the
+// readable reference implementation; propagate() applies one timestep's
+// whole SpikeBatch at once through cache-resident kernels (transposed
+// weights for dense, precomputed tap tables for conv, a pre->post map for
+// pooling) and is what the coding schemes' hot loops call. See
+// docs/ARCHITECTURE.md "Hot path & batched propagation".
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.h"
 
 namespace tsnn::snn {
+
+/// All spikes of one simulation timestep, as parallel (pre, magnitude)
+/// arrays. Coding schemes assemble one batch per step and hand it to
+/// SynapseTopology::propagate(). Duplicate `pre` entries are allowed and
+/// their contributions sum.
+class SpikeBatch {
+ public:
+  SpikeBatch() = default;
+
+  void clear() {
+    pre_.clear();
+    mag_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    pre_.reserve(n);
+    mag_.reserve(n);
+  }
+
+  /// Appends one spike of presynaptic neuron `pre` at magnitude `m`.
+  void add(std::uint32_t pre, float m) {
+    pre_.push_back(pre);
+    mag_.push_back(m);
+  }
+
+  /// Replaces the contents with `ids`, all at uniform magnitude `m` (the
+  /// common case: rate/phase/TTFS magnitudes depend on t, not on the spike).
+  void assign(const std::vector<std::uint32_t>& ids, float m) {
+    pre_.assign(ids.begin(), ids.end());
+    mag_.assign(ids.size(), m);
+  }
+
+  std::size_t size() const { return pre_.size(); }
+  bool empty() const { return pre_.empty(); }
+  const std::uint32_t* pre() const { return pre_.data(); }
+  const float* magnitude() const { return mag_.data(); }
+
+ private:
+  std::vector<std::uint32_t> pre_;
+  std::vector<float> mag_;
+};
 
 /// Abstract synapse fan-out.
 class SynapseTopology {
@@ -26,22 +78,50 @@ class SynapseTopology {
   virtual std::size_t out_size() const = 0;
 
   /// Adds `m`-scaled weights of presynaptic neuron `pre` into `u`
-  /// (length out_size()).
+  /// (length out_size()). Reference implementation of one spike; the hot
+  /// path goes through propagate().
   virtual void accumulate(std::size_t pre, float m, float* u) const = 0;
 
-  /// Dense reference: y += W x. Used by tests and the activation-transport
-  /// analysis; must agree with accumulate() summed over inputs.
+  /// Batched entry point: applies every (pre, m) pair of `batch` into `u`
+  /// (length out_size()). Semantically equal to calling accumulate() per
+  /// spike; subclasses override it with cache-resident kernels. Batches at
+  /// or above dense_drive_threshold() may be gathered into a dense input
+  /// vector and served by one apply_dense() pass -- a different summation
+  /// order, so agreement with accumulate() is to float tolerance (~1e-5),
+  /// not bitwise, once the dense drive engages.
+  virtual void propagate(const SpikeBatch& batch, float* u) const;
+
+  /// Spike count at which propagate() switches from per-spike scatter to
+  /// the dense drive. Scatter costs O(spikes x fanout) while the dense pass
+  /// costs O(in x fanout-ish) regardless of spike count, so the crossover
+  /// sits near full density; 3/4 of in_size() leaves margin for the
+  /// scatter's indexed-access overhead.
+  std::size_t dense_drive_threshold() const {
+    const std::size_t t = (in_size() * 3) / 4;
+    return t > 0 ? t : 1;
+  }
+
+  /// Dense reference: y += W x. Used by tests, the activation-transport
+  /// analysis, and the dense drive; must agree with accumulate() summed
+  /// over inputs.
   virtual void apply_dense(const float* x, float* y) const = 0;
 
   /// Multiplies every weight by `c` (weight scaling, TTAS C_A folding).
+  /// Not safe concurrently with propagate() -- mutate before simulating.
   virtual void scale_weights(float c) = 0;
 
   /// Applies `f` to every distinct weight parameter (static parametric
-  /// noise, quantization experiments, inspection).
+  /// noise, quantization experiments, inspection). Same thread-safety
+  /// caveat as scale_weights().
   virtual void map_weights(const std::function<float(float)>& f) = 0;
 
   /// Deep copy.
   virtual std::unique_ptr<SynapseTopology> clone() const = 0;
+
+ protected:
+  /// Gathers `batch` into a zeroed dense input vector (thread-local
+  /// scratch) and runs one apply_dense() pass into `u`.
+  void dense_drive(const SpikeBatch& batch, float* u) const;
 };
 
 /// Fully connected synapses from a dense DNN layer; weight {out, in}.
@@ -52,6 +132,7 @@ class DenseTopology : public SynapseTopology {
   std::size_t in_size() const override { return weight_.dim(1); }
   std::size_t out_size() const override { return weight_.dim(0); }
   void accumulate(std::size_t pre, float m, float* u) const override;
+  void propagate(const SpikeBatch& batch, float* u) const override;
   void apply_dense(const float* x, float* y) const override;
   void scale_weights(float c) override;
   void map_weights(const std::function<float(float)>& f) override;
@@ -60,7 +141,16 @@ class DenseTopology : public SynapseTopology {
   const Tensor& weight() const { return weight_; }
 
  private:
+  /// Returns the lazily built {in, out} transposed weight copy, so
+  /// per-spike fan-out reads are unit-stride instead of stride `in`.
+  /// Thread-safe (double-checked build); invalidated by weight mutation.
+  const float* transposed() const;
+  void invalidate_cache();
+
   Tensor weight_;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_ready_{false};
+  mutable std::vector<float> weight_t_;  // {in, out}
 };
 
 /// Convolutional synapses; weight {out_ch, in_ch, k, k}, stride 1 semantics
@@ -73,6 +163,7 @@ class ConvTopology : public SynapseTopology {
   std::size_t in_size() const override;
   std::size_t out_size() const override;
   void accumulate(std::size_t pre, float m, float* u) const override;
+  void propagate(const SpikeBatch& batch, float* u) const override;
   void apply_dense(const float* x, float* y) const override;
   void scale_weights(float c) override;
   void map_weights(const std::function<float(float)>& f) override;
@@ -83,10 +174,32 @@ class ConvTopology : public SynapseTopology {
   const Tensor& weight() const { return weight_; }
 
  private:
+  /// One valid kernel tap of an input spatial position: which output
+  /// spatial cell it feeds and which {ky, kx} weight it goes through.
+  struct Tap {
+    std::uint32_t spatial;  // oy * out_w + ox
+    std::uint32_t wofs;     // ky * kernel + kx
+  };
+
+  /// Per-input-position tap tables plus a {ic, oc, k*k} transposed weight
+  /// copy: propagate() walks precomputed (offset, weight-index) entries
+  /// with zero div/mod and zero bounds branches in the inner loops.
+  /// Lazily built (thread-safe), invalidated by weight mutation.
+  struct PropagateCache {
+    std::vector<std::uint32_t> tap_offset;  // in_h*in_w + 1, CSR offsets
+    std::vector<Tap> taps;                  // <= k*k per spatial position
+    std::vector<float> weight_t;            // [(ic*out_ch + oc)*k*k + wofs]
+  };
+  const PropagateCache& cache() const;
+  void invalidate_cache();
+
   Tensor weight_;
   std::size_t in_ch_, in_h_, in_w_;
   std::size_t out_ch_, out_h_, out_w_;
   std::size_t kernel_, stride_, pad_;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_ready_{false};
+  mutable PropagateCache cache_;
 };
 
 /// Non-overlapping average pooling as fixed uniform synapses (1/k^2 each),
@@ -99,6 +212,7 @@ class PoolTopology : public SynapseTopology {
   std::size_t in_size() const override { return channels_ * in_h_ * in_w_; }
   std::size_t out_size() const override { return channels_ * out_h_ * out_w_; }
   void accumulate(std::size_t pre, float m, float* u) const override;
+  void propagate(const SpikeBatch& batch, float* u) const override;
   void apply_dense(const float* x, float* y) const override;
   void scale_weights(float c) override { weight_ *= c; }
   void map_weights(const std::function<float(float)>& f) override {
@@ -109,8 +223,15 @@ class PoolTopology : public SynapseTopology {
   float pool_weight() const { return weight_; }
 
  private:
+  /// Lazily built pre -> post index map (geometry never mutates, so no
+  /// invalidation; the scalar pool weight is read live).
+  const std::uint32_t* post_map() const;
+
   std::size_t channels_, in_h_, in_w_, kernel_, out_h_, out_w_;
   float weight_;
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<bool> cache_ready_{false};
+  mutable std::vector<std::uint32_t> post_;
 };
 
 }  // namespace tsnn::snn

@@ -1,0 +1,254 @@
+// Property-style equivalence suite for the batched spike-propagation
+// engine: SynapseTopology::propagate() must agree with the per-spike
+// accumulate() reference and with one apply_dense() pass over the gathered
+// batch, for dense, conv (stride/pad variants), and pooling topologies, on
+// both sides of the sparse<->dense-drive threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "snn/topology.h"
+
+namespace tsnn::snn {
+namespace {
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+  Tensor t{shape};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Random batch of `count` spikes with magnitudes in (0, 1]; neurons may
+/// repeat when `allow_duplicates` (duplicates must sum).
+SpikeBatch random_batch(std::size_t in_size, std::size_t count,
+                        std::uint64_t seed, bool allow_duplicates = false) {
+  SpikeBatch batch;
+  Rng rng(seed);
+  std::vector<bool> used(in_size, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto pre = static_cast<std::uint32_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(in_size)));
+    if (!allow_duplicates) {
+      while (used[pre]) {
+        pre = static_cast<std::uint32_t>(pre + 1) %
+              static_cast<std::uint32_t>(in_size);
+      }
+      used[pre] = true;
+    }
+    batch.add(pre, static_cast<float>(rng.uniform(0.01, 1.0)));
+  }
+  return batch;
+}
+
+/// Core property: propagate == sum of accumulate == apply_dense(gather)
+/// within 1e-5 (plus a small relative cushion for large partial sums).
+void expect_equivalent(const SynapseTopology& syn, const SpikeBatch& batch) {
+  const std::size_t out = syn.out_size();
+  std::vector<float> via_batch(out, 0.0f);
+  syn.propagate(batch, via_batch.data());
+
+  std::vector<float> via_events(out, 0.0f);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    syn.accumulate(batch.pre()[i], batch.magnitude()[i], via_events.data());
+  }
+
+  std::vector<float> x(syn.in_size(), 0.0f);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    x[batch.pre()[i]] += batch.magnitude()[i];
+  }
+  std::vector<float> via_dense(out, 0.0f);
+  syn.apply_dense(x.data(), via_dense.data());
+
+  for (std::size_t j = 0; j < out; ++j) {
+    const float tol = 1e-5f + 1e-6f * std::fabs(via_events[j]);
+    EXPECT_NEAR(via_batch[j], via_events[j], tol) << "vs events, out " << j;
+    EXPECT_NEAR(via_batch[j], via_dense[j], tol) << "vs dense, out " << j;
+  }
+}
+
+/// Exercises both sides of the density threshold plus a duplicate-heavy
+/// batch, with distinct seeds.
+void run_threshold_sweep(const SynapseTopology& syn, std::uint64_t seed) {
+  const std::size_t threshold = syn.dense_drive_threshold();
+  ASSERT_GT(threshold, 0u);
+  ASSERT_LE(threshold, syn.in_size());
+  // Just below: per-spike scatter kernels.
+  expect_equivalent(syn, random_batch(syn.in_size(), threshold - 1, seed));
+  // At/above: the dense drive takes over.
+  expect_equivalent(syn, random_batch(syn.in_size(), threshold, seed + 1));
+  expect_equivalent(syn, random_batch(syn.in_size(), syn.in_size(), seed + 2));
+  // Duplicates sum regardless of path.
+  expect_equivalent(syn, random_batch(syn.in_size(), threshold / 2 + 1, seed + 3,
+                                      /*allow_duplicates=*/true));
+}
+
+TEST(Propagate, DenseMatchesReferences) {
+  DenseTopology syn(random_tensor(Shape{33, 48}, 1));
+  run_threshold_sweep(syn, 2);
+}
+
+TEST(Propagate, DenseWideLayer) {
+  DenseTopology syn(random_tensor(Shape{10, 256}, 3));
+  run_threshold_sweep(syn, 4);
+}
+
+TEST(Propagate, DenseEmptyBatchIsNoop) {
+  DenseTopology syn(random_tensor(Shape{5, 7}, 5));
+  std::vector<float> u(5, 0.25f);
+  syn.propagate(SpikeBatch{}, u.data());
+  for (const float v : u) {
+    EXPECT_FLOAT_EQ(v, 0.25f);
+  }
+}
+
+TEST(Propagate, DenseOutOfRangeThrows) {
+  DenseTopology syn(random_tensor(Shape{4, 6}, 6));
+  SpikeBatch batch;
+  batch.add(6, 1.0f);
+  std::vector<float> u(4, 0.0f);
+  EXPECT_THROW(syn.propagate(batch, u.data()), InvalidArgument);
+}
+
+TEST(Propagate, DenseScaleWeightsInvalidatesTransposedCache) {
+  DenseTopology syn(random_tensor(Shape{9, 12}, 7));
+  const SpikeBatch batch = random_batch(12, 3, 8);
+  std::vector<float> before(9, 0.0f);
+  syn.propagate(batch, before.data());  // builds the transposed copy
+  syn.scale_weights(2.0f);
+  std::vector<float> after(9, 0.0f);
+  syn.propagate(batch, after.data());
+  for (std::size_t j = 0; j < 9; ++j) {
+    EXPECT_NEAR(after[j], 2.0f * before[j], 1e-5f + 1e-6f * std::fabs(after[j]));
+  }
+}
+
+TEST(Propagate, DenseMapWeightsInvalidatesTransposedCache) {
+  DenseTopology syn(random_tensor(Shape{6, 10}, 9));
+  const SpikeBatch batch = random_batch(10, 4, 10);
+  std::vector<float> before(6, 0.0f);
+  syn.propagate(batch, before.data());
+  syn.map_weights([](float w) { return -w; });
+  std::vector<float> after(6, 0.0f);
+  syn.propagate(batch, after.data());
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(after[j], -before[j], 1e-5f + 1e-6f * std::fabs(after[j]));
+  }
+}
+
+TEST(Propagate, DenseCloneAfterCacheBuildIsIndependent) {
+  DenseTopology syn(random_tensor(Shape{8, 8}, 11));
+  const SpikeBatch batch = random_batch(8, 3, 12);
+  std::vector<float> u(8, 0.0f);
+  syn.propagate(batch, u.data());  // warm the cache before cloning
+  auto copy = syn.clone();
+  copy->scale_weights(0.0f);
+  expect_equivalent(syn, batch);  // original unaffected
+  std::vector<float> zeroed(8, 0.0f);
+  copy->propagate(batch, zeroed.data());
+  for (const float v : zeroed) {
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Propagate, ConvStride1Pad1) {
+  ConvTopology syn(random_tensor(Shape{4, 3, 3, 3}, 13), 8, 8, 1, 1);
+  run_threshold_sweep(syn, 14);
+}
+
+TEST(Propagate, ConvStride2NoPad) {
+  ConvTopology syn(random_tensor(Shape{2, 2, 3, 3}, 15), 9, 9, 2, 0);
+  run_threshold_sweep(syn, 16);
+}
+
+TEST(Propagate, ConvStride2Pad2Kernel5) {
+  ConvTopology syn(random_tensor(Shape{3, 2, 5, 5}, 17), 10, 10, 2, 2);
+  run_threshold_sweep(syn, 18);
+}
+
+TEST(Propagate, ConvRectangularInput) {
+  ConvTopology syn(random_tensor(Shape{2, 1, 3, 3}, 19), 6, 11, 1, 1);
+  run_threshold_sweep(syn, 20);
+}
+
+TEST(Propagate, ConvScaleWeightsInvalidatesTapCache) {
+  ConvTopology syn(random_tensor(Shape{2, 2, 3, 3}, 21), 5, 5, 1, 1);
+  const SpikeBatch batch = random_batch(syn.in_size(), 4, 22);
+  std::vector<float> before(syn.out_size(), 0.0f);
+  syn.propagate(batch, before.data());
+  syn.scale_weights(3.0f);
+  std::vector<float> after(syn.out_size(), 0.0f);
+  syn.propagate(batch, after.data());
+  for (std::size_t j = 0; j < syn.out_size(); ++j) {
+    EXPECT_NEAR(after[j], 3.0f * before[j], 1e-5f + 1e-6f * std::fabs(after[j]));
+  }
+  expect_equivalent(syn, batch);
+}
+
+TEST(Propagate, PoolMatchesReferences) {
+  PoolTopology syn(3, 6, 6, 2);
+  run_threshold_sweep(syn, 23);
+}
+
+TEST(Propagate, PoolDuplicatesSum) {
+  PoolTopology syn(1, 4, 4, 2);
+  SpikeBatch batch;
+  batch.add(0, 1.0f);
+  batch.add(0, 1.0f);  // same pre twice
+  batch.add(5, 2.0f);
+  std::vector<float> u(syn.out_size(), 0.0f);
+  syn.propagate(batch, u.data());
+  EXPECT_FLOAT_EQ(u[0], 4.0f * syn.pool_weight());  // (1+1+2) into cell 0
+}
+
+TEST(Propagate, SparsePathMatchesAccumulateBitwise) {
+  // Below the threshold the dense/conv kernels replay accumulate()'s exact
+  // adds (same values, same order) through transposed copies, so results
+  // are bit-identical -- the engine swap cannot move logits on sparse steps.
+  DenseTopology dense(random_tensor(Shape{17, 29}, 24));
+  const SpikeBatch db = random_batch(29, 5, 25);
+  std::vector<float> a(17, 0.0f), b(17, 0.0f);
+  dense.propagate(db, a.data());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    dense.accumulate(db.pre()[i], db.magnitude()[i], b.data());
+  }
+  EXPECT_EQ(a, b);
+
+  ConvTopology conv(random_tensor(Shape{3, 2, 3, 3}, 26), 7, 7, 1, 1);
+  const SpikeBatch cb = random_batch(conv.in_size(), 6, 27);
+  std::vector<float> ca(conv.out_size(), 0.0f), cbv(conv.out_size(), 0.0f);
+  conv.propagate(cb, ca.data());
+  for (std::size_t i = 0; i < cb.size(); ++i) {
+    conv.accumulate(cb.pre()[i], cb.magnitude()[i], cbv.data());
+  }
+  EXPECT_EQ(ca, cbv);
+}
+
+TEST(Propagate, RandomizedShapeSweep) {
+  Rng shape_rng(28);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t out = 4 + shape_rng.uniform_index(24);
+    const std::size_t in = 8 + shape_rng.uniform_index(64);
+    DenseTopology dense(
+        random_tensor(Shape{out, in}, 100 + static_cast<std::uint64_t>(trial)));
+    run_threshold_sweep(dense, 200 + static_cast<std::uint64_t>(trial) * 7);
+  }
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t oc = 1 + shape_rng.uniform_index(4);
+    const std::size_t ic = 1 + shape_rng.uniform_index(3);
+    const std::size_t hw = 6 + shape_rng.uniform_index(6);
+    const std::size_t stride = 1 + shape_rng.uniform_index(2);
+    const std::size_t pad = shape_rng.uniform_index(2);
+    ConvTopology conv(random_tensor(Shape{oc, ic, 3, 3},
+                                    300 + static_cast<std::uint64_t>(trial)),
+                      hw, hw, stride, pad);
+    run_threshold_sweep(conv, 400 + static_cast<std::uint64_t>(trial) * 7);
+  }
+}
+
+}  // namespace
+}  // namespace tsnn::snn
