@@ -209,6 +209,12 @@ void print_sweep(const std::string& title, const std::string& level_name,
 
 namespace {
 
+/// Metrics recorded via record_metric(), in recording order.
+std::vector<std::pair<std::string, double>>& metrics() {
+  static std::vector<std::pair<std::string, double>> m;
+  return m;
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -260,12 +266,32 @@ void write_json_results(const std::string& name, const std::string& level_name,
                  i == 0 ? "" : ",", json_escape(r.method).c_str(), r.level,
                  r.accuracy, r.mean_spikes);
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ]");
+  if (!metrics().empty()) {
+    std::fprintf(f, ",\n  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics().size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.8g", i == 0 ? "" : ",",
+                   json_escape(metrics()[i].first).c_str(),
+                   metrics()[i].second);
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("json: %s\n", path.c_str());
 }
 
 }  // namespace
+
+void record_metric(const std::string& name, double value) {
+  for (auto& [key, val] : metrics()) {
+    if (key == name) {
+      val = value;
+      return;
+    }
+  }
+  metrics().emplace_back(name, value);
+}
 
 void write_csv(const std::string& name, const std::string& level_name,
                const std::vector<core::SweepRow>& rows) {

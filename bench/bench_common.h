@@ -69,6 +69,13 @@ void print_sweep(const std::string& title, const std::string& level_name,
 /// JSON results path (--json / TSNN_BENCH_JSON); empty when unset.
 std::string bench_json();
 
+/// Records a named scalar metric (e.g. "images_per_sec") to be emitted in
+/// the next write_csv JSON document's "metrics" object. Re-recording a name
+/// overwrites its value; metrics persist across write_csv calls so the last
+/// JSON document (the one CI keeps) carries them all. Used by the perf-smoke
+/// job to track end-to-end simulation throughput across PRs.
+void record_metric(const std::string& name, double value);
+
 /// Writes the sweep rows as CSV into TSNN_BENCH_OUT/<name>.csv; prints the
 /// path (failures degrade to a warning so benches still run read-only).
 /// When --json PATH is set, the same rows are additionally emitted as a

@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "coding/registry.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "report/table.h"
 
@@ -18,7 +19,15 @@ namespace {
 
 using namespace tsnn;
 
-void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) {
+/// Simulation work done across all sweeps (model load/conversion excluded),
+/// for the images/sec metric the perf-smoke job tracks across PRs.
+struct SweepClock {
+  double seconds = 0.0;
+  std::size_t images = 0;  ///< one count per simulated (image, config) pair
+};
+
+void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows,
+                 SweepClock& clock) {
   const bench::Workload w = bench::prepare_workload(kind);
 
   std::vector<core::MethodSpec> methods;
@@ -28,7 +37,10 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) 
   methods.push_back(core::ttas_method(5, /*ws=*/true));
   const std::vector<double> levels{0.0, 0.2, 0.5, 0.8};
 
+  const Stopwatch sweep_timer;
   const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  clock.seconds += sweep_timer.elapsed();
+  clock.images += methods.size() * levels.size() * w.test_images.size();
 
   report::Table table({"Methods", "Clean", "0.2", "0.5", "0.8", "Avg.",
                        "N Clean", "N 0.2", "N 0.5", "N 0.8", "N Avg."});
@@ -65,9 +77,18 @@ int main(int argc, char** argv) {
   bench::init(argc, argv);
   std::printf("Table I | spike deletion across datasets | +WS methods and TTAS+WS\n");
   std::vector<core::SweepRow> all_rows;
-  run_dataset(core::DatasetKind::kMnistLike, all_rows);
-  run_dataset(core::DatasetKind::kCifar10Like, all_rows);
-  run_dataset(core::DatasetKind::kCifar20Like, all_rows);
+  SweepClock clock;
+  run_dataset(core::DatasetKind::kMnistLike, all_rows, clock);
+  run_dataset(core::DatasetKind::kCifar10Like, all_rows, clock);
+  run_dataset(core::DatasetKind::kCifar20Like, all_rows, clock);
+  if (clock.seconds > 0.0 && clock.images > 0) {
+    const double ips = static_cast<double>(clock.images) / clock.seconds;
+    std::printf("\nsweep throughput: %zu images in %.2fs = %.1f images/sec\n",
+                clock.images, clock.seconds, ips);
+    bench::record_metric("images_per_sec", ips);
+    bench::record_metric("sweep_seconds", clock.seconds);
+    bench::record_metric("sweep_images", static_cast<double>(clock.images));
+  }
   bench::write_csv("table1_deletion", "p", all_rows);
   return 0;
 }

@@ -1,30 +1,28 @@
 #include "coding/burst.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 
 namespace tsnn::coding {
 
+using snn::EventBuffer;
 using snn::LayerRole;
-using snn::SpikeRaster;
+using snn::SimWorkspace;
 using snn::SynapseTopology;
 
 namespace {
 
-/// Receiver-side burst state per presynaptic neuron: reconstructs the
-/// sender's escalation counter from arrival ISIs.
-struct IsiDecoder {
-  std::int64_t last_time = -10;
-  std::size_t k = 0;
-
-  /// Updates on an arrival at `t` and returns the inferred gain exponent.
-  std::size_t on_arrival(std::int64_t t) {
-    k = (t == last_time + 1) ? k + 1 : 0;
-    last_time = t;
-    return k;
-  }
-};
+/// Receiver-side ISI decoding step: updates (last arrival, run length) of
+/// one presynaptic neuron on an arrival at `t` and returns the inferred
+/// gain exponent -- consecutive-step arrivals escalate, gaps reset.
+inline std::size_t isi_on_arrival(std::int64_t t, std::int64_t& last,
+                                  std::uint32_t& k) {
+  k = (t == last + 1) ? k + 1 : 0;
+  last = t;
+  return k;
+}
 
 }  // namespace
 
@@ -38,12 +36,15 @@ float BurstScheme::burst_gain(std::size_t k) const {
   return std::pow(params_.burst_gain, static_cast<float>(e));
 }
 
-SpikeRaster BurstScheme::encode(const Tensor& activations) const {
+void BurstScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
+                              EventBuffer& out) const {
   const std::size_t n = activations.numel();
-  SpikeRaster raster(n, params_.window);
+  out.reset(n, params_.window);
   // Injection a per step, drained by escalating burst quanta (base 1.0).
-  std::vector<float> acc(n, 0.0f);
-  std::vector<std::size_t> k(n, 0);
+  ws.acc.assign(n, 0.0f);
+  ws.k.assign(n, 0);
+  float* acc = ws.acc.data();
+  std::uint32_t* k = ws.k.data();
   const float* a = activations.data();
   for (std::size_t t = 0; t < params_.window; ++t) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -52,77 +53,92 @@ SpikeRaster BurstScheme::encode(const Tensor& activations) const {
       if (acc[i] >= quantum) {
         acc[i] -= quantum;
         ++k[i];
-        raster.add(t, static_cast<std::uint32_t>(i));
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(i));
       } else {
         k[i] = 0;
       }
     }
   }
-  return raster;
+  out.finalize(ws.sort);
 }
 
-SpikeRaster BurstScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
-                                   LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
-  const std::size_t out = syn.out_size();
-  const float theta = params_.threshold;
-  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  SpikeRaster out_raster(out, params_.window);
-  std::vector<float> u(out, 0.0f);
-  std::vector<IsiDecoder> decoders(in.num_neurons());
-  std::vector<std::size_t> k_out(out, 0);
+void BurstScheme::decode_arrivals(const EventBuffer& in, std::size_t t,
+                                  float base_in, SimWorkspace& ws) const {
   // Burst magnitudes depend on each sender's ISI history, so the batch is
   // assembled spike by spike (unlike the uniform-magnitude schemes).
-  snn::SpikeBatch batch;
+  ws.batch.clear();
+  const EventBuffer::StepSpan span = in.step(t);
+  for (std::size_t i = 0; i < span.count; ++i) {
+    const std::uint32_t pre = span.ids[i];
+    const std::size_t k = isi_on_arrival(static_cast<std::int64_t>(t),
+                                         ws.isi_last[pre], ws.isi_k[pre]);
+    ws.batch.add(pre, base_in * burst_gain(k));
+  }
+}
+
+void BurstScheme::run_layer_into(const EventBuffer& in,
+                                 const SynapseTopology& syn, LayerRole role,
+                                 SimWorkspace& ws, EventBuffer& out) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  const std::size_t out_n = syn.out_size();
+  const float theta = params_.threshold;
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
+  out.reset(out_n, params_.window);
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
+  ws.isi_last.assign(in.num_neurons(), -10);
+  ws.isi_k.assign(in.num_neurons(), 0);
+  ws.k.assign(out_n, 0);
+  std::uint32_t* k_out = ws.k.data();
   for (std::size_t t = 0; t < params_.window; ++t) {
     if (t < in.window()) {
-      batch.clear();
-      for (const std::uint32_t pre : in.at(t)) {
-        const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
-        batch.add(pre, base_in * burst_gain(k));
-      }
-      syn.propagate(batch, u.data());
+      decode_arrivals(in, t, base_in, ws);
+      syn.propagate_accum(ws.batch, u);
     }
-    for (std::size_t j = 0; j < out; ++j) {
+    for (std::size_t j = 0; j < out_n; ++j) {
       const float quantum = theta * burst_gain(k_out[j]);
-      if (u[j] >= quantum) {
-        u[j] -= quantum;
+      float& uj = u[umap[j]];
+      if (uj >= quantum) {
+        uj -= quantum;
         ++k_out[j];
-        out_raster.add(t, static_cast<std::uint32_t>(j));
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
       } else {
         k_out[j] = 0;
       }
     }
   }
-  return out_raster;
+  out.finalize(ws.sort);
 }
 
-Tensor BurstScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
-                            LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+void BurstScheme::readout_into(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               SimWorkspace& ws, float* logits) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  Tensor logits{Shape{syn.out_size()}};
-  std::vector<IsiDecoder> decoders(in.num_neurons());
-  snn::SpikeBatch batch;
+  const std::size_t out_n = syn.out_size();
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
+  ws.isi_last.assign(in.num_neurons(), -10);
+  ws.isi_k.assign(in.num_neurons(), 0);
   for (std::size_t t = 0; t < in.window(); ++t) {
-    batch.clear();
-    for (const std::uint32_t pre : in.at(t)) {
-      const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
-      batch.add(pre, base_in * burst_gain(k));
-    }
-    syn.propagate(batch, logits.data());
+    decode_arrivals(in, t, base_in, ws);
+    syn.propagate_accum(ws.batch, u);
   }
-  return logits;
+  for (std::size_t j = 0; j < out_n; ++j) {
+    logits[j] = u[umap[j]];
+  }
 }
 
-Tensor BurstScheme::decode(const SpikeRaster& in) const {
+Tensor BurstScheme::decode(const snn::SpikeRaster& in) const {
   Tensor out{Shape{in.num_neurons()}};
-  std::vector<IsiDecoder> decoders(in.num_neurons());
+  std::vector<std::int64_t> last(in.num_neurons(), -10);
+  std::vector<std::uint32_t> k(in.num_neurons(), 0);
   const float inv_t = 1.0f / static_cast<float>(params_.window);
   for (std::size_t t = 0; t < in.window(); ++t) {
     for (const std::uint32_t pre : in.at(t)) {
-      const std::size_t k = decoders[pre].on_arrival(static_cast<std::int64_t>(t));
-      out[pre] += burst_gain(k) * inv_t;
+      const std::size_t kk =
+          isi_on_arrival(static_cast<std::int64_t>(t), last[pre], k[pre]);
+      out[pre] += burst_gain(kk) * inv_t;
     }
   }
   return out;

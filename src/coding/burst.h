@@ -21,16 +21,26 @@ class BurstScheme : public snn::CodingScheme {
   snn::Coding kind() const override { return snn::Coding::kBurst; }
   std::string name() const override { return "burst"; }
 
-  snn::SpikeRaster encode(const Tensor& activations) const override;
-  snn::SpikeRaster run_layer(const snn::SpikeRaster& in,
-                             const snn::SynapseTopology& syn,
-                             snn::LayerRole role) const override;
-  Tensor readout(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
-                 snn::LayerRole role) const override;
+  void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
+                   snn::EventBuffer& out) const override;
+  void run_layer_into(const snn::EventBuffer& in,
+                      const snn::SynapseTopology& syn, snn::LayerRole role,
+                      snn::SimWorkspace& ws,
+                      snn::EventBuffer& out) const override;
+  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, snn::SimWorkspace& ws,
+                    float* logits) const override;
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Gain of the k-th consecutive spike, capped at burst_cap: g^min(k,cap).
   float burst_gain(std::size_t k) const;
+
+ private:
+  /// Assembles the ISI-decoded arrival batch of step `t`: each sender's
+  /// escalation counter k is reconstructed from its arrival history in
+  /// ws.isi_last/ws.isi_k (sized to `in`, reset by the caller).
+  void decode_arrivals(const snn::EventBuffer& in, std::size_t t,
+                       float base_in, snn::SimWorkspace& ws) const;
 };
 
 }  // namespace tsnn::coding

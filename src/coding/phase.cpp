@@ -6,8 +6,9 @@
 
 namespace tsnn::coding {
 
+using snn::EventBuffer;
 using snn::LayerRole;
-using snn::SpikeRaster;
+using snn::SimWorkspace;
 using snn::SynapseTopology;
 
 PhaseScheme::PhaseScheme(snn::CodingParams params) : CodingScheme(params) {
@@ -22,12 +23,14 @@ float PhaseScheme::phase_weight(std::size_t t) const {
   return std::ldexp(1.0f, -static_cast<int>(t % params_.phase_period) - 1);
 }
 
-SpikeRaster PhaseScheme::encode(const Tensor& activations) const {
+void PhaseScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
+                              EventBuffer& out) const {
   const std::size_t n = activations.numel();
-  SpikeRaster raster(n, params_.window);
+  out.reset(n, params_.window);
   // Greedy binary expansion per period (MSB phase first); the residual
   // carries into the next period, so quantization error shrinks over time.
-  std::vector<float> acc(n, 0.0f);
+  ws.acc.assign(n, 0.0f);
+  float* acc = ws.acc.data();
   const float* a = activations.data();
   for (std::size_t t = 0; t < params_.window; ++t) {
     const bool period_start = (t % params_.phase_period) == 0;
@@ -38,54 +41,59 @@ SpikeRaster PhaseScheme::encode(const Tensor& activations) const {
       }
       if (acc[i] >= pw) {
         acc[i] -= pw;
-        raster.add(t, static_cast<std::uint32_t>(i));
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(i));
       }
     }
   }
-  return raster;
+  out.finalize(ws.sort);
 }
 
-SpikeRaster PhaseScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
-                                   LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
-  const std::size_t out = syn.out_size();
+void PhaseScheme::run_layer_into(const EventBuffer& in,
+                                 const SynapseTopology& syn, LayerRole role,
+                                 SimWorkspace& ws, EventBuffer& out) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  const std::size_t out_n = syn.out_size();
   const float theta = params_.threshold;
   // Encoder spikes are worth pw(t); hidden spikes are worth theta*pw(t).
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  SpikeRaster out_raster(out, params_.window);
-  std::vector<float> u(out, 0.0f);
-  snn::SpikeBatch batch;
+  out.reset(out_n, params_.window);
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
   for (std::size_t t = 0; t < params_.window; ++t) {
     if (t < in.window()) {
-      snn::propagate_step(in, t, base_in * phase_weight(t), syn, batch, u.data());
+      snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch, u);
     }
     // Greedy weighted-spike emission: a neuron fires at phase t if its
     // potential covers theta-scaled phase weight, draining that quantum.
     const float quantum = theta * phase_weight(t);
-    for (std::size_t j = 0; j < out; ++j) {
-      if (u[j] >= quantum) {
-        u[j] -= quantum;
-        out_raster.add(t, static_cast<std::uint32_t>(j));
+    for (std::size_t j = 0; j < out_n; ++j) {
+      float& uj = u[umap[j]];
+      if (uj >= quantum) {
+        uj -= quantum;
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
       }
     }
   }
-  return out_raster;
+  out.finalize(ws.sort);
 }
 
-Tensor PhaseScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
-                            LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+void PhaseScheme::readout_into(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               SimWorkspace& ws, float* logits) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  Tensor logits{Shape{syn.out_size()}};
-  snn::SpikeBatch batch;
+  const std::size_t out_n = syn.out_size();
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
   for (std::size_t t = 0; t < in.window(); ++t) {
-    snn::propagate_step(in, t, base_in * phase_weight(t), syn, batch,
-                        logits.data());
+    snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch, u);
   }
-  return logits;
+  for (std::size_t j = 0; j < out_n; ++j) {
+    logits[j] = u[umap[j]];
+  }
 }
 
-Tensor PhaseScheme::decode(const SpikeRaster& in) const {
+Tensor PhaseScheme::decode(const snn::SpikeRaster& in) const {
   Tensor out{Shape{in.num_neurons()}};
   const float inv_periods = 1.0f / static_cast<float>(num_periods());
   for (std::size_t t = 0; t < in.window(); ++t) {

@@ -19,12 +19,15 @@ class PhaseScheme : public snn::CodingScheme {
   snn::Coding kind() const override { return snn::Coding::kPhase; }
   std::string name() const override { return "phase"; }
 
-  snn::SpikeRaster encode(const Tensor& activations) const override;
-  snn::SpikeRaster run_layer(const snn::SpikeRaster& in,
-                             const snn::SynapseTopology& syn,
-                             snn::LayerRole role) const override;
-  Tensor readout(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
-                 snn::LayerRole role) const override;
+  void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
+                   snn::EventBuffer& out) const override;
+  void run_layer_into(const snn::EventBuffer& in,
+                      const snn::SynapseTopology& syn, snn::LayerRole role,
+                      snn::SimWorkspace& ws,
+                      snn::EventBuffer& out) const override;
+  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, snn::SimWorkspace& ws,
+                    float* logits) const override;
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Binary phase weight of timestep `t`: 2^-(1 + t mod K).

@@ -4,8 +4,9 @@
 
 namespace tsnn::coding {
 
+using snn::EventBuffer;
 using snn::LayerRole;
-using snn::SpikeRaster;
+using snn::SimWorkspace;
 using snn::SynapseTopology;
 
 RateScheme::RateScheme(snn::CodingParams params) : CodingScheme(params) {
@@ -13,29 +14,32 @@ RateScheme::RateScheme(snn::CodingParams params) : CodingScheme(params) {
   TSNN_CHECK_MSG(params_.window > 0, "window must be positive");
 }
 
-SpikeRaster RateScheme::encode(const Tensor& activations) const {
+void RateScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
+                             EventBuffer& out) const {
   const std::size_t n = activations.numel();
-  SpikeRaster raster(n, params_.window);
+  out.reset(n, params_.window);
   // Deterministic rate encoding: an accumulator integrates `a` per step and
   // fires on crossing 1, giving count == round-ish(a*T) with rate <= 1.
-  std::vector<float> acc(n, 0.0f);
+  ws.acc.assign(n, 0.0f);
+  float* acc = ws.acc.data();
   const float* a = activations.data();
   for (std::size_t t = 0; t < params_.window; ++t) {
     for (std::size_t i = 0; i < n; ++i) {
       acc[i] += a[i];
       if (acc[i] >= 1.0f) {
         acc[i] -= 1.0f;
-        raster.add(t, static_cast<std::uint32_t>(i));
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(i));
       }
     }
   }
-  return raster;
+  out.finalize(ws.sort);
 }
 
-SpikeRaster RateScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
-                                  LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
-  const std::size_t out = syn.out_size();
+void RateScheme::run_layer_into(const EventBuffer& in,
+                                const SynapseTopology& syn, LayerRole role,
+                                SimWorkspace& ws, EventBuffer& out) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  const std::size_t out_n = syn.out_size();
   const float theta = params_.threshold;
   // Rate invariant: a spike train firing at rate r represents activation r.
   // Arrivals carry theta and the fire threshold is theta, so the output rate
@@ -43,35 +47,40 @@ SpikeRaster RateScheme::run_layer(const SpikeRaster& in, const SynapseTopology& 
   // gauge for rate coding (it matters for phase/burst/TTFS capacity).
   const float m_in = theta;
   static_cast<void>(role);
-  SpikeRaster out_raster(out, params_.window);
-  std::vector<float> u(out, 0.0f);
-  snn::SpikeBatch batch;
+  out.reset(out_n, params_.window);
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
   for (std::size_t t = 0; t < in.window() && t < params_.window; ++t) {
-    snn::propagate_step(in, t, m_in, syn, batch, u.data());
-    for (std::size_t j = 0; j < out; ++j) {
-      if (u[j] >= theta) {
-        u[j] -= theta;  // soft reset preserves the residual (RMP-SNN)
-        out_raster.add(t, static_cast<std::uint32_t>(j));
+    snn::propagate_step(in, t, m_in, syn, ws.batch, u);
+    for (std::size_t j = 0; j < out_n; ++j) {
+      float& uj = u[umap[j]];
+      if (uj >= theta) {
+        uj -= theta;  // soft reset preserves the residual (RMP-SNN)
+        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
       }
     }
   }
-  return out_raster;
+  out.finalize(ws.sort);
 }
 
-Tensor RateScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
-                           LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+void RateScheme::readout_into(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, SimWorkspace& ws,
+                              float* logits) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
   static_cast<void>(role);
   const float m_in = params_.threshold;
-  Tensor logits{Shape{syn.out_size()}};
-  snn::SpikeBatch batch;
+  const std::size_t out_n = syn.out_size();
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
   for (std::size_t t = 0; t < in.window(); ++t) {
-    snn::propagate_step(in, t, m_in, syn, batch, logits.data());
+    snn::propagate_step(in, t, m_in, syn, ws.batch, u);
   }
-  return logits;
+  for (std::size_t j = 0; j < out_n; ++j) {
+    logits[j] = u[umap[j]];
+  }
 }
 
-Tensor RateScheme::decode(const SpikeRaster& in) const {
+Tensor RateScheme::decode(const snn::SpikeRaster& in) const {
   Tensor out{Shape{in.num_neurons()}};
   const float inv_t = 1.0f / static_cast<float>(params_.window);
   for (std::size_t t = 0; t < in.window(); ++t) {

@@ -1,13 +1,15 @@
 #include "coding/ttfs.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 
 namespace tsnn::coding {
 
+using snn::EventBuffer;
 using snn::LayerRole;
-using snn::SpikeRaster;
+using snn::SimWorkspace;
 using snn::SynapseTopology;
 
 TtfsScheme::TtfsScheme(snn::CodingParams params) : CodingScheme(params) {
@@ -48,56 +50,62 @@ std::int64_t TtfsScheme::encode_time(float a) const {
   return t;
 }
 
-SpikeRaster TtfsScheme::encode(const Tensor& activations) const {
+void TtfsScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
+                             EventBuffer& out) const {
   const std::size_t n = activations.numel();
-  SpikeRaster raster(n, raster_window());
+  out.reset(n, raster_window());
   const float* a = activations.data();
+  // Emission is neuron-major (each neuron's burst in one go), so the
+  // finalize pass counting-sorts into time-major order.
   for (std::size_t i = 0; i < n; ++i) {
     const std::int64_t t1 = encode_time(a[i]);
     if (t1 < 0) {
       continue;
     }
     for (std::size_t j = 0; j < params_.burst_duration; ++j) {
-      raster.add(static_cast<std::size_t>(t1) + j, static_cast<std::uint32_t>(i));
+      out.push(static_cast<std::int32_t>(t1 + static_cast<std::int64_t>(j)),
+               static_cast<std::uint32_t>(i));
     }
   }
-  return raster;
+  out.finalize(ws.sort);
 }
 
-void TtfsScheme::charge(const SpikeRaster& in, const SynapseTopology& syn,
-                        float base_in, float* u) const {
+void TtfsScheme::charge(const EventBuffer& in, const SynapseTopology& syn,
+                        float base_in, snn::SpikeBatch& batch, float* u) const {
   // Arrival order is irrelevant in the layered-window regime: the charge
   // phase integrates the whole input window before any firing decision.
   // Serves TTFS and TTAS alike (TTAS only widens the encode/fire bursts).
   const float scale = base_in * kernel_sum_scale_;
-  snn::SpikeBatch batch;
   for (std::size_t t = 0; t < in.window(); ++t) {
     const float m = scale * kernel(static_cast<std::int64_t>(t));
     snn::propagate_step(in, t, m, syn, batch, u);
   }
 }
 
-SpikeRaster TtfsScheme::run_layer(const SpikeRaster& in, const SynapseTopology& syn,
-                                  LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
-  const std::size_t out = syn.out_size();
+void TtfsScheme::run_layer_into(const EventBuffer& in,
+                                const SynapseTopology& syn, LayerRole role,
+                                SimWorkspace& ws, EventBuffer& out) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  const std::size_t out_n = syn.out_size();
   const float theta = params_.threshold;
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  std::vector<float> u(out, 0.0f);
-  charge(in, syn, base_in, u.data());
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
+  charge(in, syn, base_in, ws.batch, u);
 
-  SpikeRaster out_raster(out, raster_window());
+  out.reset(out_n, raster_window());
   const auto window = static_cast<std::int64_t>(params_.window);
   // Fire phase: u >= theta*exp(-t/tau)  <=>  t >= tau*ln(theta/u). The
   // dynamic threshold floor is theta*exp(-(T-1)/tau); below it (including
   // all u <= 0) the neuron stays silent, which implements ReLU.
   const float floor = theta * kernel(window - 1);
-  for (std::size_t j = 0; j < out; ++j) {
-    if (u[j] < floor) {
+  for (std::size_t j = 0; j < out_n; ++j) {
+    const float uj = u[umap[j]];
+    if (uj < floor) {
       continue;
     }
     auto t1 = static_cast<std::int64_t>(
-        std::lround(params_.tau * std::log(theta / u[j])));
+        std::lround(params_.tau * std::log(theta / uj)));
     if (t1 < 0) {
       t1 = 0;  // over-threshold activations saturate at the earliest slot
     }
@@ -107,22 +115,28 @@ SpikeRaster TtfsScheme::run_layer(const SpikeRaster& in, const SynapseTopology& 
     // Simplified integrate-and-fire-or-burst (paper Eq. 4): burst of
     // burst_duration spikes from t1, then reset to -inf (silent forever).
     for (std::size_t b = 0; b < params_.burst_duration; ++b) {
-      out_raster.add(static_cast<std::size_t>(t1) + b, static_cast<std::uint32_t>(j));
+      out.push(static_cast<std::int32_t>(t1 + static_cast<std::int64_t>(b)),
+               static_cast<std::uint32_t>(j));
     }
   }
-  return out_raster;
+  out.finalize(ws.sort);
 }
 
-Tensor TtfsScheme::readout(const SpikeRaster& in, const SynapseTopology& syn,
-                           LayerRole role) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "raster/synapse size mismatch");
+void TtfsScheme::readout_into(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, SimWorkspace& ws,
+                              float* logits) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  Tensor logits{Shape{syn.out_size()}};
-  charge(in, syn, base_in, logits.data());
-  return logits;
+  const std::size_t out_n = syn.out_size();
+  const std::uint32_t* umap = ws.accum_map(syn);
+  float* u = ws.potentials(out_n);
+  charge(in, syn, base_in, ws.batch, u);
+  for (std::size_t j = 0; j < out_n; ++j) {
+    logits[j] = u[umap[j]];
+  }
 }
 
-Tensor TtfsScheme::decode(const SpikeRaster& in) const {
+Tensor TtfsScheme::decode(const snn::SpikeRaster& in) const {
   Tensor out{Shape{in.num_neurons()}};
   for (std::size_t t = 0; t < in.window(); ++t) {
     const float m = kernel_sum_scale_ * kernel(static_cast<std::int64_t>(t));

@@ -36,12 +36,15 @@ class TtfsScheme : public snn::CodingScheme {
     return params_.window + params_.burst_duration - 1;
   }
 
-  snn::SpikeRaster encode(const Tensor& activations) const override;
-  snn::SpikeRaster run_layer(const snn::SpikeRaster& in,
-                             const snn::SynapseTopology& syn,
-                             snn::LayerRole role) const override;
-  Tensor readout(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
-                 snn::LayerRole role) const override;
+  void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
+                   snn::EventBuffer& out) const override;
+  void run_layer_into(const snn::EventBuffer& in,
+                      const snn::SynapseTopology& syn, snn::LayerRole role,
+                      snn::SimWorkspace& ws,
+                      snn::EventBuffer& out) const override;
+  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, snn::SimWorkspace& ws,
+                    float* logits) const override;
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Exponential PSC kernel value exp(-t/tau).
@@ -61,9 +64,9 @@ class TtfsScheme : public snn::CodingScheme {
  private:
   /// Accumulates all arrivals of `in` into `u` (length syn.out_size())
   /// via per-step SpikeBatch propagation -- the shared hot path of both
-  /// run_layer() and readout(), for TTFS and TTAS alike.
-  void charge(const snn::SpikeRaster& in, const snn::SynapseTopology& syn,
-              float base_in, float* u) const;
+  /// run_layer_into() and readout_into(), for TTFS and TTAS alike.
+  void charge(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+              float base_in, snn::SpikeBatch& batch, float* u) const;
 
   float kernel_sum_scale_ = 1.0f;
 };

@@ -7,14 +7,17 @@ namespace tsnn::core {
 
 namespace {
 
+/// Resolves PipelineConfig's parameter precedence (documented on
+/// PipelineConfig::params): explicit params verbatim, or registry defaults
+/// with at most the TTAS burst-duration override applied.
 snn::CodingParams resolve_params(const PipelineConfig& config) {
   if (!config.use_default_params) {
     return config.params;
   }
   snn::CodingParams params = coding::default_params(config.coding);
-  params.burst_duration = config.coding == snn::Coding::kTtas
-                              ? std::max<std::size_t>(config.params.burst_duration, 1)
-                              : params.burst_duration;
+  if (config.coding == snn::Coding::kTtas && config.params.burst_duration > 1) {
+    params.burst_duration = config.params.burst_duration;
+  }
   return params;
 }
 
@@ -24,16 +27,19 @@ NoiseRobustPipeline::NoiseRobustPipeline(const snn::SnnModel& model,
                                          const PipelineConfig& config)
     : config_(config),
       model_(model.clone()),
-      scheme_(coding::make_scheme(config.coding, resolve_params(config))),
-      rng_(config.noise_seed) {
+      scheme_(coding::make_scheme(config.coding, resolve_params(config))) {
   if (config_.weight_scaling) {
     apply_weight_scaling(model_, config_.assumed_deletion_p);
   }
 }
 
 snn::SimResult NoiseRobustPipeline::run(const Tensor& image,
-                                        const snn::NoiseModel* noise) {
-  return snn::simulate(model_, *scheme_, image, noise, rng_);
+                                        const snn::NoiseModel* noise,
+                                        std::uint64_t stream) {
+  Rng rng = Rng::for_stream(config_.noise_seed, stream);
+  snn::SimResult result;
+  snn::simulate_into(model_, *scheme_, image, noise, &rng, workspace_, result);
+  return result;
 }
 
 snn::BatchResult NoiseRobustPipeline::evaluate(

@@ -26,8 +26,14 @@ namespace tsnn::core {
 /// Configuration of a noise-robust SNN deployment.
 struct PipelineConfig {
   snn::Coding coding = snn::Coding::kTtas;
-  /// Coding parameters; if `use_default_params` the registry defaults for
-  /// `coding` are used and only burst_duration is taken from here.
+  /// Coding parameters. Precedence is explicit:
+  ///   - use_default_params == false: `params` is used verbatim.
+  ///   - use_default_params == true:  the registry defaults for `coding`
+  ///     are used in full, with one exception -- for Coding::kTtas a
+  ///     `params.burst_duration` > 1 overrides the registry's t_a (the
+  ///     paper's headline knob). A default-constructed config therefore
+  ///     matches coding::default_params(coding) exactly, including the
+  ///     registry's TTAS burst duration.
   snn::CodingParams params;
   bool use_default_params = true;
 
@@ -35,8 +41,8 @@ struct PipelineConfig {
   bool weight_scaling = false;
   double assumed_deletion_p = 0.0;
 
-  /// Seed for the noise streams during evaluate()/run(). evaluate() derives
-  /// a private stream per image from (noise_seed, image_index) -- see the
+  /// Seed for the noise streams during evaluate()/run(). Both derive
+  /// private streams via Rng::for_stream(noise_seed, index) -- see the
   /// stream seeding contract in common/rng.h.
   std::uint64_t noise_seed = 0x7157A5;
 
@@ -52,8 +58,15 @@ class NoiseRobustPipeline {
   /// `config` to an internal copy.
   NoiseRobustPipeline(const snn::SnnModel& model, const PipelineConfig& config);
 
-  /// Simulates a single image; `noise` may be null for clean runs.
-  snn::SimResult run(const Tensor& image, const snn::NoiseModel* noise);
+  /// Simulates a single image; `noise` may be null for clean runs. The
+  /// noise randomness comes from the private stream
+  /// Rng::for_stream(noise_seed, stream) -- the same contract evaluate()
+  /// uses for image i -- so a run() call is a pure function of
+  /// (pipeline, image, stream): back-to-back calls with the same stream
+  /// are identical, independent of call order or history. Pass distinct
+  /// stream indices to draw independent corruptions of the same image.
+  snn::SimResult run(const Tensor& image, const snn::NoiseModel* noise,
+                     std::uint64_t stream = 0);
 
   /// Evaluates accuracy and spike counts over a labeled set.
   snn::BatchResult evaluate(const std::vector<Tensor>& images,
@@ -64,18 +77,15 @@ class NoiseRobustPipeline {
   const snn::CodingScheme& scheme() const { return *scheme_; }
   const PipelineConfig& config() const { return config_; }
 
-  /// Resets the noise seed: evaluate() batches and the run() stream restart
+  /// Resets the noise seed: evaluate() batches and run() streams restart
   /// from `seed` exactly as a freshly built pipeline would.
-  void reseed(std::uint64_t seed) {
-    config_.noise_seed = seed;
-    rng_ = Rng(seed);
-  }
+  void reseed(std::uint64_t seed) { config_.noise_seed = seed; }
 
  private:
   PipelineConfig config_;
   snn::SnnModel model_;
   snn::CodingSchemePtr scheme_;
-  Rng rng_;  ///< stream for single-image run() calls
+  snn::SimWorkspace workspace_;  ///< reusable scratch for run() calls
 };
 
 }  // namespace tsnn::core

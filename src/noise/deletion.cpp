@@ -24,6 +24,20 @@ snn::SpikeRaster DeletionNoise::apply(const snn::SpikeRaster& in, Rng& rng) cons
   return out;
 }
 
+void DeletionNoise::apply_inplace(snn::EventBuffer& events,
+                                  snn::EventSortScratch& /*scratch*/,
+                                  Rng& rng) const {
+  if (p_ == 0.0) {
+    return;
+  }
+  // Same event visit order and draw sequence as apply(): time-major,
+  // emission order within a step.
+  events.remove_if_not(
+      [&](std::int32_t /*t*/, std::uint32_t /*neuron*/) {
+        return !rng.bernoulli(p_);
+      });
+}
+
 std::string DeletionNoise::name() const {
   return "deletion(p=" + str::format_fixed(p_, 2) + ")";
 }

@@ -12,6 +12,9 @@ class DeletionNoise : public snn::NoiseModel {
   explicit DeletionNoise(double p);
 
   snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  /// In-place stream compaction: one Bernoulli draw per event, time-major.
+  void apply_inplace(snn::EventBuffer& events, snn::EventSortScratch& scratch,
+                     Rng& rng) const override;
   std::string name() const override;
 
   double probability() const { return p_; }

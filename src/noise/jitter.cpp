@@ -29,6 +29,25 @@ snn::SpikeRaster JitterNoise::apply(const snn::SpikeRaster& in, Rng& rng) const 
   return out;
 }
 
+void JitterNoise::apply_inplace(snn::EventBuffer& events,
+                                snn::EventSortScratch& scratch,
+                                Rng& rng) const {
+  if (sigma_ == 0.0) {
+    return;
+  }
+  // Same draw sequence as apply(); the stable re-bucket reproduces the
+  // raster path's within-step ordering (draw order == insertion order).
+  const auto last = static_cast<std::int64_t>(events.window()) - 1;
+  events.remap_times(
+      [&](std::int32_t t, std::uint32_t /*neuron*/) {
+        const auto shift =
+            static_cast<std::int64_t>(std::lround(rng.normal(0.0, sigma_)));
+        return static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(t) + shift, 0, last));
+      },
+      scratch);
+}
+
 std::string JitterNoise::name() const {
   return "jitter(sigma=" + str::format_fixed(sigma_, 2) + ")";
 }

@@ -13,6 +13,10 @@ class JitterNoise : public snn::NoiseModel {
   explicit JitterNoise(double sigma);
 
   snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  /// In-place time rewrite + stable counting-sort re-bucket via `scratch`;
+  /// one Gaussian draw per event, time-major.
+  void apply_inplace(snn::EventBuffer& events, snn::EventSortScratch& scratch,
+                     Rng& rng) const override;
   std::string name() const override;
 
   double sigma() const { return sigma_; }

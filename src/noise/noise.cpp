@@ -21,6 +21,14 @@ snn::SpikeRaster CompositeNoise::apply(const snn::SpikeRaster& in, Rng& rng) con
   return out;
 }
 
+void CompositeNoise::apply_inplace(snn::EventBuffer& events,
+                                   snn::EventSortScratch& scratch,
+                                   Rng& rng) const {
+  for (const auto& m : models_) {
+    m->apply_inplace(events, scratch, rng);
+  }
+}
+
 std::string CompositeNoise::name() const {
   std::string out = "composite[";
   for (std::size_t i = 0; i < models_.size(); ++i) {
@@ -36,6 +44,10 @@ std::string CompositeNoise::name() const {
 snn::SpikeRaster NoNoise::apply(const snn::SpikeRaster& in, Rng& /*rng*/) const {
   return in;
 }
+
+void NoNoise::apply_inplace(snn::EventBuffer& /*events*/,
+                            snn::EventSortScratch& /*scratch*/,
+                            Rng& /*rng*/) const {}
 
 snn::NoiseModelPtr make_deletion(double p) {
   return std::make_unique<DeletionNoise>(p);

@@ -14,6 +14,8 @@ class CompositeNoise : public snn::NoiseModel {
   explicit CompositeNoise(std::vector<snn::NoiseModelPtr> models);
 
   snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  void apply_inplace(snn::EventBuffer& events, snn::EventSortScratch& scratch,
+                     Rng& rng) const override;
   std::string name() const override;
 
   std::size_t size() const { return models_.size(); }
@@ -26,6 +28,8 @@ class CompositeNoise : public snn::NoiseModel {
 class NoNoise : public snn::NoiseModel {
  public:
   snn::SpikeRaster apply(const snn::SpikeRaster& in, Rng& rng) const override;
+  void apply_inplace(snn::EventBuffer& events, snn::EventSortScratch& scratch,
+                     Rng& rng) const override;
   std::string name() const override { return "clean"; }
 };
 

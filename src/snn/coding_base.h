@@ -5,13 +5,23 @@
 // receiver-side PSC magnitude of an arriving spike. Baseline schemes (rate,
 // phase, burst, TTFS) live in src/coding/; the paper's contribution (TTAS)
 // lives in src/core/.
+//
+// The primary interface is the event-buffer path (encode_into /
+// run_layer_into / readout_into): schemes emit directly into a caller-owned
+// EventBuffer and lease scratch from the caller's SimWorkspace, so the
+// simulator's steady state allocates nothing. The SpikeRaster-based
+// encode/run_layer/readout entry points remain as thin non-virtual
+// adapters (they stand up a transient workspace and convert) for tests,
+// analyses, and exploratory code.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "snn/event_buffer.h"
 #include "snn/spike.h"
 #include "snn/topology.h"
+#include "snn/workspace.h"
 #include "tensor/tensor.h"
 
 namespace tsnn::snn {
@@ -66,28 +76,48 @@ class CodingScheme {
   virtual Coding kind() const = 0;
   virtual std::string name() const = 0;
 
-  /// Window length of rasters produced by this scheme (may exceed
+  /// Window length of trains produced by this scheme (may exceed
   /// params().window, e.g. TTAS bursts that start near the window edge).
   virtual std::size_t raster_window() const { return params_.window; }
 
+  // Event-buffer hot path -------------------------------------------------
+  // All three lease scratch from `ws` (which the caller reuses across
+  // images) and must leave `out` finalized. `in` and `out` must be
+  // distinct buffers (the simulator ping-pongs ws.cur/ws.next).
+
   /// Encodes normalized activations (values in [0,1], any shape; flattened
-  /// row-major) into an input spike train at base magnitude 1.0.
-  virtual SpikeRaster encode(const Tensor& activations) const = 0;
+  /// row-major) into `out` at base magnitude 1.0.
+  virtual void encode_into(const Tensor& activations, SimWorkspace& ws,
+                           EventBuffer& out) const = 0;
 
   /// Simulates one hidden spiking layer fed by `in` through `syn`:
   /// integrates PSCs (weighing arrivals per `role`), applies the scheme's
-  /// firing rule, returns the output spike train.
-  virtual SpikeRaster run_layer(const SpikeRaster& in, const SynapseTopology& syn,
-                                LayerRole role) const = 0;
+  /// firing rule, emits the output spike train into `out`.
+  virtual void run_layer_into(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, SimWorkspace& ws,
+                              EventBuffer& out) const = 0;
 
-  /// Accumulates the non-firing readout layer: total PSC per output neuron
-  /// over the window (the "membrane potential" logits).
-  virtual Tensor readout(const SpikeRaster& in, const SynapseTopology& syn,
-                         LayerRole role) const = 0;
+  /// Accumulates the non-firing readout layer into `logits` (length
+  /// syn.out_size(), overwritten): total PSC per output neuron over the
+  /// window (the "membrane potential" logits).
+  virtual void readout_into(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, SimWorkspace& ws,
+                            float* logits) const = 0;
 
   /// Decodes an encoder-convention spike train back to activation estimates
   /// (per neuron). Exercised by round-trip property tests and analyses.
   virtual Tensor decode(const SpikeRaster& in) const = 0;
+
+  // Raster adapters -------------------------------------------------------
+  // Convenience wrappers over the event path for tests/analyses; each call
+  // stands up a transient SimWorkspace and converts, so they are NOT for
+  // hot loops.
+
+  SpikeRaster encode(const Tensor& activations) const;
+  SpikeRaster run_layer(const SpikeRaster& in, const SynapseTopology& syn,
+                        LayerRole role) const;
+  Tensor readout(const SpikeRaster& in, const SynapseTopology& syn,
+                 LayerRole role) const;
 
   const CodingParams& params() const { return params_; }
 
@@ -102,6 +132,20 @@ using CodingSchemePtr = std::unique_ptr<CodingScheme>;
 /// PSC magnitude depends on the timestep but not on the individual spike.
 /// `batch` is caller-owned scratch (reused across steps so the per-step
 /// assembly allocates only on growth); must not be shared across threads.
+/// Writes `u` in the topology's accumulator layout (propagate_accum) --
+/// consumers index it through SimWorkspace::accum_map().
+inline void propagate_step(const EventBuffer& in, std::size_t t, float m,
+                           const SynapseTopology& syn, SpikeBatch& batch,
+                           float* u) {
+  const EventBuffer::StepSpan span = in.step(t);
+  if (span.count == 0) {
+    return;
+  }
+  batch.assign(span.ids, span.count, m);
+  syn.propagate_accum(batch, u);
+}
+
+/// SpikeRaster overload, kept for micro-benchmarks and reference code.
 inline void propagate_step(const SpikeRaster& in, std::size_t t, float m,
                            const SynapseTopology& syn, SpikeBatch& batch,
                            float* u) {

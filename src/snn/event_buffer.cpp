@@ -1,0 +1,71 @@
+#include "snn/event_buffer.h"
+
+namespace tsnn::snn {
+
+void EventBuffer::reset(std::size_t num_neurons, std::size_t window) {
+  TSNN_CHECK_MSG(num_neurons > 0, "event buffer needs at least one neuron");
+  TSNN_CHECK_MSG(window > 0, "event buffer window must be positive");
+  num_neurons_ = num_neurons;
+  window_ = window;
+  times_.clear();
+  neurons_.clear();
+  sorted_ = true;
+  finalized_ = false;
+}
+
+void EventBuffer::finalize(EventSortScratch& scratch) {
+  if (finalized_) {
+    return;
+  }
+  // Count events per step into the CSR table (offsets_[t+1] holds the
+  // count of step t before the prefix sum).
+  offsets_.assign(window_ + 1, 0);
+  for (const std::int32_t t : times_) {
+    ++offsets_[static_cast<std::size_t>(t) + 1];
+  }
+  for (std::size_t t = 0; t < window_; ++t) {
+    offsets_[t + 1] += offsets_[t];
+  }
+  if (!sorted_) {
+    // Stable counting-sort scatter through per-step cursors; destinations
+    // are swapped in so repeated finalizes recycle the same storage.
+    scratch.cursor.assign(offsets_.begin(), offsets_.end() - 1);
+    scratch.times.resize(times_.size());
+    scratch.neurons.resize(neurons_.size());
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      const std::uint32_t pos = scratch.cursor[static_cast<std::size_t>(times_[i])]++;
+      scratch.times[pos] = times_[i];
+      scratch.neurons[pos] = neurons_[i];
+    }
+    times_.swap(scratch.times);
+    neurons_.swap(scratch.neurons);
+    sorted_ = true;
+  }
+  finalized_ = true;
+}
+
+void EventBuffer::assign_from(const SpikeRaster& raster,
+                              EventSortScratch& scratch) {
+  reset(raster.num_neurons(), raster.window());
+  for (std::size_t t = 0; t < raster.window(); ++t) {
+    for (const std::uint32_t neuron : raster.at(t)) {
+      push(static_cast<std::int32_t>(t), neuron);
+    }
+  }
+  finalize(scratch);
+}
+
+SpikeRaster EventBuffer::to_raster() const {
+  check_finalized();
+  SpikeRaster raster(num_neurons_, window_);
+  for (std::size_t t = 0; t < window_; ++t) {
+    const std::uint32_t* ids = step_begin(t);
+    const std::size_t n = step_count(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      raster.add(t, ids[i]);
+    }
+  }
+  return raster;
+}
+
+}  // namespace tsnn::snn

@@ -1,0 +1,167 @@
+// Flat spike-event buffer -- the hot-path spike-train representation.
+//
+// An EventBuffer stores one layer's spike train as parallel SoA arrays
+// (times[], neurons[]) bucketed by timestep through a CSR offset table:
+// the events of step t occupy [offsets[t], offsets[t+1]) and, within a
+// step, keep their emission order. Unlike SpikeRaster's
+// vector-of-vectors buckets, the storage is three flat arrays whose
+// capacity only ever grows, so a buffer owned by a reusable SimWorkspace
+// performs zero heap allocations once warm -- the FFmpeg buffer-pool
+// discipline applied to spike trains.
+//
+// Producers (coding schemes) push() events in any order and finalize();
+// if the pushes were already time-ordered (rate/phase/burst emit
+// timestep-major) finalizing just builds the offset table, otherwise a
+// stable counting sort re-buckets into caller-provided scratch.
+// Consumers read per-step spans (step_begin/step_count) or the flat
+// arrays. Noise models mutate the buffer in place: remove_if_not()
+// compacts the stream and remap_times() re-buckets after rewriting times,
+// both visiting events in time-major order so RNG draw order matches the
+// historical SpikeRaster implementations exactly (fixed seeds reproduce
+// bit-identical corruption).
+//
+// SpikeRaster (spike.h) remains the conversion/reporting type for tests,
+// spike_stats, and figure-style analyses; assign_from()/to_raster()
+// bridge the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "snn/spike.h"
+
+namespace tsnn::snn {
+
+/// Reusable scratch for EventBuffer::finalize's stable counting sort and
+/// assign_from. Owned by SimWorkspace so re-bucketing allocates nothing
+/// once warm; must not be shared across threads.
+struct EventSortScratch {
+  std::vector<std::uint32_t> cursor;   ///< per-step scatter cursors
+  std::vector<std::int32_t> times;     ///< scatter destination, swapped in
+  std::vector<std::uint32_t> neurons;  ///< scatter destination, swapped in
+};
+
+/// Flat spike train: SoA (time, neuron) events with per-step CSR offsets.
+class EventBuffer {
+ public:
+  EventBuffer() = default;
+
+  /// Clears and re-dimensions the buffer, keeping allocated capacity.
+  void reset(std::size_t num_neurons, std::size_t window);
+
+  std::size_t num_neurons() const { return num_neurons_; }
+  std::size_t window() const { return window_; }
+
+  /// Total number of events.
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  /// Appends a spike of `neuron` at step `t` (bounds-checked). Any order
+  /// is accepted; time-ordered appends make finalize() sort-free.
+  void push(std::int32_t t, std::uint32_t neuron) {
+    TSNN_CHECK_MSG(t >= 0 && static_cast<std::size_t>(t) < window_,
+                   "event time " << t << " outside window " << window_);
+    TSNN_CHECK_MSG(neuron < num_neurons_,
+                   "neuron " << neuron << " out of range " << num_neurons_);
+    sorted_ = sorted_ && (times_.empty() || t >= times_.back());
+    finalized_ = false;
+    times_.push_back(t);
+    neurons_.push_back(neuron);
+  }
+
+  /// Buckets the events by time (stable within a step) and builds the CSR
+  /// offset table. Idempotent; required before per-step access.
+  void finalize(EventSortScratch& scratch);
+  bool finalized() const { return finalized_; }
+
+  /// One step's events as a pointer span.
+  struct StepSpan {
+    const std::uint32_t* ids;
+    std::size_t count;
+  };
+
+  /// Events of step `t`, in emission order (finalized buffers only). The
+  /// span form does the finalized check once per step -- the hot loops'
+  /// shape; step_begin/step_count are the piecemeal equivalents.
+  StepSpan step(std::size_t t) const {
+    check_finalized();
+    return {neurons_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+  const std::uint32_t* step_begin(std::size_t t) const {
+    check_finalized();
+    return neurons_.data() + offsets_[t];
+  }
+  std::size_t step_count(std::size_t t) const {
+    check_finalized();
+    return offsets_[t + 1] - offsets_[t];
+  }
+
+  /// Flat views over the finalized (time-major) event arrays.
+  const std::int32_t* times() const { return times_.data(); }
+  const std::uint32_t* neurons() const { return neurons_.data(); }
+
+  /// In-place compaction: keeps exactly the events for which
+  /// `keep(time, neuron)` returns true, visiting events in time-major
+  /// emission order (the RNG draw-order contract). Stays finalized.
+  template <typename Keep>
+  void remove_if_not(Keep&& keep) {
+    check_finalized();
+    std::size_t w = 0;
+    std::uint32_t read_begin = offsets_[0];
+    for (std::size_t t = 0; t < window_; ++t) {
+      const std::uint32_t read_end = offsets_[t + 1];
+      offsets_[t] = static_cast<std::uint32_t>(w);
+      for (std::uint32_t i = read_begin; i < read_end; ++i) {
+        if (keep(static_cast<std::int32_t>(t), neurons_[i])) {
+          neurons_[w] = neurons_[i];
+          times_[w] = static_cast<std::int32_t>(t);
+          ++w;
+        }
+      }
+      read_begin = read_end;
+    }
+    offsets_[window_] = static_cast<std::uint32_t>(w);
+    times_.resize(w);
+    neurons_.resize(w);
+  }
+
+  /// In-place time rewrite: every event's time becomes
+  /// `fn(time, neuron)` (must land in [0, window)), visiting events in
+  /// time-major order, then re-buckets. Events that map to the same step
+  /// keep their visit order (stable), matching the historical jitter
+  /// semantics of appending to raster buckets in draw order.
+  template <typename Fn>
+  void remap_times(Fn&& fn, EventSortScratch& scratch) {
+    check_finalized();
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      times_[i] = fn(times_[i], neurons_[i]);
+      TSNN_CHECK_MSG(times_[i] >= 0 &&
+                         static_cast<std::size_t>(times_[i]) < window_,
+                     "remapped time " << times_[i] << " outside window "
+                                      << window_);
+    }
+    sorted_ = false;
+    finalized_ = false;
+    finalize(scratch);
+  }
+
+  /// Conversion bridges to the reporting type.
+  void assign_from(const SpikeRaster& raster, EventSortScratch& scratch);
+  SpikeRaster to_raster() const;
+
+ private:
+  void check_finalized() const {
+    TSNN_CHECK_MSG(finalized_, "EventBuffer not finalized");
+  }
+
+  std::size_t num_neurons_ = 0;
+  std::size_t window_ = 0;
+  bool sorted_ = true;     ///< pushes so far are non-decreasing in time
+  bool finalized_ = false;
+  std::vector<std::int32_t> times_;
+  std::vector<std::uint32_t> neurons_;
+  std::vector<std::uint32_t> offsets_;  ///< window+1 entries once finalized
+};
+
+}  // namespace tsnn::snn

@@ -1,0 +1,13 @@
+#include "snn/noise_base.h"
+
+namespace tsnn::snn {
+
+void NoiseModel::apply_inplace(EventBuffer& events, EventSortScratch& scratch,
+                               Rng& rng) const {
+  // Generic adapter for noise models that only implement the raster path;
+  // allocates, so TSNN's own models override with in-place versions.
+  const SpikeRaster out = apply(events.to_raster(), rng);
+  events.assign_from(out, scratch);
+}
+
+}  // namespace tsnn::snn

@@ -1,20 +1,16 @@
 #include "snn/simulator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace tsnn::snn {
 
-namespace {
-
-/// Shared implementation of both simulate() overloads. `rng` may be null
-/// only when `noise` is null -- the no-noise path draws nothing, so it
-/// constructs no Rng at all.
-SimResult simulate_impl(const SnnModel& model, const CodingScheme& scheme,
-                        const Tensor& image, const NoiseModel* noise,
-                        Rng* rng) {
+void simulate_into(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng* rng,
+                   SimWorkspace& ws, SimResult& out) {
   TSNN_CHECK_MSG(noise == nullptr || rng != nullptr,
                  "noise model requires an rng");
   TSNN_CHECK_MSG(model.num_stages() > 0, "empty SNN model");
@@ -22,43 +18,56 @@ SimResult simulate_impl(const SnnModel& model, const CodingScheme& scheme,
                    "image " << shape_to_string(image.shape()) << " expected "
                             << shape_to_string(model.input_shape()));
 
-  SimResult result;
-  SpikeRaster train = scheme.encode(image);
+  out.layer_spikes.clear();
+  out.total_spikes = 0;
+
+  scheme.encode_into(image, ws, ws.cur);
   if (noise != nullptr) {
-    train = noise->apply(train, *rng);
+    noise->apply_inplace(ws.cur, ws.sort, *rng);
   }
-  result.layer_spikes.push_back(train.total_spikes());
+  out.layer_spikes.push_back(ws.cur.size());
 
   // Hidden stages fire per the coding scheme; the last stage is readout.
+  // ws.cur/ws.next ping-pong by swap (pointer exchange, no allocation).
   LayerRole role = LayerRole::kFirstHidden;
   for (std::size_t s = 0; s + 1 < model.num_stages(); ++s) {
-    train = scheme.run_layer(train, *model.stage(s).synapse, role);
+    scheme.run_layer_into(ws.cur, *model.stage(s).synapse, role, ws, ws.next);
+    std::swap(ws.cur, ws.next);
     role = LayerRole::kHidden;
     if (noise != nullptr) {
-      train = noise->apply(train, *rng);
+      noise->apply_inplace(ws.cur, ws.sort, *rng);
     }
-    result.layer_spikes.push_back(train.total_spikes());
+    out.layer_spikes.push_back(ws.cur.size());
   }
 
-  result.logits =
-      scheme.readout(train, *model.stage(model.num_stages() - 1).synapse, role);
-  for (const std::size_t n : result.layer_spikes) {
-    result.total_spikes += n;
+  const SynapseTopology& readout_syn =
+      *model.stage(model.num_stages() - 1).synapse;
+  const std::size_t num_classes = readout_syn.out_size();
+  if (out.logits.rank() != 1 || out.logits.dim(0) != num_classes) {
+    out.logits = Tensor{Shape{num_classes}};  // first use only
   }
-  result.predicted_class = ops::argmax(result.logits);
-  return result;
+  scheme.readout_into(ws.cur, readout_syn, role, ws, out.logits.data());
+
+  for (const std::size_t n : out.layer_spikes) {
+    out.total_spikes += n;
+  }
+  out.predicted_class = ops::argmax(out.logits);
 }
-
-}  // namespace
 
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image, const NoiseModel* noise, Rng& rng) {
-  return simulate_impl(model, scheme, image, noise, &rng);
+  SimWorkspace ws;
+  SimResult out;
+  simulate_into(model, scheme, image, noise, &rng, ws, out);
+  return out;
 }
 
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image) {
-  return simulate_impl(model, scheme, image, /*noise=*/nullptr, /*rng=*/nullptr);
+  SimWorkspace ws;
+  SimResult out;
+  simulate_into(model, scheme, image, /*noise=*/nullptr, /*rng=*/nullptr, ws, out);
+  return out;
 }
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
@@ -77,9 +86,9 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   // the result is bit-identical at any thread count.
   std::vector<std::uint8_t> correct(n, 0);
   std::vector<std::size_t> spikes(n, 0);
-  const auto eval_one = [&](std::size_t i) {
+  const auto eval_one = [&](std::size_t i, SimWorkspace& ws, SimResult& r) {
     Rng rng = Rng::for_stream(options.base_seed, i);
-    const SimResult r = simulate(model, scheme, images[i], noise, rng);
+    simulate_into(model, scheme, images[i], noise, &rng, ws, r);
     correct[i] = r.predicted_class == labels[i] ? 1 : 0;
     spikes[i] = r.total_spikes;
   };
@@ -87,12 +96,20 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   const std::size_t num_threads =
       std::min(ThreadPool::resolve_threads(options.num_threads), n);
   if (num_threads <= 1) {
+    SimWorkspace ws;
+    SimResult r;
     for (std::size_t i = 0; i < n; ++i) {
-      eval_one(i);
+      eval_one(i, ws, r);
     }
   } else {
     ThreadPool pool(num_threads);
-    pool.parallel_for(n, eval_one);
+    pool.parallel_for(n, [&](std::size_t i) {
+      // One workspace per pool thread, reused across that thread's images;
+      // workers die with the pool, releasing the scratch.
+      thread_local SimWorkspace ws;
+      thread_local SimResult r;
+      eval_one(i, ws, r);
+    });
   }
 
   double spike_acc = 0.0;

@@ -5,6 +5,13 @@
 // hidden layers) before it reaches the next synapse stage -- the paper's
 // noisy-output-spike model. The last stage is a non-firing readout whose
 // accumulated membrane potential is the logit vector.
+//
+// The hot path is simulate_into(): spike trains live in the caller's
+// SimWorkspace as flat EventBuffers ping-ponged between stages, noise is
+// applied in place, and the SimResult's storage is recycled -- once the
+// workspace is warm, simulating an image performs zero heap allocations
+// (see docs/ARCHITECTURE.md, "Event buffers & the zero-allocation
+// workspace"). The simulate() overloads wrap it for convenience.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +21,7 @@
 #include "snn/coding_base.h"
 #include "snn/noise_base.h"
 #include "snn/snn_model.h"
+#include "snn/workspace.h"
 
 namespace tsnn::snn {
 
@@ -24,6 +32,14 @@ struct SimResult {
   std::size_t total_spikes = 0;             ///< spikes across all spiking layers
   std::vector<std::size_t> layer_spikes;    ///< per spike-train (encoder + hidden)
 };
+
+/// Zero-allocation core: simulates `image` through `model` with `scheme`
+/// into `out`, reusing `ws` and `out`'s storage. `noise` (may be null)
+/// corrupts every spike train in place using `rng`; `rng` may be null only
+/// when `noise` is null. `ws` and `out` must not be shared across threads.
+void simulate_into(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng* rng,
+                   SimWorkspace& ws, SimResult& out);
 
 /// Simulates `image` through `model` with `scheme`; `noise` (may be null)
 /// corrupts every spike train using `rng`.

@@ -16,6 +16,7 @@ void SpikeRaster::add(std::size_t t, std::uint32_t neuron) {
   TSNN_CHECK_MSG(neuron < num_neurons_,
                  "neuron " << neuron << " out of range " << num_neurons_);
   buckets_[t].push_back(neuron);
+  neuron_index_ready_ = false;
 }
 
 const std::vector<std::uint32_t>& SpikeRaster::at(std::size_t t) const {
@@ -53,27 +54,44 @@ SpikeRaster SpikeRaster::from_events(std::size_t num_neurons, std::size_t window
   return raster;
 }
 
-std::size_t SpikeRaster::spikes_of(std::uint32_t neuron) const {
-  std::size_t n = 0;
-  for (const auto& bucket : buckets_) {
-    for (const std::uint32_t id : bucket) {
-      if (id == neuron) {
-        ++n;
+void SpikeRaster::build_neuron_index() const {
+  counts_.assign(num_neurons_, 0);
+  first_times_.assign(num_neurons_, -1);
+  for (std::size_t t = 0; t < buckets_.size(); ++t) {
+    for (const std::uint32_t id : buckets_[t]) {
+      ++counts_[id];
+      if (first_times_[id] < 0) {
+        first_times_[id] = static_cast<std::int32_t>(t);
       }
     }
   }
-  return n;
+  neuron_index_ready_ = true;
+}
+
+const std::vector<std::size_t>& SpikeRaster::spike_counts() const {
+  if (!neuron_index_ready_) {
+    build_neuron_index();
+  }
+  return counts_;
+}
+
+const std::vector<std::int32_t>& SpikeRaster::first_spike_times() const {
+  if (!neuron_index_ready_) {
+    build_neuron_index();
+  }
+  return first_times_;
+}
+
+std::size_t SpikeRaster::spikes_of(std::uint32_t neuron) const {
+  TSNN_CHECK_MSG(neuron < num_neurons_,
+                 "neuron " << neuron << " out of range " << num_neurons_);
+  return spike_counts()[neuron];
 }
 
 std::int32_t SpikeRaster::first_spike_time(std::uint32_t neuron) const {
-  for (std::size_t t = 0; t < buckets_.size(); ++t) {
-    for (const std::uint32_t id : buckets_[t]) {
-      if (id == neuron) {
-        return static_cast<std::int32_t>(t);
-      }
-    }
-  }
-  return -1;
+  TSNN_CHECK_MSG(neuron < num_neurons_,
+                 "neuron " << neuron << " out of range " << num_neurons_);
+  return first_spike_times()[neuron];
 }
 
 }  // namespace tsnn::snn

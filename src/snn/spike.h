@@ -7,6 +7,10 @@
 // neuromorphic links and is what makes the paper's noise effects emerge:
 // deleting or time-shifting an event corrupts exactly the quantity the
 // coding scheme relies on.
+//
+// SpikeRaster is the *reporting/conversion* representation (per-step
+// vector buckets, friendly to tests and analyses); the simulation hot path
+// uses the flat snn::EventBuffer (event_buffer.h) instead.
 #pragma once
 
 #include <cstdint>
@@ -50,15 +54,38 @@ class SpikeRaster {
   static SpikeRaster from_events(std::size_t num_neurons, std::size_t window,
                                  const std::vector<SpikeEvent>& events);
 
-  /// Number of spikes emitted by `neuron` over the window.
+  /// Number of spikes emitted by `neuron` over the window. O(1) after a
+  /// lazily built single pass over the events (see spike_counts()). The
+  /// lazy build mutates unsynchronized cache state, so const queries are
+  /// NOT safe from multiple threads -- rasters are per-thread objects.
   std::size_t spikes_of(std::uint32_t neuron) const;
 
-  /// First spike time of `neuron`, or -1 if it never spiked.
+  /// First spike time of `neuron`, or -1 if it never spiked. O(1) after
+  /// the same lazily built pass (same single-thread caveat).
   std::int32_t first_spike_time(std::uint32_t neuron) const;
 
+  /// Per-neuron spike counts (length num_neurons()), computed in a single
+  /// pass over the raster and cached until the next add(). Callers that
+  /// loop over neurons should use these bulk views instead of per-neuron
+  /// queries-in-a-loop (historically O(window x spikes) per query). Not
+  /// thread-safe despite const (lazy cache build; see spikes_of()).
+  const std::vector<std::size_t>& spike_counts() const;
+
+  /// Per-neuron first spike times (length num_neurons(), -1 = silent);
+  /// same single-pass cache as spike_counts().
+  const std::vector<std::int32_t>& first_spike_times() const;
+
  private:
+  /// Builds the per-neuron count/first-time index in one pass. The cache
+  /// is invalidated by add(); rasters are per-thread objects, so the lazy
+  /// (non-atomic) build needs no synchronization.
+  void build_neuron_index() const;
+
   std::size_t num_neurons_ = 0;
   std::vector<std::vector<std::uint32_t>> buckets_;
+  mutable bool neuron_index_ready_ = false;
+  mutable std::vector<std::size_t> counts_;       ///< per-neuron spike count
+  mutable std::vector<std::int32_t> first_times_; ///< per-neuron first time
 };
 
 }  // namespace tsnn::snn

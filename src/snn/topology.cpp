@@ -255,12 +255,17 @@ const ConvTopology::PropagateCache& ConvTopology::cache() const {
       // {ic, oc, k*k} layout: the per-spike inner loops read one contiguous
       // k*k block per output channel instead of striding by in_ch*k*k.
       cache_.weight_t.resize(weight_.numel());
+      // {ic, k*k, oc} layout for propagate_accum(): with the transposed
+      // {spatial, channel} accumulator, one tap's fan-out is a unit-stride
+      // multiply-add over out_ch in both the weight and the accumulator.
+      cache_.weight_acc.resize(weight_.numel());
       const float* w = weight_.data();
       for (std::size_t oc = 0; oc < out_ch_; ++oc) {
         for (std::size_t ic = 0; ic < in_ch_; ++ic) {
           for (std::size_t t = 0; t < k2; ++t) {
-            cache_.weight_t[(ic * out_ch_ + oc) * k2 + t] =
-                w[(oc * in_ch_ + ic) * k2 + t];
+            const float wv = w[(oc * in_ch_ + ic) * k2 + t];
+            cache_.weight_t[(ic * out_ch_ + oc) * k2 + t] = wv;
+            cache_.weight_acc[(ic * k2 + t) * out_ch_ + oc] = wv;
           }
         }
       }
@@ -310,6 +315,50 @@ void ConvTopology::propagate(const SpikeBatch& batch, float* u) const {
   }
 }
 
+void ConvTopology::propagate_accum(const SpikeBatch& batch, float* u) const {
+  if (batch.empty()) {
+    return;
+  }
+  if (batch.size() >= dense_drive_threshold()) {
+    // Mirrors SynapseTopology::dense_drive, but through the transposed
+    // apply_dense twin so the accumulator layout stays consistent.
+    std::vector<float>& x = dense_scratch(in_size());
+    const std::uint32_t* pre = batch.pre();
+    const float* mag = batch.magnitude();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
+      x[pre[i]] += mag[i];
+    }
+    apply_dense_transposed(x.data(), u);
+    return;
+  }
+  const PropagateCache& c = cache();
+  const std::size_t hw = in_h_ * in_w_;
+  const std::size_t k2 = kernel_ * kernel_;
+  const std::size_t oc_n = out_ch_;
+  const std::uint32_t* pre = batch.pre();
+  const float* mag = batch.magnitude();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
+    const std::size_t ic = pre[i] / hw;
+    const std::size_t sp = pre[i] - ic * hw;
+    const Tap* taps = c.taps.data() + c.tap_offset[sp];
+    const std::size_t num_taps = c.tap_offset[sp + 1] - c.tap_offset[sp];
+    const float m = mag[i];
+    const float* wt = c.weight_acc.data() + ic * k2 * oc_n;
+    // Each accumulator slot is touched at most once per spike, and spikes
+    // stay in batch order, so per-slot addition order matches propagate()
+    // exactly (values are bit-identical up to the layout permutation).
+    for (std::size_t t = 0; t < num_taps; ++t) {
+      float* __restrict urow = u + static_cast<std::size_t>(taps[t].spatial) * oc_n;
+      const float* __restrict wrow = wt + static_cast<std::size_t>(taps[t].wofs) * oc_n;
+      for (std::size_t oc = 0; oc < oc_n; ++oc) {
+        urow[oc] += m * wrow[oc];
+      }
+    }
+  }
+}
+
 void ConvTopology::apply_dense(const float* x, float* y) const {
   const float* w = weight_.data();
   for (std::size_t oc = 0; oc < out_ch_; ++oc) {
@@ -340,6 +389,45 @@ void ConvTopology::apply_dense(const float* x, float* y) const {
                 continue;
               }
               yrow[ox] += wv * xrow[static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvTopology::apply_dense_transposed(const float* x, float* y) const {
+  // Same loop nest and per-element arithmetic as apply_dense(); only the
+  // destination index is the transposed {spatial, channel} slot.
+  const float* w = weight_.data();
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* xmap = x + ic * in_h_ * in_w_;
+      const float* wk = w + (oc * in_ch_ + ic) * kernel_ * kernel_;
+      for (std::size_t ky = 0; ky < kernel_; ++ky) {
+        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+          const float wv = wk[ky * kernel_ + kx];
+          if (wv == 0.0f) {
+            continue;
+          }
+          for (std::size_t oy = 0; oy < out_h_; ++oy) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h_)) {
+              continue;
+            }
+            const float* xrow = xmap + static_cast<std::size_t>(iy) * in_w_;
+            float* yrow = y + oy * out_w_ * out_ch_ + oc;
+            for (std::size_t ox = 0; ox < out_w_; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w_)) {
+                continue;
+              }
+              yrow[ox * out_ch_] += wv * xrow[static_cast<std::size_t>(ix)];
             }
           }
         }

@@ -58,6 +58,12 @@ class SpikeBatch {
     mag_.assign(ids.size(), m);
   }
 
+  /// Pointer-range overload of assign() for EventBuffer per-step spans.
+  void assign(const std::uint32_t* ids, std::size_t n, float m) {
+    pre_.assign(ids, ids + n);
+    mag_.assign(n, m);
+  }
+
   std::size_t size() const { return pre_.size(); }
   bool empty() const { return pre_.empty(); }
   const std::uint32_t* pre() const { return pre_.data(); }
@@ -66,6 +72,19 @@ class SpikeBatch {
  private:
   std::vector<std::uint32_t> pre_;
   std::vector<float> mag_;
+};
+
+/// Layout of a topology's *internal* potential accumulator, used by the
+/// propagate_accum() hot path. Canonical postsynaptic neuron j lives at
+/// accumulator slot j (identity) or, when `transposed`, at
+/// (j % cols) * rows + j / cols -- e.g. ConvTopology keeps potentials as
+/// {spatial, channel} so its spike kernel runs unit-stride over channels.
+/// SimWorkspace::accum_map() materializes the j -> slot mapping for the
+/// coding schemes' firing loops.
+struct AccumLayout {
+  std::size_t rows = 0;     ///< canonical-major extent (e.g. out channels)
+  std::size_t cols = 0;     ///< canonical-minor extent (e.g. out h*w)
+  bool transposed = false;  ///< false = identity layout
 };
 
 /// Abstract synapse fan-out.
@@ -90,6 +109,18 @@ class SynapseTopology {
   /// order, so agreement with accumulate() is to float tolerance (~1e-5),
   /// not bitwise, once the dense drive engages.
   virtual void propagate(const SpikeBatch& batch, float* u) const;
+
+  /// Layout of the accumulator that propagate_accum() writes into.
+  virtual AccumLayout accum_layout() const { return {}; }
+
+  /// Hot-path variant of propagate(): adds into `u` laid out per
+  /// accum_layout(). Identical to propagate() up to that permutation --
+  /// each accumulator slot receives the same contributions in the same
+  /// order, so values are bit-identical slot for slot. The default (and
+  /// every identity-layout topology) forwards to propagate().
+  virtual void propagate_accum(const SpikeBatch& batch, float* u) const {
+    propagate(batch, u);
+  }
 
   /// Spike count at which propagate() switches from per-spike scatter to
   /// the dense drive. Scatter costs O(spikes x fanout) while the dense pass
@@ -164,6 +195,13 @@ class ConvTopology : public SynapseTopology {
   std::size_t out_size() const override;
   void accumulate(std::size_t pre, float m, float* u) const override;
   void propagate(const SpikeBatch& batch, float* u) const override;
+  /// Conv potentials live transposed as {spatial, channel}: the spike
+  /// kernel's inner loop becomes a unit-stride multiply-add over channels
+  /// (SIMD-friendly) instead of a scatter across {channel, spatial}.
+  AccumLayout accum_layout() const override {
+    return AccumLayout{out_ch_, out_h_ * out_w_, true};
+  }
+  void propagate_accum(const SpikeBatch& batch, float* u) const override;
   void apply_dense(const float* x, float* y) const override;
   void scale_weights(float c) override;
   void map_weights(const std::function<float(float)>& f) override;
@@ -174,6 +212,11 @@ class ConvTopology : public SynapseTopology {
   const Tensor& weight() const { return weight_; }
 
  private:
+  /// apply_dense() twin writing y in the transposed {spatial, channel}
+  /// accumulator layout; per-element arithmetic and order are identical,
+  /// only the destination addresses differ (keeps the dense drive
+  /// bit-compatible with the canonical path inside propagate_accum()).
+  void apply_dense_transposed(const float* x, float* y) const;
   /// One valid kernel tap of an input spatial position: which output
   /// spatial cell it feeds and which {ky, kx} weight it goes through.
   struct Tap {
@@ -189,6 +232,7 @@ class ConvTopology : public SynapseTopology {
     std::vector<std::uint32_t> tap_offset;  // in_h*in_w + 1, CSR offsets
     std::vector<Tap> taps;                  // <= k*k per spatial position
     std::vector<float> weight_t;            // [(ic*out_ch + oc)*k*k + wofs]
+    std::vector<float> weight_acc;          // [(ic*k*k + wofs)*out_ch + oc]
   };
   const PropagateCache& cache() const;
   void invalidate_cache();

@@ -1,0 +1,75 @@
+// Per-thread reusable simulation workspace.
+//
+// One SimWorkspace owns every piece of mutable scratch the per-image hot
+// path needs -- the layer-to-layer EventBuffer ping-pong pair, the
+// counting-sort scratch, the per-step SpikeBatch, membrane potentials, and
+// the coding schemes' encoder/decoder state arrays. All members are
+// grow-only: vectors are re-dimensioned with assign()/resize() which never
+// release capacity, so after a warm-up image the steady state performs
+// zero heap allocations per image (see docs/ARCHITECTURE.md,
+// "Event buffers & the zero-allocation workspace").
+//
+// A workspace is single-threaded state: snn::evaluate keeps one per worker
+// thread, NoiseRobustPipeline keeps one for run(), and the raster-based
+// CodingScheme adapters build a transient one per call. Sharing a
+// workspace across concurrent simulations is a data race.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/event_buffer.h"
+#include "snn/topology.h"
+
+namespace tsnn::snn {
+
+/// Reusable scratch of one simulation thread. Members are public: the
+/// workspace is a bag of buffers with a single owner at a time, not an
+/// abstraction boundary. `cur`/`next` are the simulator's layer ping-pong
+/// pair; the remaining members are leased by whichever scheme or noise
+/// model is currently running a stage.
+struct SimWorkspace {
+  EventBuffer cur;        ///< spike train entering the current stage
+  EventBuffer next;       ///< spike train the current stage emits
+  EventSortScratch sort;  ///< counting-sort / conversion scratch
+  SpikeBatch batch;       ///< per-step propagation batch
+
+  std::vector<float> u;    ///< membrane potentials / logits accumulator
+  std::vector<float> acc;  ///< encoder charge accumulators
+
+  std::vector<std::uint32_t> k;         ///< burst escalation counters
+  std::vector<std::int64_t> isi_last;   ///< burst ISI decoder: last arrival
+  std::vector<std::uint32_t> isi_k;     ///< burst ISI decoder: run length
+  std::vector<std::uint32_t> umap;      ///< canonical neuron -> accumulator slot
+
+  /// Zeroed potential array of length `n` (recycles capacity).
+  float* potentials(std::size_t n) {
+    u.assign(n, 0.0f);
+    return u.data();
+  }
+
+  /// Canonical-neuron -> accumulator-slot map for `syn` (see
+  /// SynapseTopology::accum_layout). Firing/readout loops index the
+  /// potentials as u[map[j]]; identity layouts get the identity map, so
+  /// scheme code has a single path. Valid until the next accum_map() call.
+  const std::uint32_t* accum_map(const SynapseTopology& syn) {
+    const AccumLayout l = syn.accum_layout();
+    const std::size_t n = syn.out_size();
+    umap.resize(n);
+    if (!l.transposed) {
+      for (std::size_t j = 0; j < n; ++j) {
+        umap[j] = static_cast<std::uint32_t>(j);
+      }
+    } else {
+      std::size_t j = 0;
+      for (std::size_t r = 0; r < l.rows; ++r) {
+        for (std::size_t c = 0; c < l.cols; ++c) {
+          umap[j++] = static_cast<std::uint32_t>(c * l.rows + r);
+        }
+      }
+    }
+    return umap.data();
+  }
+};
+
+}  // namespace tsnn::snn

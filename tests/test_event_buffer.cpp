@@ -1,0 +1,331 @@
+// Tests for the flat EventBuffer hot-path representation: CSR bucketing,
+// raster round trips, in-place noise equivalence against the raster path,
+// and fixed-seed golden vectors captured from the pre-event-buffer
+// implementation (PR 2) -- pinning that the rewrite is bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/registry.h"
+#include "common/error.h"
+#include "core/ttas.h"
+#include "noise/deletion.h"
+#include "noise/jitter.h"
+#include "noise/noise.h"
+#include "snn/event_buffer.h"
+#include "snn/simulator.h"
+#include "snn/topology.h"
+#include "snn/workspace.h"
+
+namespace tsnn::snn {
+namespace {
+
+/// The deterministic raster the golden vectors below were captured from.
+SpikeRaster golden_input() {
+  SpikeRaster r(6, 16);
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (std::uint32_t n = 0; n < 6; ++n) {
+      if ((t * 7 + n * 3) % 5 < 2) {
+        r.add(t, n);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<SpikeEvent> events_of(const EventBuffer& buf) {
+  std::vector<SpikeEvent> out;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    out.push_back(SpikeEvent{buf.neurons()[i], buf.times()[i]});
+  }
+  return out;
+}
+
+TEST(EventBuffer, PushFinalizeBucketsSortedInput) {
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.reset(4, 8);
+  buf.push(1, 2);
+  buf.push(1, 0);
+  buf.push(5, 3);
+  buf.finalize(scratch);
+  EXPECT_EQ(buf.size(), 3u);
+  ASSERT_EQ(buf.step_count(1), 2u);
+  EXPECT_EQ(buf.step_begin(1)[0], 2u);  // emission order kept within a step
+  EXPECT_EQ(buf.step_begin(1)[1], 0u);
+  EXPECT_EQ(buf.step_count(5), 1u);
+  EXPECT_EQ(buf.step_count(0), 0u);
+}
+
+TEST(EventBuffer, FinalizeCountingSortsUnsortedInputStably) {
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.reset(8, 4);
+  // Neuron-major emission (the TTFS pattern): times out of order.
+  buf.push(3, 0);
+  buf.push(1, 1);
+  buf.push(3, 2);
+  buf.push(0, 3);
+  buf.push(1, 4);
+  buf.finalize(scratch);
+  const std::vector<SpikeEvent> expected{
+      {3, 0}, {1, 1}, {4, 1}, {0, 3}, {2, 3}};
+  EXPECT_EQ(events_of(buf), expected);
+  // Per-step spans agree with the flat view.
+  EXPECT_EQ(buf.step_count(0), 1u);
+  EXPECT_EQ(buf.step_count(1), 2u);
+  EXPECT_EQ(buf.step_count(2), 0u);
+  EXPECT_EQ(buf.step_count(3), 2u);
+}
+
+TEST(EventBuffer, PushValidatesBounds) {
+  EventBuffer buf;
+  buf.reset(2, 4);
+  EXPECT_THROW(buf.push(4, 0), InvalidArgument);
+  EXPECT_THROW(buf.push(-1, 0), InvalidArgument);
+  EXPECT_THROW(buf.push(0, 2), InvalidArgument);
+}
+
+TEST(EventBuffer, RasterRoundTripPreservesEverything) {
+  const SpikeRaster in = golden_input();
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.assign_from(in, scratch);
+  EXPECT_EQ(buf.size(), in.total_spikes());
+  EXPECT_EQ(buf.num_neurons(), in.num_neurons());
+  EXPECT_EQ(buf.window(), in.window());
+  const SpikeRaster back = buf.to_raster();
+  EXPECT_EQ(back.to_events(), in.to_events());
+}
+
+TEST(EventBuffer, ResetRecyclesCapacityAcrossShapes) {
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.assign_from(golden_input(), scratch);
+  buf.reset(3, 5);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.push(4, 2);
+  buf.finalize(scratch);
+  EXPECT_EQ(buf.step_count(4), 1u);
+}
+
+TEST(EventBuffer, RemoveIfNotCompactsAndRebuildsOffsets) {
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.assign_from(golden_input(), scratch);
+  const std::size_t before = buf.size();
+  buf.remove_if_not([](std::int32_t t, std::uint32_t) { return t % 2 == 0; });
+  EXPECT_LT(buf.size(), before);
+  for (std::size_t t = 0; t < buf.window(); ++t) {
+    if (t % 2 == 1) {
+      EXPECT_EQ(buf.step_count(t), 0u) << "odd step " << t << " survived";
+    }
+  }
+  // Flat arrays and CSR stay consistent after compaction.
+  const SpikeRaster back = buf.to_raster();
+  EXPECT_EQ(back.total_spikes(), buf.size());
+}
+
+TEST(EventBuffer, RemapTimesRebucketsStably) {
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.reset(4, 8);
+  buf.push(2, 0);
+  buf.push(2, 1);
+  buf.push(6, 2);
+  buf.finalize(scratch);
+  // Map everything onto step 3; visit order must be preserved within it.
+  buf.remap_times([](std::int32_t, std::uint32_t) { return 3; }, scratch);
+  ASSERT_EQ(buf.step_count(3), 3u);
+  EXPECT_EQ(buf.step_begin(3)[0], 0u);
+  EXPECT_EQ(buf.step_begin(3)[1], 1u);
+  EXPECT_EQ(buf.step_begin(3)[2], 2u);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Raster-path vs event-path noise equivalence: both must consume the RNG in
+// the same order and produce identical spike trains for any fixed seed.
+
+void expect_paths_identical(const NoiseModel& noise, std::uint64_t seed) {
+  const SpikeRaster in = golden_input();
+  Rng rng_raster(seed);
+  const SpikeRaster via_raster = noise.apply(in, rng_raster);
+
+  EventBuffer buf;
+  EventSortScratch scratch;
+  buf.assign_from(in, scratch);
+  Rng rng_events(seed);
+  noise.apply_inplace(buf, scratch, rng_events);
+  EXPECT_EQ(buf.to_raster().to_events(), via_raster.to_events())
+      << noise.name() << " seed " << seed;
+}
+
+TEST(NoisePathEquivalence, DeletionJitterCompositeAgree) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xBEEFull, 987654321ull}) {
+    expect_paths_identical(noise::DeletionNoise(0.4), seed);
+    expect_paths_identical(noise::JitterNoise(1.7), seed);
+    const auto composite = noise::make_deletion_jitter(0.3, 2.0);
+    expect_paths_identical(*composite, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixed-seed vectors captured from the PR 2 (pre-event-buffer)
+// implementation. These pin that the rewrite did not change the RNG draw
+// order or the corruption semantics: the exact event sequences must
+// reproduce forever (the Rng implements its own distributions, so draws
+// are platform-stable).
+
+std::vector<SpikeEvent> ev(std::initializer_list<std::pair<int, unsigned>> list) {
+  std::vector<SpikeEvent> out;
+  for (const auto& [t, n] : list) {
+    out.push_back(SpikeEvent{static_cast<std::uint32_t>(n),
+                             static_cast<std::int32_t>(t)});
+  }
+  return out;
+}
+
+TEST(NoiseGolden, DeletionP04Seed123) {
+  const SpikeRaster in = golden_input();
+  Rng rng(123);
+  const auto got = noise::DeletionNoise(0.4).apply(in, rng).to_events();
+  const auto expected = ev({{0, 2}, {0, 5}, {2, 2}, {3, 0}, {3, 3}, {3, 5},
+                            {4, 1}, {4, 4}, {5, 5}, {7, 2}, {7, 4}, {8, 5},
+                            {10, 2}, {10, 5}, {11, 1}, {11, 3}, {12, 2},
+                            {13, 3}, {13, 5}, {15, 0}, {15, 2}});
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NoiseGolden, JitterSigma15Seed321) {
+  const SpikeRaster in = golden_input();
+  Rng rng(321);
+  const auto got = noise::JitterNoise(1.5).apply(in, rng).to_events();
+  const auto expected = ev(
+      {{0, 2}, {0, 5}, {0, 4}, {2, 0}, {2, 1}, {2, 3}, {3, 2}, {3, 0},
+       {3, 3}, {3, 4}, {4, 5}, {5, 1}, {5, 5}, {6, 0}, {6, 1}, {6, 2},
+       {7, 2}, {7, 4}, {7, 0}, {7, 3}, {7, 5}, {8, 3}, {8, 2}, {8, 0},
+       {9, 5}, {10, 1}, {10, 5}, {11, 4}, {11, 1}, {11, 2}, {11, 4},
+       {12, 3}, {12, 0}, {13, 5}, {14, 3}, {15, 1}, {15, 4}, {15, 0},
+       {15, 2}});
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NoiseGolden, CompositeP03S20Seed99) {
+  const SpikeRaster in = golden_input();
+  std::vector<NoiseModelPtr> models;
+  models.push_back(noise::make_deletion(0.3));
+  models.push_back(noise::make_jitter(2.0));
+  const noise::CompositeNoise composite(std::move(models));
+  Rng rng(99);
+  const auto got = composite.apply(in, rng).to_events();
+  const auto expected = ev({{0, 0}, {0, 2}, {0, 5}, {1, 1}, {2, 3}, {2, 3},
+                            {3, 1}, {3, 2}, {5, 1}, {6, 5}, {6, 5}, {6, 0},
+                            {9, 3}, {9, 0}, {10, 5}, {11, 3}, {12, 1},
+                            {12, 4}, {12, 4}, {14, 1}, {14, 0}, {15, 5},
+                            {15, 2}});
+  EXPECT_EQ(got, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Golden simulator logits captured from the PR 2 implementation on a tiny
+// fixed model: clean logits and noisy logits under a fixed stream. 1e-5
+// relative tolerance absorbs libm variation across platforms; on the
+// capture platform the match is bit-exact.
+
+SnnModel golden_model() {
+  SnnModel model(Shape{5});
+  Tensor w1{Shape{4, 5}};
+  for (std::size_t i = 0; i < 20; ++i) {
+    w1[i] = 0.07f * static_cast<float>((i * 13) % 11) - 0.2f;
+  }
+  Tensor w2{Shape{3, 4}};
+  for (std::size_t i = 0; i < 12; ++i) {
+    w2[i] = 0.11f * static_cast<float>((i * 7) % 9) - 0.3f;
+  }
+  model.add_stage("h", std::make_unique<DenseTopology>(w1));
+  model.add_stage("r", std::make_unique<DenseTopology>(w2));
+  return model;
+}
+
+struct SchemeGolden {
+  Coding coding;
+  std::vector<float> clean;
+  std::size_t clean_spikes;
+  std::vector<float> noisy;
+  std::size_t noisy_spikes;
+};
+
+TEST(SimulatorGolden, LogitsMatchPreRewriteCapture) {
+  const SnnModel model = golden_model();
+  const Tensor img{Shape{5}, {0.9f, 0.45f, 0.2f, 0.7f, 0.05f}};
+  const std::vector<SchemeGolden> goldens{
+      {Coding::kRate,
+       {8.61200333f, 12.4400034f, 3.59599805f}, 231,
+       {5.21200037f, 7.54399776f, 2.74799919f}, 168},
+      {Coding::kPhase,
+       {2.75643682f, 3.98877978f, 1.16521859f}, 291,
+       {1.80970299f, 3.14774942f, 1.95665622f}, 228},
+      {Coding::kBurst,
+       {20.9360008f, 30.2639942f, 8.70399761f}, 246,
+       {9.66400051f, 14.2839985f, 3.85599899f}, 174},
+      {Coding::kTtfs,
+       {0.389295906f, 0.560586095f, 0.164383575f}, 8,
+       {0.312924981f, 0.466341138f, 0.213130966f}, 8},
+      {Coding::kTtas,
+       {0.389295906f, 0.560586154f, 0.16438356f}, 40,
+       {0.152665257f, 0.249462023f, 0.102420419f}, 33},
+  };
+  for (const SchemeGolden& g : goldens) {
+    const auto scheme = g.coding == Coding::kTtas ? core::make_ttas(5)
+                                                  : coding::make_scheme(g.coding);
+    const SimResult clean = simulate(model, *scheme, img);
+    ASSERT_EQ(clean.logits.numel(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(clean.logits[i], g.clean[i], 1e-5 * std::abs(g.clean[i]))
+          << coding_name(g.coding) << " clean logit " << i;
+    }
+    EXPECT_EQ(clean.total_spikes, g.clean_spikes) << coding_name(g.coding);
+
+    Rng rng = Rng::for_stream(777, 3);
+    const auto noise = noise::make_deletion_jitter(0.25, 1.0);
+    const SimResult noisy = simulate(model, *scheme, img, noise.get(), rng);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(noisy.logits[i], g.noisy[i], 1e-5 * std::abs(g.noisy[i]))
+          << coding_name(g.coding) << " noisy logit " << i;
+    }
+    EXPECT_EQ(noisy.total_spikes, g.noisy_spikes) << coding_name(g.coding);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse must not change results: a reused workspace + result
+// produces the same outputs as fresh ones for every scheme.
+
+TEST(SimulatorWorkspace, ReuseIsBitIdenticalToFresh) {
+  const SnnModel model = golden_model();
+  const Tensor img{Shape{5}, {0.9f, 0.45f, 0.2f, 0.7f, 0.05f}};
+  const auto noise = noise::make_deletion_jitter(0.2, 0.8);
+  SimWorkspace ws;
+  SimResult reused;
+  for (const Coding c : {Coding::kRate, Coding::kPhase, Coding::kBurst,
+                         Coding::kTtfs, Coding::kTtas}) {
+    const auto scheme =
+        c == Coding::kTtas ? core::make_ttas(5) : coding::make_scheme(c);
+    for (std::uint64_t stream = 0; stream < 4; ++stream) {
+      Rng rng1 = Rng::for_stream(31337, stream);
+      simulate_into(model, *scheme, img, noise.get(), &rng1, ws, reused);
+      Rng rng2 = Rng::for_stream(31337, stream);
+      const SimResult fresh = simulate(model, *scheme, img, noise.get(), rng2);
+      EXPECT_EQ(reused.logits, fresh.logits)
+          << coding_name(c) << " stream " << stream;
+      EXPECT_EQ(reused.total_spikes, fresh.total_spikes);
+      EXPECT_EQ(reused.layer_spikes, fresh.layer_spikes);
+      EXPECT_EQ(reused.predicted_class, fresh.predicted_class);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsnn::snn

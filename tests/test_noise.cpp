@@ -130,6 +130,61 @@ TEST(Jitter, ClampsIntoWindow) {
   }
 }
 
+TEST(Jitter, ClampPilesMassAtWindowEdges) {
+  // With sigma >> window, almost every shift clamps: the distribution must
+  // collapse onto the boundary steps t=0 and t=T-1 (spikes never leave the
+  // window, they pile up at its edges).
+  const JitterNoise noise(200.0);
+  const std::size_t window = 12;
+  snn::SpikeRaster in(1, window);
+  in.add(6, 0);  // start mid-window
+  Rng rng(29);
+  std::size_t at_zero = 0;
+  std::size_t at_last = 0;
+  std::size_t elsewhere = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const snn::SpikeRaster out = noise.apply(in, rng);
+    ASSERT_EQ(out.total_spikes(), 1u);
+    const std::int32_t t = out.first_spike_time(0);
+    if (t == 0) {
+      ++at_zero;
+    } else if (t == static_cast<std::int32_t>(window) - 1) {
+      ++at_last;
+    } else {
+      ++elsewhere;
+    }
+  }
+  // sigma=200 over a 12-step window: > 95% of shifts clamp, split evenly.
+  EXPECT_NEAR(static_cast<double>(at_zero) / trials, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(at_last) / trials, 0.5, 0.05);
+  EXPECT_LT(static_cast<double>(elsewhere) / trials, 0.05);
+}
+
+TEST(Deletion, PZeroIsExactIdentityAndDrawsNothing) {
+  const DeletionNoise noise(0.0);
+  snn::SpikeRaster in(4, 10);
+  in.add(2, 1);
+  in.add(2, 3);
+  in.add(7, 0);
+  Rng rng(31);
+  // Events (including within-step order) are untouched...
+  EXPECT_EQ(noise.apply(in, rng).to_events(), in.to_events());
+  // ...and the rng was never consumed: the next draw matches a fresh rng.
+  Rng fresh(31);
+  EXPECT_EQ(rng(), fresh());
+}
+
+TEST(Deletion, POneDeletesEverySpike) {
+  const DeletionNoise noise(1.0);
+  const snn::SpikeRaster in = full_raster(6, 9);
+  Rng rng(37);
+  const snn::SpikeRaster out = noise.apply(in, rng);
+  EXPECT_EQ(out.total_spikes(), 0u);
+  EXPECT_EQ(out.num_neurons(), in.num_neurons());
+  EXPECT_EQ(out.window(), in.window());
+}
+
 TEST(Jitter, ZeroSigmaIsIdentity) {
   snn::SpikeRaster in(2, 5);
   in.add(3, 1);

@@ -68,6 +68,66 @@ TEST(Pipeline, TtasBurstDurationHonored) {
   EXPECT_EQ(pipe.scheme().name(), "ttas(7)");
 }
 
+TEST(Pipeline, DefaultConstructedTtasConfigMatchesRegistryDefaults) {
+  // A default-constructed config must not silently demote TTAS to TTFS:
+  // params.burst_duration defaults to 1, but with use_default_params the
+  // registry's t_a (5) wins. Regression test for the old resolve_params
+  // quirk where the default config produced ttas(1).
+  PipelineConfig cfg;
+  ASSERT_EQ(cfg.coding, Coding::kTtas);
+  ASSERT_TRUE(cfg.use_default_params);
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  const auto defaults = coding::default_params(Coding::kTtas);
+  EXPECT_EQ(pipe.scheme().params().burst_duration, defaults.burst_duration);
+  EXPECT_FLOAT_EQ(pipe.scheme().params().threshold, defaults.threshold);
+  EXPECT_EQ(pipe.scheme().name(),
+            "ttas(" + std::to_string(defaults.burst_duration) + ")");
+}
+
+TEST(Pipeline, DefaultParamsIgnoreNonTtasBurstDuration) {
+  // For non-TTAS codings use_default_params means exactly the registry
+  // defaults; a stray burst_duration in params must not leak through.
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  cfg.params.burst_duration = 9;
+  cfg.params.window = 16;  // also ignored
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  const auto defaults = coding::default_params(Coding::kRate);
+  EXPECT_EQ(pipe.scheme().params().burst_duration, defaults.burst_duration);
+  EXPECT_EQ(pipe.scheme().params().window, defaults.window);
+}
+
+TEST(Pipeline, RunIsPureFunctionOfStream) {
+  PipelineConfig cfg;
+  cfg.coding = Coding::kRate;
+  cfg.noise_seed = 11;
+  NoiseRobustPipeline pipe(tiny_model(), cfg);
+  const Tensor img{Shape{4}, {0.8f, 0.7f, 0.1f, 0.1f}};
+  const auto noise = noise::make_deletion(0.5);
+
+  // Back-to-back run() calls with the same stream are identical -- run()
+  // holds no mutable rng state (the old order-dependence bug).
+  const auto a = pipe.run(img, noise.get());
+  const auto b = pipe.run(img, noise.get());
+  EXPECT_EQ(a.logits, b.logits);
+  EXPECT_EQ(a.total_spikes, b.total_spikes);
+
+  // Distinct streams draw independent corruption...
+  const auto s1 = pipe.run(img, noise.get(), 1);
+  EXPECT_NE(s1.total_spikes, a.total_spikes);
+
+  // ...and interleaving them does not perturb stream 0.
+  const auto c = pipe.run(img, noise.get(), 0);
+  EXPECT_EQ(c.logits, a.logits);
+
+  // run(stream = i) matches evaluate()'s image-i corruption contract:
+  // both derive from Rng::for_stream(noise_seed, i).
+  Rng rng = Rng::for_stream(cfg.noise_seed, 0);
+  const auto direct = snn::simulate(pipe.model(), pipe.scheme(), img,
+                                    noise.get(), rng);
+  EXPECT_EQ(direct.logits, a.logits);
+}
+
 TEST(Pipeline, ExplicitParamsOverrideDefaults) {
   PipelineConfig cfg;
   cfg.coding = Coding::kRate;

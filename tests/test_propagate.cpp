@@ -228,6 +228,43 @@ TEST(Propagate, SparsePathMatchesAccumulateBitwise) {
   EXPECT_EQ(ca, cbv);
 }
 
+/// Maps canonical postsynaptic index j to its accum_layout() slot.
+std::size_t accum_slot(const AccumLayout& l, std::size_t j) {
+  return l.transposed ? (j % l.cols) * l.rows + j / l.cols : j;
+}
+
+TEST(Propagate, AccumIsBitIdenticalUpToLayoutPermutation) {
+  // propagate_accum() is propagate() writing into the topology's internal
+  // accumulator layout: slot for slot, the same contributions in the same
+  // order, so equality is exact (==), not approximate -- on both sides of
+  // the dense-drive threshold.
+  ConvTopology conv(random_tensor(Shape{4, 3, 3, 3}, 50), 6, 6, 1, 1);
+  const AccumLayout layout = conv.accum_layout();
+  EXPECT_TRUE(layout.transposed);
+  EXPECT_EQ(layout.rows * layout.cols, conv.out_size());
+  for (const std::size_t count :
+       {std::size_t{5}, conv.dense_drive_threshold(), conv.in_size()}) {
+    const SpikeBatch batch = random_batch(conv.in_size(), count, 51 + count);
+    std::vector<float> canonical(conv.out_size(), 0.0f);
+    std::vector<float> accum(conv.out_size(), 0.0f);
+    conv.propagate(batch, canonical.data());
+    conv.propagate_accum(batch, accum.data());
+    for (std::size_t j = 0; j < conv.out_size(); ++j) {
+      EXPECT_EQ(canonical[j], accum[accum_slot(layout, j)])
+          << "batch " << count << " out " << j;
+    }
+  }
+
+  // Identity-layout topologies: propagate_accum is propagate verbatim.
+  DenseTopology dense(random_tensor(Shape{9, 14}, 60));
+  EXPECT_FALSE(dense.accum_layout().transposed);
+  const SpikeBatch db = random_batch(14, 4, 61);
+  std::vector<float> a(9, 0.0f), b(9, 0.0f);
+  dense.propagate(db, a.data());
+  dense.propagate_accum(db, b.data());
+  EXPECT_EQ(a, b);
+}
+
 TEST(Propagate, RandomizedShapeSweep) {
   Rng shape_rng(28);
   for (int trial = 0; trial < 6; ++trial) {
