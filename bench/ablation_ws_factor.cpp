@@ -38,10 +38,12 @@ int main(int argc, char** argv) {
 
   report::Table table({"Method", "C", "Accuracy (%)", "Note"});
   const auto noise = noise::make_deletion(p);
+  // One scaled clone per distinct C, shared by both methods (C = 1.0 is the
+  // base model itself); evaluation runs on the persistent bench pool.
+  core::ScaledModelCache cache(w.conversion.model);
   for (const Method& m : methods) {
     for (const float c : factors) {
-      snn::SnnModel model = w.conversion.model.clone();
-      model.scale_all_weights(c);
+      const snn::SnnModel& model = cache.get(c);
       const snn::BatchResult r = snn::evaluate(model, *m.scheme, w.test_images,
                                                w.test_labels, noise.get(), options);
       table.add_row({m.label, str::format_fixed(c, 2), bench::pct(r.accuracy),

@@ -143,10 +143,27 @@ std::string bench_json() {
   return env::get_string("TSNN_BENCH_JSON", "");
 }
 
+ThreadPool* eval_pool() {
+  // Leaked on purpose: the pool must outlive every static-destruction-order
+  // hazard, and bench processes exit right after their last sweep anyway.
+  static ThreadPool* pool = [] {
+    const std::size_t n = ThreadPool::resolve_threads(bench_threads());
+    return n > 1 ? new ThreadPool(n) : nullptr;
+  }();
+  return pool;
+}
+
 snn::EvalOptions eval_options() {
   snn::EvalOptions options;
   options.base_seed = bench_seed();
   options.num_threads = bench_threads();
+  options.pool = eval_pool();
+  return options;
+}
+
+core::SweepOptions sweep_options() {
+  core::SweepOptions options;
+  options.pool = eval_pool();
   return options;
 }
 
@@ -281,6 +298,30 @@ void write_json_results(const std::string& name, const std::string& level_name,
   std::printf("json: %s\n", path.c_str());
 }
 
+/// Column headers of the sweep CSV documents.
+std::vector<std::string> csv_headers(const std::string& level_name) {
+  return {"method", level_name, "accuracy", "mean_spikes"};
+}
+
+/// One SweepRow formatted exactly as the sweep CSVs have always been.
+std::vector<std::string> csv_cells(const core::SweepRow& r) {
+  return {r.method, str::format_fixed(r.level, 2),
+          str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)};
+}
+
+/// Creates TSNN_BENCH_OUT and returns TSNN_BENCH_OUT/<name>.csv, or "" if
+/// the directory cannot be created (warned; benches still run read-only).
+std::string csv_path(const std::string& name) {
+  const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s; skipping CSV\n", dir.c_str());
+    return "";
+  }
+  return dir + "/" + name + ".csv";
+}
+
 }  // namespace
 
 void record_metric(const std::string& name, double value) {
@@ -293,27 +334,43 @@ void record_metric(const std::string& name, double value) {
   metrics().emplace_back(name, value);
 }
 
-void write_csv(const std::string& name, const std::string& level_name,
-               const std::vector<core::SweepRow>& rows) {
-  write_json_results(name, level_name, rows);
-  const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "warning: cannot create %s; skipping CSV\n", dir.c_str());
+SweepReport::SweepReport(std::string name, std::string level_name)
+    : name_(std::move(name)), level_name_(std::move(level_name)) {
+  const std::string path = csv_path(name_);
+  if (path.empty()) {
     return;
   }
-  report::CsvWriter csv({"method", level_name, "accuracy", "mean_spikes"});
-  for (const core::SweepRow& r : rows) {
-    csv.add_row({r.method, str::format_fixed(r.level, 2),
-                 str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)});
-  }
-  const std::string path = dir + "/" + name + ".csv";
   try {
-    csv.write(path);
-    std::printf("csv: %s\n", path.c_str());
+    csv_ = std::make_unique<report::CsvStream>(path, csv_headers(level_name_));
   } catch (const IoError& e) {
     std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
+core::SweepOptions SweepReport::options(std::string method_prefix) {
+  core::SweepOptions options = sweep_options();
+  options.on_row = [this, prefix = std::move(method_prefix)](
+                       const core::SweepRow& row) {
+    core::SweepRow prefixed = row;
+    prefixed.method = prefix + row.method;
+    if (csv_) {
+      try {
+        csv_->add_row(csv_cells(prefixed));
+      } catch (const IoError& e) {
+        std::fprintf(stderr, "warning: %s\n", e.what());
+        csv_.reset();
+      }
+    }
+    rows_.push_back(std::move(prefixed));
+  };
+  return options;
+}
+
+void SweepReport::finish() {
+  write_json_results(name_, level_name_, rows_);
+  if (csv_) {
+    std::printf("csv: %s\n", csv_->path().c_str());
+    csv_.reset();
   }
 }
 

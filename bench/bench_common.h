@@ -16,12 +16,15 @@
 //                  TSNN_ZOO_DIR        model cache (see core/zoo.h)
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "convert/converter.h"
 #include "core/experiment.h"
 #include "core/zoo.h"
+#include "report/csv.h"
 #include "snn/simulator.h"
 
 namespace tsnn::bench {
@@ -51,9 +54,21 @@ std::uint64_t bench_seed();
 /// Evaluation worker threads, 0 meaning hardware concurrency (--threads).
 std::size_t bench_threads();
 
+/// The process-wide persistent evaluation pool, sized by bench_threads()
+/// and created on first use; nullptr when the bench runs single-threaded.
+/// Every sweep and evaluate() call of a bench shares it, so worker threads
+/// -- and their thread-local SimWorkspaces -- stay warm across sweep cells,
+/// sweeps, and datasets instead of being torn down at every cell boundary.
+ThreadPool* eval_pool();
+
 /// The snn::evaluate options the shared knobs imply: base_seed from
-/// bench_seed(), num_threads from bench_threads().
+/// bench_seed(), num_threads from bench_threads(), pool from eval_pool().
 snn::EvalOptions eval_options();
+
+/// The grid-scheduler options the shared knobs imply: the persistent
+/// eval_pool() (no per-sweep pool churn). Prefer SweepReport::options()
+/// when the sweep's rows should also stream to disk.
+core::SweepOptions sweep_options();
 
 /// Loads/trains the zoo model for `kind`, converts it, and slices the test
 /// set down to bench_images() samples.
@@ -70,20 +85,40 @@ void print_sweep(const std::string& title, const std::string& level_name,
 std::string bench_json();
 
 /// Records a named scalar metric (e.g. "images_per_sec") to be emitted in
-/// the next write_csv JSON document's "metrics" object. Re-recording a name
-/// overwrites its value; metrics persist across write_csv calls so the last
-/// JSON document (the one CI keeps) carries them all. Used by the perf-smoke
-/// job to track end-to-end simulation throughput across PRs.
+/// the "metrics" object of the JSON document SweepReport::finish writes.
+/// Re-recording a name overwrites its value; record before finish() so the
+/// document CI keeps carries them all. Used by the perf-smoke job to track
+/// end-to-end simulation throughput across PRs.
 void record_metric(const std::string& name, double value);
 
-/// Writes the sweep rows as CSV into TSNN_BENCH_OUT/<name>.csv; prints the
-/// path (failures degrade to a warning so benches still run read-only).
-/// When --json PATH is set, the same rows are additionally emitted as a
-/// JSON document at PATH ({name, level_name, images, seed, rows[]}) for
-/// CI perf-trajectory artifacts; a bench that calls write_csv more than
-/// once overwrites PATH, so the last result set wins.
-void write_csv(const std::string& name, const std::string& level_name,
-               const std::vector<core::SweepRow>& rows);
+/// Streaming result sink for sweep benches. Construction opens
+/// TSNN_BENCH_OUT/<name>.csv (header written immediately; failure degrades
+/// to a warning and the bench runs CSV-less); options() yields
+/// core::SweepOptions wired to the persistent eval_pool() and an on_row
+/// sink that appends each completed cell's row to the CSV -- the file fills
+/// while the sweep runs, and its final content is byte-identical to the old
+/// end-of-run write_csv. finish() emits the JSON document (--json) from all
+/// streamed rows and prints the csv/json paths; call it once, last.
+class SweepReport {
+ public:
+  SweepReport(std::string name, std::string level_name);
+
+  /// Sweep options for one sweep of this report; `method_prefix` is
+  /// prepended to every streamed row's method label (e.g. "S-MNIST/" in the
+  /// cross-dataset tables).
+  core::SweepOptions options(std::string method_prefix = "");
+
+  /// Every row streamed so far (prefixed), in stream order.
+  const std::vector<core::SweepRow>& rows() const { return rows_; }
+
+  void finish();
+
+ private:
+  std::string name_;
+  std::string level_name_;
+  std::unique_ptr<report::CsvStream> csv_;  ///< null if the open failed
+  std::vector<core::SweepRow> rows_;
+};
 
 /// Accuracy as "93.25" (percent, two decimals).
 std::string pct(double accuracy);

@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
   }
   const std::vector<double> levels{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 
-  const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  bench::SweepReport report("fig2_deletion_codings", "p");
+  const auto rows = core::deletion_sweep(w.inputs(), methods, levels, report.options());
   bench::print_sweep("Fig. 2: spike deletion, S-CIFAR10, VGG-mini", "p", methods,
                      levels, rows, /*show_spikes=*/true);
-  bench::write_csv("fig2_deletion_codings", "p", rows);
+  report.finish();
   return 0;
 }

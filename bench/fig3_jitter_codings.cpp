@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
   }
   const std::vector<double> levels{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
 
-  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  bench::SweepReport report("fig3_jitter_codings", "sigma");
+  const auto rows = core::jitter_sweep(w.inputs(), methods, levels, report.options());
   bench::print_sweep("Fig. 3: spike jitter, S-CIFAR10, VGG-mini", "sigma", methods,
                      levels, rows, /*show_spikes=*/true);
-  bench::write_csv("fig3_jitter_codings", "sigma", rows);
+  report.finish();
   return 0;
 }

@@ -22,9 +22,10 @@ int main(int argc, char** argv) {
   }
   const std::vector<double> levels{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
 
-  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  bench::SweepReport report("fig6_jitter_ttas", "sigma");
+  const auto rows = core::jitter_sweep(w.inputs(), methods, levels, report.options());
   bench::print_sweep("Fig. 6: TTAS burst duration vs jitter, S-CIFAR10", "sigma",
                      methods, levels, rows, /*show_spikes=*/false);
-  bench::write_csv("fig6_jitter_ttas", "sigma", rows);
+  report.finish();
   return 0;
 }

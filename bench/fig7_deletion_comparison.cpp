@@ -26,9 +26,10 @@ int main(int argc, char** argv) {
   methods.push_back(core::ttas_method(5, /*ws=*/true));
 
   const std::vector<double> levels{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
-  const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  bench::SweepReport report("fig7_deletion_comparison", "p");
+  const auto rows = core::deletion_sweep(w.inputs(), methods, levels, report.options());
   bench::print_sweep("Fig. 7: deletion comparison, S-CIFAR10", "p", methods,
                      levels, rows, /*show_spikes=*/false);
-  bench::write_csv("fig7_deletion_comparison", "p", rows);
+  report.finish();
   return 0;
 }

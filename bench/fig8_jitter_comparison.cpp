@@ -22,9 +22,10 @@ int main(int argc, char** argv) {
   methods.push_back(core::ttas_method(10, /*ws=*/false));
 
   const std::vector<double> levels{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
-  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  bench::SweepReport report("fig8_jitter_comparison", "sigma");
+  const auto rows = core::jitter_sweep(w.inputs(), methods, levels, report.options());
   bench::print_sweep("Fig. 8: jitter comparison, S-CIFAR10", "sigma", methods,
                      levels, rows, /*show_spikes=*/false);
-  bench::write_csv("fig8_jitter_comparison", "sigma", rows);
+  report.finish();
   return 0;
 }

@@ -26,7 +26,7 @@ struct SweepClock {
   std::size_t images = 0;  ///< one count per simulated (image, config) pair
 };
 
-void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows,
+void run_dataset(core::DatasetKind kind, bench::SweepReport& report,
                  SweepClock& clock) {
   const bench::Workload w = bench::prepare_workload(kind);
 
@@ -38,7 +38,9 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows,
   const std::vector<double> levels{0.0, 0.2, 0.5, 0.8};
 
   const Stopwatch sweep_timer;
-  const auto rows = core::deletion_sweep(w.inputs(), methods, levels);
+  const auto rows = core::deletion_sweep(
+      w.inputs(), methods, levels,
+      report.options(core::dataset_name(kind) + "/"));
   clock.seconds += sweep_timer.elapsed();
   clock.images += methods.size() * levels.size() * w.test_images.size();
 
@@ -63,11 +65,6 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows,
   }
   std::printf("\n== Table I (%s): deletion, accuracy %% and #spikes ==\n%s",
               core::dataset_name(kind).c_str(), table.to_string().c_str());
-
-  for (core::SweepRow r : rows) {
-    r.method = core::dataset_name(kind) + "/" + r.method;
-    all_rows.push_back(std::move(r));
-  }
 }
 
 }  // namespace
@@ -76,11 +73,11 @@ int main(int argc, char** argv) {
   using namespace tsnn;
   bench::init(argc, argv);
   std::printf("Table I | spike deletion across datasets | +WS methods and TTAS+WS\n");
-  std::vector<core::SweepRow> all_rows;
+  bench::SweepReport report("table1_deletion", "p");
   SweepClock clock;
-  run_dataset(core::DatasetKind::kMnistLike, all_rows, clock);
-  run_dataset(core::DatasetKind::kCifar10Like, all_rows, clock);
-  run_dataset(core::DatasetKind::kCifar20Like, all_rows, clock);
+  run_dataset(core::DatasetKind::kMnistLike, report, clock);
+  run_dataset(core::DatasetKind::kCifar10Like, report, clock);
+  run_dataset(core::DatasetKind::kCifar20Like, report, clock);
   if (clock.seconds > 0.0 && clock.images > 0) {
     const double ips = static_cast<double>(clock.images) / clock.seconds;
     std::printf("\nsweep throughput: %zu images in %.2fs = %.1f images/sec\n",
@@ -89,6 +86,6 @@ int main(int argc, char** argv) {
     bench::record_metric("sweep_seconds", clock.seconds);
     bench::record_metric("sweep_images", static_cast<double>(clock.images));
   }
-  bench::write_csv("table1_deletion", "p", all_rows);
+  report.finish();
   return 0;
 }

@@ -17,7 +17,7 @@ namespace {
 
 using namespace tsnn;
 
-void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) {
+void run_dataset(core::DatasetKind kind, bench::SweepReport& report) {
   const bench::Workload w = bench::prepare_workload(kind);
 
   // The paper finds the TTAS burst duration empirically per noise type;
@@ -29,7 +29,9 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) 
       core::ttas_method(10, false)};
   const std::vector<double> levels{0.0, 1.0, 2.0, 3.0};
 
-  const auto rows = core::jitter_sweep(w.inputs(), methods, levels);
+  const auto rows = core::jitter_sweep(
+      w.inputs(), methods, levels,
+      report.options(core::dataset_name(kind) + "/"));
 
   report::Table table({"Methods", "Clean", "1.0", "2.0", "3.0", "Avg."});
   for (const core::MethodSpec& m : methods) {
@@ -45,11 +47,6 @@ void run_dataset(core::DatasetKind kind, std::vector<core::SweepRow>& all_rows) 
   }
   std::printf("\n== Table II (%s): jitter, accuracy %% ==\n%s",
               core::dataset_name(kind).c_str(), table.to_string().c_str());
-
-  for (core::SweepRow r : rows) {
-    r.method = core::dataset_name(kind) + "/" + r.method;
-    all_rows.push_back(std::move(r));
-  }
 }
 
 }  // namespace
@@ -58,10 +55,10 @@ int main(int argc, char** argv) {
   using namespace tsnn;
   bench::init(argc, argv);
   std::printf("Table II | spike jitter across datasets | temporal codings\n");
-  std::vector<core::SweepRow> all_rows;
-  run_dataset(core::DatasetKind::kMnistLike, all_rows);
-  run_dataset(core::DatasetKind::kCifar10Like, all_rows);
-  run_dataset(core::DatasetKind::kCifar20Like, all_rows);
-  bench::write_csv("table2_jitter", "sigma", all_rows);
+  bench::SweepReport report("table2_jitter", "sigma");
+  run_dataset(core::DatasetKind::kMnistLike, report);
+  run_dataset(core::DatasetKind::kCifar10Like, report);
+  run_dataset(core::DatasetKind::kCifar20Like, report);
+  report.finish();
   return 0;
 }

@@ -59,18 +59,76 @@ void ThreadPool::wait() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
-  }
+  parallel_for_async(n, fn);
   wait();
 }
 
+void ThreadPool::parallel_for_async(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  TSNN_CHECK_MSG(fn != nullptr, "cannot broadcast a null callable");
+  if (n == 0) {
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    TSNN_CHECK_MSG(!stop_, "parallel_for on a stopped ThreadPool");
+    // Serialize broadcasts: a second caller waits until the first drained.
+    all_done_.wait(lock, [this] { return pf_fn_ == nullptr; });
+    pf_fn_ = &fn;
+    pf_n_ = n;
+    pf_next_.store(0, std::memory_order_relaxed);
+    ++pf_generation_;
+    ++pending_;  // the broadcast counts as one logical task for wait()
+  }
+  task_ready_.notify_all();
+}
+
+void ThreadPool::run_broadcast_items() {
+  const std::function<void(std::size_t)>& fn = *pf_fn_;
+  const std::size_t n = pf_n_;
+  for (;;) {
+    const std::size_t i = pf_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
+  std::uint64_t joined_generation = 0;  // last broadcast this worker served
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      task_ready_.wait(lock, [&] {
+        return stop_ || !queue_.empty() ||
+               (pf_fn_ != nullptr && pf_generation_ != joined_generation);
+      });
+      if (pf_fn_ != nullptr && pf_generation_ != joined_generation) {
+        joined_generation = pf_generation_;
+        ++pf_workers_;
+        lock.unlock();
+        run_broadcast_items();
+        lock.lock();
+        if (--pf_workers_ == 0 &&
+            pf_next_.load(std::memory_order_relaxed) >= pf_n_) {
+          // Last participant out and the range is exhausted: retire the
+          // broadcast so wait() unblocks and the next one may start.
+          pf_fn_ = nullptr;
+          --pending_;
+          lock.unlock();
+          all_done_.notify_all();
+        }
+        continue;
+      }
       if (queue_.empty()) {
         return;  // stop_ set and no work left
       }

@@ -11,9 +11,30 @@
 // The first exception thrown by any task is captured and rethrown on the
 // calling thread from wait()/parallel_for(); subsequent exceptions are
 // swallowed.
+//
+// parallel_for is a *broadcast*, not n submit()s: the workers share one
+// atomic index counter and pull indices until the range is exhausted, so a
+// parallel_for performs no per-index heap allocation and no per-index mutex
+// hop -- the steady-state requirement of the sweep engine
+// (core/experiment.h), which runs many parallel_fors over one persistent
+// pool and pins zero allocations across them (tests/test_zero_alloc.cpp).
+// Indices are handed out in increasing order; with one worker the execution
+// order is exactly 0..n-1.
+//
+// parallel_for_async() starts the same broadcast without blocking, so the
+// calling thread can consume results incrementally (the sweep engine streams
+// completed sweep cells while later cells are still running); wait() then
+// blocks until the broadcast -- and any queued tasks -- finished. The
+// callable must outlive the broadcast: it is borrowed by reference, not
+// copied. At most one broadcast runs at a time; starting a second one blocks
+// until the first finished. Workers never call the callable reentrantly from
+// inside itself, so submitting from fn or nesting parallel_for inside fn is
+// not supported.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -42,13 +63,21 @@ class ThreadPool {
   /// Enqueues a task; tasks are dequeued in submission order.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished, then rethrows the first
-  /// exception any of them threw (if any).
+  /// Blocks until every submitted task and any in-flight parallel_for
+  /// broadcast has finished, then rethrows the first exception any of them
+  /// threw (if any).
   void wait();
 
-  /// Runs fn(i) for i in [0, n) across the pool and blocks until all are
-  /// done; rethrows the first exception. Equivalent to n submit()s + wait().
+  /// Runs fn(i) for i in [0, n) across the pool (allocation-free atomic
+  /// index broadcast) and blocks until all are done; rethrows the first
+  /// exception. Every index runs even if an earlier one threw.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Starts the broadcast without blocking; pair with wait(). `fn` is
+  /// borrowed -- it must stay alive and callable until wait() returns.
+  /// Blocks only if another broadcast is still in flight.
+  void parallel_for_async(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
 
   /// Maps a requested thread count to an actual one: 0 -> hardware
   /// concurrency (at least 1), otherwise the request itself.
@@ -57,14 +86,25 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Pulls indices from the active broadcast until exhausted; called by
+  /// workers outside the pool lock.
+  void run_broadcast_items();
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
-  std::condition_variable task_ready_;   ///< queue non-empty or stopping
+  std::condition_variable task_ready_;   ///< queue non-empty, broadcast, or stopping
   std::condition_variable all_done_;     ///< pending_ reached zero
-  std::size_t pending_ = 0;              ///< queued + currently running tasks
+  std::size_t pending_ = 0;              ///< queued + running tasks + active broadcast
   std::exception_ptr first_error_;
   bool stop_ = false;
+
+  // Broadcast (parallel_for) state, guarded by mutex_ except pf_next_.
+  const std::function<void(std::size_t)>* pf_fn_ = nullptr;  ///< borrowed
+  std::size_t pf_n_ = 0;
+  std::atomic<std::size_t> pf_next_{0};  ///< next index to hand out
+  std::size_t pf_workers_ = 0;           ///< workers inside the broadcast
+  std::uint64_t pf_generation_ = 0;      ///< workers join each broadcast once
 };
 
 }  // namespace tsnn

@@ -1,8 +1,14 @@
 #include "core/experiment.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
 #include "coding/registry.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/ttas.h"
 #include "core/weight_scaling.h"
 #include "noise/noise.h"
@@ -35,6 +41,21 @@ MethodSpec ttas_method(std::size_t burst_duration, bool ws) {
   return spec;
 }
 
+const snn::SnnModel& ScaledModelCache::get(float factor) {
+  if (factor == 1.0f) {
+    return *base_;
+  }
+  for (const auto& [f, model] : clones_) {
+    if (f == factor) {
+      return *model;
+    }
+  }
+  auto scaled = std::make_unique<snn::SnnModel>(base_->clone());
+  scaled->scale_all_weights(factor);
+  clones_.emplace_back(factor, std::move(scaled));
+  return *clones_.back().second;
+}
+
 namespace {
 
 void check_inputs(const SweepInputs& in) {
@@ -47,36 +68,226 @@ void check_inputs(const SweepInputs& in) {
 
 enum class NoiseKind { kDeletion, kJitter };
 
+/// One (method, level) grid cell, its model/scheme/noise resolved up front.
+struct Cell {
+  const MethodSpec* method = nullptr;
+  double level = 0.0;
+  float ws_factor = 1.0f;
+  const snn::SnnModel* model = nullptr;      ///< base or cached scaled clone
+  const snn::CodingScheme* scheme = nullptr; ///< shared across the method's cells
+  const snn::NoiseModel* noise = nullptr;    ///< null for the clean point
+};
+
+/// Simulates image `i` of `cell` into the caller's slots. The one per-image
+/// body both the serial walker and every pool worker run, so the two paths
+/// cannot drift apart (their bit-identity is the engine's core guarantee).
+/// The workspace is thread_local: warm across cells, sweeps, and (on a
+/// persistent pool) whole benches.
+void eval_cell_image(const Cell& cell, const SweepInputs& in, std::size_t i,
+                     std::uint8_t* correct, std::size_t* spikes) {
+  thread_local snn::SimWorkspace ws;
+  thread_local snn::SimResult r;
+  Rng rng = Rng::for_stream(in.seed, i);
+  snn::simulate_into(*cell.model, *cell.scheme, (*in.images)[i], cell.noise,
+                     &rng, ws, r);
+  *correct = r.predicted_class == (*in.labels)[i] ? 1 : 0;
+  *spikes = r.total_spikes;
+}
+
+/// Mutable completion state of the parallel grid run. Tasks only touch this
+/// through run_task(), keeping the std::function the pool broadcasts small
+/// (one pointer) and allocation-free.
+struct GridState {
+  const SweepInputs* in = nullptr;
+  const std::vector<Cell>* cells = nullptr;
+  std::size_t images_per_cell = 0;
+  std::vector<std::uint8_t> correct;  ///< cells x images, cell-major
+  std::vector<std::size_t> spikes;    ///< cells x images, cell-major
+  std::unique_ptr<std::atomic<std::size_t>[]> remaining;  ///< images left per cell
+  std::mutex mutex;
+  std::condition_variable cell_done;
+  std::vector<std::uint8_t> done;  ///< guarded by mutex
+  std::exception_ptr error;        ///< guarded by mutex
+
+  /// Flat task t = cell * images_per_cell + image. Never throws: failures
+  /// are captured so the cell still completes and the emitter can unblock.
+  void run_task(std::size_t t) {
+    const std::size_t c = t / images_per_cell;
+    const std::size_t i = t % images_per_cell;
+    try {
+      eval_cell_image((*cells)[c], *in, i, &correct[t], &spikes[t]);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+    // acq_rel: the final decrement observes every worker's slot writes, so
+    // the emitter (woken under the mutex) reads a fully written cell.
+    if (remaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        done[c] = 1;
+      }
+      cell_done.notify_all();
+    }
+  }
+};
+
+/// Reduces one completed cell in image-index order (the serial reduction
+/// order, so results are bit-identical at any thread count) and emits it.
+SweepRow reduce_cell(const Cell& cell, const std::uint8_t* correct,
+                     const std::size_t* spikes, std::size_t n) {
+  std::size_t num_correct = 0;
+  double spike_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num_correct += correct[i];
+    spike_acc += static_cast<double>(spikes[i]);
+  }
+  SweepRow row;
+  row.method = cell.method->label;
+  row.level = cell.level;
+  if (n > 0) {
+    row.accuracy = static_cast<double>(num_correct) / static_cast<double>(n);
+    row.mean_spikes = spike_acc / static_cast<double>(n);
+  }
+  row.ws_factor = static_cast<double>(cell.ws_factor);
+  return row;
+}
+
+void emit_row(std::vector<SweepRow>& rows, SweepRow row,
+              const SweepOptions& options) {
+  rows.push_back(std::move(row));
+  const SweepRow& r = rows.back();
+  if (options.on_row) {
+    options.on_row(r);
+  }
+  TSNN_LOG(kInfo) << r.method << " level " << r.level << " acc " << r.accuracy
+                  << " spikes " << r.mean_spikes;
+}
+
 std::vector<SweepRow> sweep(const SweepInputs& in,
                             const std::vector<MethodSpec>& methods,
-                            const std::vector<double>& levels, NoiseKind kind) {
+                            const std::vector<double>& levels, NoiseKind kind,
+                            const SweepOptions& options) {
   check_inputs(in);
-  std::vector<SweepRow> rows;
-  rows.reserve(methods.size() * levels.size());
+  const std::size_t n = in.images->size();
+
+  // Resolve the whole grid up front: schemes once per method, noise models
+  // once per cell, and models through the scaled-clone cache -- every
+  // method at the same deletion level shares one scaled model.
+  std::vector<snn::CodingSchemePtr> schemes;
+  schemes.reserve(methods.size());
   for (const MethodSpec& method : methods) {
-    const snn::CodingSchemePtr scheme =
-        coding::make_scheme(method.coding, method.params);
+    schemes.push_back(coding::make_scheme(method.coding, method.params));
+  }
+  ScaledModelCache cache(*in.model);
+  std::vector<snn::NoiseModelPtr> noises;
+  std::vector<Cell> cells;
+  noises.reserve(methods.size() * levels.size());
+  cells.reserve(methods.size() * levels.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
     for (const double level : levels) {
+      Cell cell;
+      cell.method = &methods[m];
+      cell.level = level;
+      cell.scheme = schemes[m].get();
       // Weight scaling compensates the *deletion* level; for jitter sweeps
-      // the clean (unscaled) model is correct since no charge is lost.
-      snn::SnnModel model = in.model->clone();
-      if (method.weight_scaling && kind == NoiseKind::kDeletion && level > 0.0) {
-        apply_weight_scaling(model, level);
+      // the clean (unscaled) model is correct since no charge is lost (see
+      // MethodSpec) -- ws_factor stays 1.
+      if (methods[m].weight_scaling && kind == NoiseKind::kDeletion &&
+          level > 0.0) {
+        cell.ws_factor = weight_scaling_factor(level);
       }
-      snn::NoiseModelPtr noise;
+      cell.model = &cache.get(cell.ws_factor);
       if (level > 0.0) {
-        noise = kind == NoiseKind::kDeletion ? noise::make_deletion(level)
-                                             : noise::make_jitter(level);
+        noises.push_back(kind == NoiseKind::kDeletion
+                             ? noise::make_deletion(level)
+                             : noise::make_jitter(level));
+        cell.noise = noises.back().get();
       }
-      snn::EvalOptions options;
-      options.base_seed = in.seed;
-      options.num_threads = in.num_threads;
-      const snn::BatchResult r = snn::evaluate(
-          model, *scheme, *in.images, *in.labels, noise.get(), options);
-      rows.push_back({method.label, level, r.accuracy, r.mean_spikes_per_image});
-      TSNN_LOG(kInfo) << method.label << " level " << level << " acc " << r.accuracy
-                      << " spikes " << r.mean_spikes_per_image;
+      cells.push_back(cell);
     }
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(cells.size());
+  if (cells.empty()) {
+    return rows;
+  }
+
+  // Parallelism keys on the whole grid, not the per-cell image count: a
+  // 60-cell sweep of 1-image cells still has 60 independent tasks.
+  const bool parallel =
+      cells.size() * n > 1 && (options.pool != nullptr ||
+                               ThreadPool::resolve_threads(in.num_threads) > 1);
+
+  if (!parallel) {
+    // Serial grid walk on the calling thread, cell by cell in grid order.
+    std::vector<std::uint8_t> correct(n);
+    std::vector<std::size_t> spikes(n);
+    for (const Cell& cell : cells) {
+      for (std::size_t i = 0; i < n; ++i) {
+        eval_cell_image(cell, in, i, &correct[i], &spikes[i]);
+      }
+      emit_row(rows, reduce_cell(cell, correct.data(), spikes.data(), n),
+               options);
+    }
+    return rows;
+  }
+
+  // Grid-parallel path: one flat task stream (cell-major, so cells finish
+  // roughly in emission order) over a pool that lives for the whole sweep.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(ThreadPool::resolve_threads(in.num_threads));
+    pool = &*owned_pool;
+  }
+
+  GridState state;
+  state.in = &in;
+  state.cells = &cells;
+  state.images_per_cell = n;
+  state.correct.assign(cells.size() * n, 0);
+  state.spikes.assign(cells.size() * n, 0);
+  state.remaining = std::make_unique<std::atomic<std::size_t>[]>(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    state.remaining[c].store(n, std::memory_order_relaxed);
+  }
+  state.done.assign(cells.size(), 0);
+
+  const std::function<void(std::size_t)> task = [&state](std::size_t t) {
+    state.run_task(t);
+  };
+  pool->parallel_for_async(cells.size() * n, task);
+
+  // Emit completed cells in grid order while later cells are still
+  // running. On any error (a simulation failure or a throwing on_row
+  // callback) stop emitting -- but always drain the pool before unwinding:
+  // workers reference `task` and `state` on this frame.
+  std::exception_ptr error;
+  try {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.cell_done.wait(lock, [&] { return state.done[c] != 0; });
+        error = state.error;
+      }
+      if (error) {
+        break;
+      }
+      emit_row(rows,
+               reduce_cell(cells[c], &state.correct[c * n],
+                           &state.spikes[c * n], n),
+               options);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  pool->wait();  // drain stragglers; rethrows pool-level errors
+  if (error) {
+    std::rethrow_exception(error);
   }
   return rows;
 }
@@ -85,14 +296,16 @@ std::vector<SweepRow> sweep(const SweepInputs& in,
 
 std::vector<SweepRow> deletion_sweep(const SweepInputs& in,
                                      const std::vector<MethodSpec>& methods,
-                                     const std::vector<double>& levels) {
-  return sweep(in, methods, levels, NoiseKind::kDeletion);
+                                     const std::vector<double>& levels,
+                                     const SweepOptions& options) {
+  return sweep(in, methods, levels, NoiseKind::kDeletion, options);
 }
 
 std::vector<SweepRow> jitter_sweep(const SweepInputs& in,
                                    const std::vector<MethodSpec>& methods,
-                                   const std::vector<double>& levels) {
-  return sweep(in, methods, levels, NoiseKind::kJitter);
+                                   const std::vector<double>& levels,
+                                   const SweepOptions& options) {
+  return sweep(in, methods, levels, NoiseKind::kJitter, options);
 }
 
 std::vector<SweepRow> rows_for(const std::vector<SweepRow>& rows,

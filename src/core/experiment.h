@@ -6,17 +6,44 @@
 // return rows the benches print / write to CSV. Weight scaling uses the
 // *actual* noise level of each sweep point, as the paper sets C
 // proportional to the deletion probability.
+//
+// Sweeps run on a grid scheduler: the whole (method x level x image) grid
+// is flattened into one task stream over a single ThreadPool that lives for
+// the entire sweep, the unscaled model is shared by const reference with
+// scaled clones cached once per distinct weight-scaling factor
+// (ScaledModelCache), and completed rows stream to SweepOptions::on_row in
+// grid order as cells finish. Results are bit-identical to a serial
+// cell-by-cell run at any thread count: image i of every cell draws from
+// Rng::for_stream(seed, i) and each cell reduces in image-index order (see
+// docs/ARCHITECTURE.md, "Sweep engine").
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "snn/coding_base.h"
 #include "snn/snn_model.h"
 
+namespace tsnn {
+class ThreadPool;
+}
+
 namespace tsnn::core {
 
 /// One figure-legend entry.
+///
+/// `weight_scaling` opts the method into the paper's deletion compensation
+/// W' = C.W with C = 1/(1-p): it applies only in *deletion* sweeps at
+/// levels p > 0, because jitter displaces charge in time but loses none --
+/// there is nothing for WS to compensate. A "+WS" method in a jitter sweep
+/// therefore intentionally runs unscaled (physics, not a bug); the returned
+/// rows record the effective factor in SweepRow::ws_factor (1.0 = unscaled)
+/// so API consumers can tell what actually ran. (The bench CSV/JSON keep
+/// their historical columns and do not carry ws_factor -- the label alone
+/// still names the method spec, not the scaling that applied.)
 struct MethodSpec {
   std::string label;
   snn::Coding coding = snn::Coding::kRate;
@@ -37,6 +64,7 @@ struct SweepRow {
   double level = 0.0;       ///< deletion p or jitter sigma (0 = clean)
   double accuracy = 0.0;    ///< fraction in [0,1]
   double mean_spikes = 0.0; ///< spikes per image across the whole network
+  double ws_factor = 1.0;   ///< weight scaling actually applied (1 = none)
 };
 
 /// Evaluation inputs shared by the sweeps.
@@ -48,16 +76,57 @@ struct SweepInputs {
   std::size_t num_threads = 1;  ///< evaluation workers; 0 = hardware
 };
 
+/// How the grid scheduler runs a sweep. Results never depend on either
+/// knob -- rows are bit-identical and arrive in grid order (method-major,
+/// then level) regardless of pool size or cell completion order.
+struct SweepOptions {
+  /// External persistent pool; the sweep borrows it instead of spawning its
+  /// own, so per-worker SimWorkspaces (and the pool threads) stay warm
+  /// across consecutive sweeps. Null = the engine creates one pool sized by
+  /// SweepInputs::num_threads that lives for the whole sweep.
+  ThreadPool* pool = nullptr;
+  /// Called once per completed cell, in grid order, from the sweeping
+  /// thread -- the streaming hook the benches use to write CSV rows
+  /// incrementally while later cells are still running.
+  std::function<void(const SweepRow&)> on_row;
+};
+
+/// Caches weight-scaled clones of a base model, one per distinct scaling
+/// factor. get(1.0f) is the base model itself (no clone); the first get()
+/// of any other factor clones + scales once, and every later request --
+/// e.g. all methods of a sweep at the same deletion level -- shares that
+/// clone (and its lazily built topology kernel caches) by const reference.
+/// get() is not thread-safe: populate from one thread (the sweep engine
+/// resolves every cell's model up front), then share the returned models
+/// freely across evaluation threads.
+class ScaledModelCache {
+ public:
+  explicit ScaledModelCache(const snn::SnnModel& base) : base_(&base) {}
+
+  /// The model with all weights scaled by `factor`; cached after the first
+  /// request.
+  const snn::SnnModel& get(float factor);
+
+  /// Number of scaled clones materialized so far (excludes the base).
+  std::size_t num_clones() const { return clones_.size(); }
+
+ private:
+  const snn::SnnModel* base_;
+  std::vector<std::pair<float, std::unique_ptr<snn::SnnModel>>> clones_;
+};
+
 /// Accuracy/spikes of every method at every deletion probability.
 /// `levels` may include 0.0 for the clean point.
 std::vector<SweepRow> deletion_sweep(const SweepInputs& in,
                                      const std::vector<MethodSpec>& methods,
-                                     const std::vector<double>& levels);
+                                     const std::vector<double>& levels,
+                                     const SweepOptions& options = {});
 
 /// Accuracy/spikes of every method at every jitter intensity.
 std::vector<SweepRow> jitter_sweep(const SweepInputs& in,
                                    const std::vector<MethodSpec>& methods,
-                                   const std::vector<double>& levels);
+                                   const std::vector<double>& levels,
+                                   const SweepOptions& options = {});
 
 /// Convenience: rows of one method, in level order.
 std::vector<SweepRow> rows_for(const std::vector<SweepRow>& rows,

@@ -10,7 +10,9 @@ namespace tsnn::report {
 namespace {
 
 std::string escape(const std::string& field) {
-  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  // \r must quote too: a bare carriage return splits the record for RFC-4180
+  // readers (and silently truncates the row in spreadsheet imports).
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quotes) {
     return field;
   }
@@ -65,6 +67,38 @@ void CsvWriter::write(const std::string& path) const {
   os << to_string();
   if (!os) {
     throw IoError("csv write failed: " + path);
+  }
+}
+
+CsvStream::CsvStream(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : path_(path), os_(path, std::ios::trunc), num_cols_(headers.size()) {
+  TSNN_CHECK_MSG(num_cols_ > 0, "csv needs at least one column");
+  if (!os_) {
+    throw IoError("cannot open csv for write: " + path_);
+  }
+  emit(headers);
+}
+
+void CsvStream::add_row(const std::vector<std::string>& cells) {
+  TSNN_CHECK_MSG(cells.size() == num_cols_,
+                 "csv row has " << cells.size() << " cells, expected "
+                                << num_cols_);
+  emit(cells);
+  ++rows_;
+}
+
+void CsvStream::emit(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) {
+      os_ << ",";
+    }
+    os_ << escape(cells[c]);
+  }
+  os_ << "\n";
+  os_.flush();
+  if (!os_) {
+    throw IoError("csv write failed: " + path_);
   }
 }
 

@@ -1,6 +1,7 @@
 // CSV output for machine-readable bench results.
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,33 @@ class CsvWriter {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Incremental CSV writer: opens `path` and writes the header immediately,
+/// then appends + flushes one record per add_row. The sweep engine streams
+/// rows through this as grid cells finish, so a long (or interrupted) bench
+/// run always leaves a valid CSV prefix on disk. Same quoting rules as
+/// CsvWriter; the finished file is byte-identical to CsvWriter::write of
+/// the same rows.
+class CsvStream {
+ public:
+  /// Throws IoError if `path` cannot be opened.
+  CsvStream(const std::string& path, const std::vector<std::string>& headers);
+
+  /// Appends one record and flushes it to disk; throws IoError on write
+  /// failure.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t num_rows() const { return rows_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream os_;
+  std::size_t num_cols_ = 0;
+  std::size_t rows_ = 0;
 };
 
 }  // namespace tsnn::report

@@ -83,33 +83,49 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   }
 
   // Per-image slots written independently, then reduced in index order so
-  // the result is bit-identical at any thread count.
-  std::vector<std::uint8_t> correct(n, 0);
-  std::vector<std::size_t> spikes(n, 0);
+  // the result is bit-identical at any thread count. The slot buffers are
+  // thread_local grow-only scratch: consecutive evaluate() calls from the
+  // same thread (the cells of a sweep) reuse their capacity, keeping the
+  // steady state allocation-free. Workers get the *caller's* instances via
+  // plain pointers -- naming a thread_local inside the lambda would resolve
+  // to each worker's own (empty) instance instead.
+  thread_local std::vector<std::uint8_t> correct_slots;
+  thread_local std::vector<std::size_t> spike_slots;
+  correct_slots.assign(n, 0);
+  spike_slots.assign(n, 0);
+  std::uint8_t* const correct = correct_slots.data();
+  std::size_t* const spikes = spike_slots.data();
   const auto eval_one = [&](std::size_t i, SimWorkspace& ws, SimResult& r) {
     Rng rng = Rng::for_stream(options.base_seed, i);
     simulate_into(model, scheme, images[i], noise, &rng, ws, r);
     correct[i] = r.predicted_class == labels[i] ? 1 : 0;
     spikes[i] = r.total_spikes;
   };
+  const auto eval_worker = [&](std::size_t i) {
+    // One workspace per worker thread, reused across that thread's images
+    // -- and, on a persistent external pool, across whole batches.
+    thread_local SimWorkspace ws;
+    thread_local SimResult r;
+    eval_one(i, ws, r);
+  };
 
-  const std::size_t num_threads =
-      std::min(ThreadPool::resolve_threads(options.num_threads), n);
-  if (num_threads <= 1) {
-    SimWorkspace ws;
-    SimResult r;
-    for (std::size_t i = 0; i < n; ++i) {
-      eval_one(i, ws, r);
-    }
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(n, eval_worker);
   } else {
-    ThreadPool pool(num_threads);
-    pool.parallel_for(n, [&](std::size_t i) {
-      // One workspace per pool thread, reused across that thread's images;
-      // workers die with the pool, releasing the scratch.
+    const std::size_t num_threads =
+        std::min(ThreadPool::resolve_threads(options.num_threads), n);
+    if (num_threads <= 1) {
+      // The caller thread's own persistent workspace; like the pool
+      // workers', it stays warm across consecutive batches.
       thread_local SimWorkspace ws;
       thread_local SimResult r;
-      eval_one(i, ws, r);
-    });
+      for (std::size_t i = 0; i < n; ++i) {
+        eval_one(i, ws, r);
+      }
+    } else {
+      ThreadPool pool(num_threads);
+      pool.parallel_for(n, eval_worker);
+    }
   }
 
   double spike_acc = 0.0;

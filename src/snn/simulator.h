@@ -23,6 +23,10 @@
 #include "snn/snn_model.h"
 #include "snn/workspace.h"
 
+namespace tsnn {
+class ThreadPool;
+}
+
 namespace tsnn::snn {
 
 /// Outcome of simulating one image.
@@ -61,10 +65,21 @@ struct BatchResult {
 
 /// How evaluate() runs the batch. Image i draws its noise from the private
 /// stream Rng::for_stream(base_seed, i), so the BatchResult is a pure
-/// function of (inputs, base_seed) -- bit-identical at any `num_threads`.
+/// function of (inputs, base_seed) -- bit-identical at any `num_threads`
+/// and identical whether the batch runs on an internal or external pool.
+///
+/// When `pool` is set, evaluate() fans out over that pool instead of
+/// constructing (and tearing down) its own, and `num_threads` is ignored.
+/// A persistent pool is how consecutive batches (e.g. the cells of a
+/// sweep) keep their per-worker SimWorkspaces warm: each pool thread's
+/// workspace survives across evaluate() calls, so the steady state
+/// allocates nothing per batch (tests/test_zero_alloc.cpp). The pool must
+/// be idle (no concurrent parallel_for from other threads) for the
+/// duration of the call.
 struct EvalOptions {
   std::uint64_t base_seed = 0;  ///< seed of the per-image noise streams
   std::size_t num_threads = 1;  ///< worker count; 0 = hardware concurrency
+  ThreadPool* pool = nullptr;   ///< external persistent pool (optional)
 };
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,

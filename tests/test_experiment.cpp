@@ -1,8 +1,12 @@
-// Tests for the experiment harness (method specs and noise sweeps).
+// Tests for the experiment harness: method specs, noise sweeps, and the
+// grid scheduler (thread-count invariance, row streaming order, the
+// scaled-model cache, and the effective-WS bookkeeping).
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
+#include "core/weight_scaling.h"
 #include "snn/topology.h"
 
 namespace tsnn::core {
@@ -137,6 +141,150 @@ TEST(Sweep, DeterministicForSeed) {
   const auto b = deletion_sweep(in, {baseline_method(Coding::kRate, false)}, {0.4});
   EXPECT_DOUBLE_EQ(a[0].accuracy, b[0].accuracy);
   EXPECT_DOUBLE_EQ(a[0].mean_spikes, b[0].mean_spikes);
+}
+
+void expect_rows_identical(const std::vector<SweepRow>& a,
+                           const std::vector<SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].method, b[i].method) << "row " << i;
+    EXPECT_DOUBLE_EQ(a[i].level, b[i].level) << "row " << i;
+    EXPECT_DOUBLE_EQ(a[i].accuracy, b[i].accuracy) << "row " << i;
+    EXPECT_DOUBLE_EQ(a[i].mean_spikes, b[i].mean_spikes) << "row " << i;
+    EXPECT_DOUBLE_EQ(a[i].ws_factor, b[i].ws_factor) << "row " << i;
+  }
+}
+
+TEST(GridScheduler, RowsBitIdenticalAt1_2_8Threads) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, false),
+                                        baseline_method(Coding::kBurst, true),
+                                        ttas_method(3, true)};
+  const std::vector<double> levels{0.0, 0.3, 0.6};
+
+  SweepInputs in = f.inputs();
+  in.num_threads = 1;
+  const auto serial = deletion_sweep(in, methods, levels);
+  in.num_threads = 2;
+  const auto grid2 = deletion_sweep(in, methods, levels);
+  in.num_threads = 8;
+  const auto grid8 = deletion_sweep(in, methods, levels);
+
+  expect_rows_identical(serial, grid2);
+  expect_rows_identical(serial, grid8);
+}
+
+TEST(GridScheduler, ExternalPersistentPoolMatchesSerial) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, true),
+                                        ttas_method(2, false)};
+  const std::vector<double> levels{0.0, 0.4, 0.7};
+  const auto serial = deletion_sweep(f.inputs(), methods, levels);
+
+  ThreadPool pool(4);
+  SweepOptions options;
+  options.pool = &pool;
+  // Two sweeps over the same borrowed pool: warm-worker reuse across sweeps
+  // must not perturb results.
+  const auto first = deletion_sweep(f.inputs(), methods, levels, options);
+  const auto second = deletion_sweep(f.inputs(), methods, levels, options);
+  expect_rows_identical(serial, first);
+  expect_rows_identical(serial, second);
+}
+
+TEST(GridScheduler, RowOrderIsMethodMajorAtAnyThreadCount) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, false),
+                                        ttas_method(3, false)};
+  const std::vector<double> levels{0.0, 0.2, 0.5};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SweepInputs in = f.inputs();
+    in.num_threads = threads;
+    const auto rows = jitter_sweep(in, methods, levels);
+    ASSERT_EQ(rows.size(), 6u);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      for (std::size_t l = 0; l < levels.size(); ++l) {
+        EXPECT_EQ(rows[m * levels.size() + l].method, methods[m].label);
+        EXPECT_DOUBLE_EQ(rows[m * levels.size() + l].level, levels[l]);
+      }
+    }
+  }
+}
+
+TEST(GridScheduler, StreamsRowsInGridOrderAsCellsFinish) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, false),
+                                        baseline_method(Coding::kBurst, true)};
+  const std::vector<double> levels{0.0, 0.3, 0.6, 0.9};
+
+  SweepInputs in = f.inputs();
+  in.num_threads = 4;
+  std::vector<SweepRow> streamed;
+  SweepOptions options;
+  options.on_row = [&streamed](const SweepRow& r) { streamed.push_back(r); };
+  const auto returned = deletion_sweep(in, methods, levels, options);
+  expect_rows_identical(returned, streamed);
+}
+
+TEST(GridScheduler, RecordsEffectiveWeightScaling) {
+  const Fixture f;
+  const std::vector<MethodSpec> methods{baseline_method(Coding::kRate, true),
+                                        baseline_method(Coding::kRate, false)};
+
+  // Deletion: a +WS method at p > 0 runs scaled by 1/(1-p); the clean point
+  // and non-WS methods run unscaled.
+  const auto del = deletion_sweep(f.inputs(), methods, {0.0, 0.5});
+  ASSERT_EQ(del.size(), 4u);
+  EXPECT_DOUBLE_EQ(del[0].ws_factor, 1.0);  // rate+WS, clean
+  EXPECT_DOUBLE_EQ(del[1].ws_factor,
+                   static_cast<double>(weight_scaling_factor(0.5)));
+  EXPECT_DOUBLE_EQ(del[2].ws_factor, 1.0);  // rate, clean
+  EXPECT_DOUBLE_EQ(del[3].ws_factor, 1.0);  // rate, p=0.5
+
+  // Jitter: "+WS" methods intentionally run unscaled (no charge is lost);
+  // the rows must say so.
+  const auto jit = jitter_sweep(f.inputs(), methods, {0.0, 2.0});
+  ASSERT_EQ(jit.size(), 4u);
+  for (const SweepRow& r : jit) {
+    EXPECT_DOUBLE_EQ(r.ws_factor, 1.0) << r.method << " sigma " << r.level;
+  }
+  EXPECT_EQ(jit[0].method, "rate+WS");  // label still names the method spec
+}
+
+TEST(ScaledModelCache, SharesBaseAndCachesPerFactor) {
+  const Fixture f;
+  ScaledModelCache cache(f.model);
+
+  // Factor 1 is the base model itself, never a clone.
+  EXPECT_EQ(&cache.get(1.0f), &f.model);
+  EXPECT_EQ(cache.num_clones(), 0u);
+
+  const snn::SnnModel& a = cache.get(2.0f);
+  EXPECT_NE(&a, &f.model);
+  EXPECT_EQ(cache.num_clones(), 1u);
+
+  // A cache hit returns the same clone; a new factor materializes one more.
+  EXPECT_EQ(&cache.get(2.0f), &a);
+  EXPECT_EQ(cache.num_clones(), 1u);
+  const snn::SnnModel& b = cache.get(4.0f);
+  EXPECT_NE(&b, &a);
+  EXPECT_EQ(cache.num_clones(), 2u);
+  EXPECT_EQ(&cache.get(2.0f), &a);
+  EXPECT_EQ(&cache.get(4.0f), &b);
+}
+
+TEST(ScaledModelCache, CloneCarriesScaledWeights) {
+  const Fixture f;
+  ScaledModelCache cache(f.model);
+  const snn::SnnModel& scaled = cache.get(3.0f);
+  const Tensor& base_w =
+      static_cast<const snn::DenseTopology&>(*f.model.stage(0).synapse).weight();
+  const Tensor& scaled_w =
+      static_cast<const snn::DenseTopology&>(*scaled.stage(0).synapse).weight();
+  ASSERT_EQ(base_w.numel(), scaled_w.numel());
+  for (std::size_t i = 0; i < base_w.numel(); ++i) {
+    EXPECT_FLOAT_EQ(scaled_w[i], 3.0f * base_w[i]);
+  }
 }
 
 }  // namespace

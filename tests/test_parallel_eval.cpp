@@ -5,6 +5,7 @@
 
 #include "coding/registry.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "noise/noise.h"
 #include "snn/simulator.h"
@@ -80,6 +81,36 @@ TEST(ParallelEval, JitterResultBitIdenticalAcrossThreadCounts) {
   const auto r8 = eval_with_threads(f, noise.get(), 8);
   EXPECT_EQ(r8.num_correct, r1.num_correct);
   EXPECT_DOUBLE_EQ(r8.mean_spikes_per_image, r1.mean_spikes_per_image);
+}
+
+TEST(ParallelEval, ExternalPoolMatchesSerialAcrossConsecutiveBatches) {
+  // EvalOptions::pool routes the batch over a caller-owned persistent pool;
+  // results must match the serial path, and reusing the pool (with its warm
+  // per-worker workspaces) across consecutive batches must not perturb them.
+  const Fixture f;
+  const auto scheme = coding::make_scheme(Coding::kRate);
+  const auto deletion = noise::make_deletion(0.5);
+  const auto jitter = noise::make_jitter(1.5);
+
+  const auto serial_del = eval_with_threads(f, deletion.get(), 1);
+  const auto serial_jit = eval_with_threads(f, jitter.get(), 1);
+
+  ThreadPool pool(4);
+  snn::EvalOptions options;
+  options.base_seed = 0xBEEF;
+  options.pool = &pool;
+  for (int round = 0; round < 2; ++round) {
+    const auto del = snn::evaluate(f.model, *scheme, f.images, f.labels,
+                                   deletion.get(), options);
+    const auto jit = snn::evaluate(f.model, *scheme, f.images, f.labels,
+                                   jitter.get(), options);
+    EXPECT_EQ(del.num_correct, serial_del.num_correct);
+    EXPECT_DOUBLE_EQ(del.mean_spikes_per_image,
+                     serial_del.mean_spikes_per_image);
+    EXPECT_EQ(jit.num_correct, serial_jit.num_correct);
+    EXPECT_DOUBLE_EQ(jit.mean_spikes_per_image,
+                     serial_jit.mean_spikes_per_image);
+  }
 }
 
 TEST(ParallelEval, HardwareThreadsMatchesSerial) {

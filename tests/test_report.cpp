@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 #include "report/csv.h"
@@ -55,6 +56,79 @@ TEST(Csv, EscapesSpecialCharacters) {
   const std::string s = csv.to_string();
   EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
   EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, QuotesCarriageReturn) {
+  // Regression: \r was not in the quote-trigger set, so a method label
+  // containing one split (or silently truncated) its record in RFC-4180
+  // readers.
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"has\rreturn", "1"});
+  csv.add_row({"has\r\nboth", "2"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"has\rreturn\",1"), std::string::npos);
+  EXPECT_NE(s.find("\"has\r\nboth\",2"), std::string::npos);
+}
+
+TEST(CsvStream, StreamsRowsIncrementally) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsnn_stream.csv").string();
+  {
+    CsvStream stream(path, {"method", "acc"});
+    // The header is on disk before any row: a consumer tailing the file
+    // (or a killed bench) always sees a valid CSV prefix.
+    {
+      std::ifstream is(path);
+      std::string line;
+      std::getline(is, line);
+      EXPECT_EQ(line, "method,acc");
+    }
+    stream.add_row({"rate", "0.9"});
+    EXPECT_EQ(stream.num_rows(), 1u);
+    std::ifstream is(path);
+    std::string line;
+    std::getline(is, line);
+    std::getline(is, line);
+    EXPECT_EQ(line, "rate,0.9");  // flushed as soon as it was added
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvStream, MatchesCsvWriterByteForByte) {
+  const auto headers = std::vector<std::string>{"method", "p", "acc"};
+  const std::vector<std::vector<std::string>> rows{
+      {"rate", "0.5", "0.78"}, {"has,comma", "0.2", "1"}, {"q\rr", "0", "0"}};
+
+  CsvWriter writer(headers);
+  for (const auto& r : rows) {
+    writer.add_row(r);
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsnn_stream_eq.csv").string();
+  {
+    CsvStream stream(path, headers);
+    for (const auto& r : rows) {
+      stream.add_row(r);
+    }
+  }
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_EQ(buf.str(), writer.to_string());
+  std::remove(path.c_str());
+}
+
+TEST(CsvStream, OpenFailureThrows) {
+  EXPECT_THROW(CsvStream("/nonexistent-dir/x.csv", {"x"}), IoError);
+}
+
+TEST(CsvStream, RejectsMismatchedRow) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsnn_stream_bad.csv").string();
+  CsvStream stream(path, {"a", "b"});
+  EXPECT_THROW(stream.add_row({"1"}), InvalidArgument);
+  std::remove(path.c_str());
 }
 
 TEST(Csv, WritesFile) {

@@ -106,6 +106,78 @@ TEST(ThreadPool, ParallelForZeroIsANoOp) {
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ThreadPool, ParallelForSingleWorkerRunsInIndexOrder) {
+  // The broadcast hands indices out from one atomic counter; with a single
+  // worker that degenerates to exactly 0..n-1 -- the property the sweep
+  // engine's serial/parallel equivalence leans on.
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  const std::function<void(std::size_t)> fn = [&order](std::size_t i) {
+    order.push_back(i);
+  };
+  pool.parallel_for(64, fn);
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPool, ParallelForIsReusableBackToBack) {
+  // Consecutive broadcasts over one pool -- the sweep engine's steady state.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  const std::function<void(std::size_t)> fn = [&counter](std::size_t) {
+    ++counter;
+  };
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(37, fn);
+  }
+  EXPECT_EQ(counter.load(), 370);
+}
+
+TEST(ThreadPool, ParallelForAsyncCompletesOnWait) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  const std::function<void(std::size_t)> fn = [&hits](std::size_t i) {
+    ++hits[i];
+  };
+  pool.parallel_for_async(hits.size(), fn);
+  pool.wait();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForAsyncLetsCallerConsumeIncrementally) {
+  // The caller observes completions while the broadcast is still running --
+  // the streaming pattern of the sweep engine's row emitter.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  const std::function<void(std::size_t)> fn = [&completed](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++completed;
+  };
+  pool.parallel_for_async(20, fn);
+  while (completed.load() < 20) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pool.wait();
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexDespiteException) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  const std::function<void(std::size_t)> fn = [&counter](std::size_t i) {
+    if (i == 5) {
+      throw std::runtime_error("index 5");
+    }
+    ++counter;
+  };
+  EXPECT_THROW(pool.parallel_for(40, fn), std::runtime_error);
+  EXPECT_EQ(counter.load(), 39);
+}
+
 TEST(ThreadPool, RejectsNullTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), InvalidArgument);

@@ -13,6 +13,7 @@
 #include <new>
 
 #include "coding/registry.h"
+#include "common/thread_pool.h"
 #include "core/ttas.h"
 #include "noise/noise.h"
 #include "snn/simulator.h"
@@ -109,6 +110,66 @@ INSTANTIATE_TEST_SUITE_P(AllCodings, ZeroAllocSweep,
                          [](const ::testing::TestParamInfo<Coding>& info) {
                            return coding_name(info.param);
                          });
+
+TEST(ZeroAlloc, ConsecutiveSweepCellsOnPersistentPoolAllocateNothing) {
+  // The sweep-engine guarantee: once the pool workers' workspaces are warm,
+  // stepping across *cells* -- distinct (scheme, noise, model) combinations
+  // evaluated back to back over one persistent pool -- allocates nothing,
+  // not just stepping across images within a cell. This is exactly what the
+  // per-cell ThreadPool of the old evaluate() defeated: every cell boundary
+  // tore down the workers and their thread_local scratch.
+  const SnnModel base = test_model();
+  SnnModel scaled = test_model();
+  scaled.scale_all_weights(2.0f);
+
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    images.push_back(test_image());
+    labels.push_back(i % 5);
+  }
+
+  struct CellSpec {
+    const SnnModel* model;
+    CodingSchemePtr scheme;
+    NoiseModelPtr noise;
+  };
+  std::vector<CellSpec> cells;
+  cells.push_back({&base, coding::make_scheme(Coding::kRate),
+                   noise::make_deletion(0.3)});
+  cells.push_back({&scaled, coding::make_scheme(Coding::kRate),
+                   noise::make_deletion(0.6)});
+  cells.push_back({&base, core::make_ttas(5), noise::make_jitter(1.0)});
+  cells.push_back({&scaled, coding::make_scheme(Coding::kBurst), nullptr});
+
+  // One worker so broadcast participation -- and therefore which thread's
+  // workspace warms up -- is deterministic.
+  ThreadPool pool(1);
+  EvalOptions options;
+  options.base_seed = 4242;
+  options.pool = &pool;
+
+  const auto run_cells = [&] {
+    double acc = 0.0;
+    for (const CellSpec& cell : cells) {
+      acc += evaluate(*cell.model, *cell.scheme, images, labels,
+                      cell.noise.get(), options)
+                 .accuracy;
+    }
+    return acc;
+  };
+
+  run_cells();  // warm-up: every cell's high-water mark, every weight cache
+  const double warm_acc = run_cells();
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  const double repeat_acc = run_cells();
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before)
+      << " allocations while re-running " << cells.size() << " sweep cells";
+  EXPECT_DOUBLE_EQ(repeat_acc, warm_acc);  // the repeat re-ran the real work
+}
 
 TEST(ZeroAlloc, CleanPathAlsoAllocationFree) {
   const SnnModel model = test_model();
