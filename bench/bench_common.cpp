@@ -168,26 +168,20 @@ core::SweepOptions sweep_options() {
 }
 
 Workload prepare_workload(core::DatasetKind kind) {
+  // One workload-prep recipe for benches and the scenario engine
+  // (core::load_zoo_workload): same calibration slice, same test slice, so
+  // the two paths stay byte-for-byte comparable.
+  core::ZooWorkload zoo = core::load_zoo_workload(kind, bench_images());
   Workload w;
   w.kind = kind;
-  core::ModelBundle bundle = core::get_or_train(kind);
-  w.dnn_accuracy = bundle.dnn_test_accuracy;
-
-  const std::size_t calib_n = std::min<std::size_t>(100, bundle.data.train.size());
-  const std::vector<Tensor> calib(bundle.data.train.images.begin(),
-                                  bundle.data.train.images.begin() +
-                                      static_cast<std::ptrdiff_t>(calib_n));
-  w.conversion = convert::convert(bundle.net, calib);
-
-  const std::size_t n = std::min(bench_images(), bundle.data.test.size());
-  w.test_images.assign(bundle.data.test.images.begin(),
-                       bundle.data.test.images.begin() + static_cast<std::ptrdiff_t>(n));
-  w.test_labels.assign(bundle.data.test.labels.begin(),
-                       bundle.data.test.labels.begin() + static_cast<std::ptrdiff_t>(n));
+  w.dnn_accuracy = zoo.dnn_accuracy;
+  w.conversion = std::move(zoo.conversion);
+  w.test_images = std::move(zoo.test_images);
+  w.test_labels = std::move(zoo.test_labels);
 
   std::printf("# dataset %s | source DNN acc %s%% | %zu test images | %zu stages\n",
-              core::dataset_name(kind).c_str(), pct(w.dnn_accuracy).c_str(), n,
-              w.conversion.model.num_stages());
+              core::dataset_name(kind).c_str(), pct(w.dnn_accuracy).c_str(),
+              w.test_images.size(), w.conversion.model.num_stages());
   return w;
 }
 
@@ -232,7 +226,8 @@ std::vector<std::pair<std::string, double>>& metrics() {
   return m;
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -250,6 +245,28 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+std::vector<std::string> sweep_csv_headers(const std::string& level_name) {
+  return {"method", level_name, "accuracy", "mean_spikes"};
+}
+
+std::vector<std::string> sweep_csv_cells(const core::SweepRow& r) {
+  return {r.method, str::format_fixed(r.level, 2),
+          str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)};
+}
+
+std::string csv_output_path(const std::string& name) {
+  const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s; skipping CSV\n", dir.c_str());
+    return "";
+  }
+  return dir + "/" + name + ".csv";
+}
+
+namespace {
 
 /// Emits the sweep rows as one JSON document to the --json path. Failures
 /// degrade to a warning, matching write_csv.
@@ -298,30 +315,6 @@ void write_json_results(const std::string& name, const std::string& level_name,
   std::printf("json: %s\n", path.c_str());
 }
 
-/// Column headers of the sweep CSV documents.
-std::vector<std::string> csv_headers(const std::string& level_name) {
-  return {"method", level_name, "accuracy", "mean_spikes"};
-}
-
-/// One SweepRow formatted exactly as the sweep CSVs have always been.
-std::vector<std::string> csv_cells(const core::SweepRow& r) {
-  return {r.method, str::format_fixed(r.level, 2),
-          str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)};
-}
-
-/// Creates TSNN_BENCH_OUT and returns TSNN_BENCH_OUT/<name>.csv, or "" if
-/// the directory cannot be created (warned; benches still run read-only).
-std::string csv_path(const std::string& name) {
-  const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "warning: cannot create %s; skipping CSV\n", dir.c_str());
-    return "";
-  }
-  return dir + "/" + name + ".csv";
-}
-
 }  // namespace
 
 void record_metric(const std::string& name, double value) {
@@ -336,12 +329,13 @@ void record_metric(const std::string& name, double value) {
 
 SweepReport::SweepReport(std::string name, std::string level_name)
     : name_(std::move(name)), level_name_(std::move(level_name)) {
-  const std::string path = csv_path(name_);
+  const std::string path = csv_output_path(name_);
   if (path.empty()) {
     return;
   }
   try {
-    csv_ = std::make_unique<report::CsvStream>(path, csv_headers(level_name_));
+    csv_ = std::make_unique<report::CsvStream>(path,
+                                               sweep_csv_headers(level_name_));
   } catch (const IoError& e) {
     std::fprintf(stderr, "warning: %s\n", e.what());
   }
@@ -355,7 +349,7 @@ core::SweepOptions SweepReport::options(std::string method_prefix) {
     prefixed.method = prefix + row.method;
     if (csv_) {
       try {
-        csv_->add_row(csv_cells(prefixed));
+        csv_->add_row(sweep_csv_cells(prefixed));
       } catch (const IoError& e) {
         std::fprintf(stderr, "warning: %s\n", e.what());
         csv_.reset();

@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "convert/converter.h"
 #include "core/experiment.h"
+#include "core/scenario.h"
 #include "core/zoo.h"
 #include "report/csv.h"
 #include "snn/simulator.h"
@@ -122,5 +123,20 @@ class SweepReport {
 
 /// Accuracy as "93.25" (percent, two decimals).
 std::string pct(double accuracy);
+
+/// Column headers of the sweep CSV documents ("method", level_name,
+/// "accuracy", "mean_spikes") -- shared by SweepReport and run_scenarios so
+/// scenario CSVs are byte-identical to the bench CSVs.
+std::vector<std::string> sweep_csv_headers(const std::string& level_name);
+
+/// One SweepRow formatted exactly as the sweep CSVs have always been.
+std::vector<std::string> sweep_csv_cells(const core::SweepRow& row);
+
+/// Creates TSNN_BENCH_OUT (if needed) and returns TSNN_BENCH_OUT/<name>.csv,
+/// or "" if the directory cannot be created (warned; callers run CSV-less).
+std::string csv_output_path(const std::string& name);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
 
 }  // namespace tsnn::bench

@@ -1,0 +1,285 @@
+// Scenario-driven bench: runs declarative scenario suites through the
+// core::ScenarioEngine -- one grid-scheduled task stream over the shared
+// persistent pool for the whole suite, however many datasets, methods,
+// noise stacks, and levels it spans.
+//
+//   $ ./run_scenarios --suite paper --images 8          # fig2-8 + tables
+//   $ ./run_scenarios --suite devices --threads 0       # device catalog
+//   $ ./run_scenarios --file my_scenarios.txt           # your own suite
+//
+// Built-in suites (see core/scenario.h for the spec grammar):
+//   paper    the fig2-8/table1-2 sweep cells; CSVs are byte-identical to
+//            the per-figure bench binaries' output
+//   devices  every device_catalog() profile x all three zoo models
+//   stress   mixed deletion+jitter+input stacks the paper never ran
+//
+// Per scenario, rows stream to TSNN_BENCH_OUT/<scenario>.csv as cells
+// finish (same columns as the sweep benches); --json PATH emits one JSON
+// document with every scenario's rows plus suite-level throughput metrics
+// (the perf-smoke CI job uploads this as BENCH_scenarios.json).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/scenario.h"
+#include "noise/device_profile.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace tsnn;
+
+[[noreturn]] void usage(const char* prog, int exit_code) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "usage: %s [--suite NAME | --file PATH] [--list]\n"
+               "          [--images N] [--seed S] [--threads N] [--out DIR]"
+               " [--json PATH]\n"
+               "  --suite NAME  built-in suite: %s (default paper)\n"
+               "  --file PATH   scenario spec file (see core/scenario.h)\n"
+               "  --list        print the built-in suites and exit\n"
+               "  plus the shared bench flags (see any fig*/table* bench)\n",
+               prog, str::join(core::builtin_suite_names(), ", ").c_str());
+  std::exit(exit_code);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot read scenario file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Per-scenario streaming CSV sink (same columns and formatting as the
+/// sweep benches; method labels get a "<dataset>/" prefix exactly when the
+/// scenario spans several datasets, the cross-dataset table convention).
+struct ScenarioCsv {
+  std::unique_ptr<report::CsvStream> stream;  ///< null if open failed
+  bool prefix_dataset = false;
+};
+
+/// One level column's display header: the device name for device sweeps,
+/// "level=x.x" style otherwise.
+std::string level_header(const core::ScenarioResult& result,
+                         const core::ScenarioSpec& spec, double level) {
+  (void)spec;
+  if (result.level_name == "device") {
+    return noise::device_catalog().at(static_cast<std::size_t>(level)).name;
+  }
+  return result.level_name + "=" + str::format_fixed(level, 1);
+}
+
+void print_scenario(const core::ScenarioResult& result,
+                    const core::ScenarioSpec& spec) {
+  std::printf("\n== scenario %s ==\n", result.name.c_str());
+  if (result.rows.empty()) {
+    return;
+  }
+  // Grid order is (dataset, method)-major with contiguous level blocks, so
+  // the first block's levels are every block's levels.
+  std::size_t block = 1;
+  while (block < result.rows.size() &&
+         result.rows[block].method == result.rows[0].method &&
+         result.rows[block].dataset == result.rows[0].dataset) {
+    ++block;
+  }
+  std::vector<std::string> headers{"Method"};
+  for (std::size_t i = 0; i < block; ++i) {
+    headers.push_back(level_header(result, spec, result.rows[i].level));
+  }
+  report::Table table(headers);
+  for (std::size_t r = 0; r < result.rows.size(); r += block) {
+    std::vector<std::string> cells;
+    cells.push_back(result.num_datasets > 1
+                        ? result.rows[r].dataset + "/" + result.rows[r].method
+                        : result.rows[r].method);
+    for (std::size_t i = 0; i < block && r + i < result.rows.size(); ++i) {
+      cells.push_back(bench::pct(result.rows[r + i].accuracy));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("Accuracy (%%)\n%s", table.to_string().c_str());
+}
+
+void write_suite_json(const std::string& suite_label,
+                      const std::vector<core::ScenarioResult>& results,
+                      double seconds) {
+  const std::string path = bench::bench_json();
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s; skipping JSON\n",
+                 path.c_str());
+    return;
+  }
+  std::size_t total_images = 0;
+  for (const core::ScenarioResult& r : results) {
+    total_images += r.images_simulated;
+  }
+  // default_images/default_seed are the CLI/env values; a spec's own
+  // `images =` / `seed =` keys override them per scenario, so the
+  // per-scenario images_simulated below is the authoritative workload size.
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"%s\",\n"
+               "  \"default_images\": %zu,\n"
+               "  \"default_seed\": %llu,\n"
+               "  \"scenarios\": [",
+               bench::json_escape(suite_label).c_str(), bench::bench_images(),
+               static_cast<unsigned long long>(bench::bench_seed()));
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const core::ScenarioResult& result = results[s];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"level_name\": \"%s\", "
+                 "\"images_simulated\": %zu,\n     \"rows\": [",
+                 s == 0 ? "" : ",", bench::json_escape(result.name).c_str(),
+                 bench::json_escape(result.level_name).c_str(),
+                 result.images_simulated);
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      const core::ScenarioRow& row = result.rows[i];
+      std::fprintf(f,
+                   "%s\n      {\"dataset\": \"%s\", \"method\": \"%s\", "
+                   "\"level\": %.6g, \"noise\": \"%s\", \"accuracy\": %.8g, "
+                   "\"mean_spikes\": %.8g, \"ws_factor\": %.8g}",
+                   i == 0 ? "" : ",", bench::json_escape(row.dataset).c_str(),
+                   bench::json_escape(row.method).c_str(), row.level,
+                   bench::json_escape(row.noise).c_str(), row.accuracy,
+                   row.mean_spikes, row.ws_factor);
+    }
+    std::fprintf(f, "\n     ]}");
+  }
+  std::fprintf(f,
+               "\n  ],\n"
+               "  \"metrics\": {\n"
+               "    \"seconds\": %.8g,\n"
+               "    \"images_simulated\": %zu,\n"
+               "    \"images_per_sec\": %.8g\n"
+               "  }\n"
+               "}\n",
+               seconds, total_images,
+               seconds > 0.0 ? static_cast<double>(total_images) / seconds
+                             : 0.0);
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsnn;
+
+  // Peel off the scenario flags; everything else goes to bench::init.
+  std::string suite = "paper";
+  std::string file;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suite = argv[++i];
+    } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      file = argv[++i];
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const std::string& name : core::builtin_suite_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], 0);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  bench::init(static_cast<int>(bench_args.size()), bench_args.data());
+
+  std::vector<core::ScenarioSpec> specs;
+  std::string suite_label;
+  try {
+    if (!file.empty()) {
+      specs = core::parse_scenarios(read_file(file));
+      suite_label = file;
+    } else {
+      specs = core::builtin_suite(suite);
+      suite_label = suite;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("scenario suite %s | %zu scenario(s) | images %zu | seed %llu\n",
+              suite_label.c_str(), specs.size(), bench::bench_images(),
+              static_cast<unsigned long long>(bench::bench_seed()));
+
+  // One CSV stream per scenario, filled in grid order as cells finish.
+  std::vector<ScenarioCsv> csvs(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    csvs[s].prefix_dataset = specs[s].datasets.size() > 1;
+    const std::string path = bench::csv_output_path(specs[s].name);
+    if (path.empty()) {
+      continue;
+    }
+    try {
+      csvs[s].stream = std::make_unique<report::CsvStream>(
+          path, bench::sweep_csv_headers(specs[s].level_name()));
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "warning: %s\n", e.what());
+    }
+  }
+
+  core::ScenarioEngine::Options options;
+  options.default_images = bench::bench_images();
+  options.default_seed = bench::bench_seed();
+  options.num_threads = bench::bench_threads();
+  options.pool = bench::eval_pool();
+  options.on_row = [&](std::size_t s, const core::ScenarioRow& row) {
+    if (!csvs[s].stream) {
+      return;
+    }
+    core::SweepRow flat;
+    flat.method =
+        csvs[s].prefix_dataset ? row.dataset + "/" + row.method : row.method;
+    flat.level = row.level;
+    flat.accuracy = row.accuracy;
+    flat.mean_spikes = row.mean_spikes;
+    try {
+      csvs[s].stream->add_row(bench::sweep_csv_cells(flat));
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "warning: %s\n", e.what());
+      csvs[s].stream.reset();
+    }
+  };
+
+  core::ScenarioEngine engine(options);
+  const Stopwatch timer;
+  const std::vector<core::ScenarioResult> results = engine.run(specs);
+  const double seconds = timer.elapsed();
+
+  std::size_t total_images = 0;
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    print_scenario(results[s], specs[s]);
+    total_images += results[s].images_simulated;
+    if (csvs[s].stream) {
+      std::printf("csv: %s\n", csvs[s].stream->path().c_str());
+    }
+  }
+  if (seconds > 0.0 && total_images > 0) {
+    std::printf("\nsuite throughput: %zu images in %.2fs = %.1f images/sec\n",
+                total_images, seconds,
+                static_cast<double>(total_images) / seconds);
+  }
+  write_suite_json(suite_label, results, seconds);
+  return 0;
+}

@@ -1,24 +1,28 @@
 // Deployment scenario: pick the best coding configuration for a target
-// neuromorphic device.
+// neuromorphic device -- now expressed as a declarative scenario.
 //
 // Given a device noise profile (deletion rate + timing jitter of the
-// fabric), this example sweeps candidate configurations and reports the
-// accuracy/efficiency (spike count) frontier, then recommends a
-// configuration -- the decision a practitioner deploying to analog
+// fabric), this example builds ONE ScenarioSpec -- candidate methods x the
+// device's noise stack -- runs it through the core::ScenarioEngine (the
+// same grid scheduler the benches use: every candidate's images are one
+// task stream, +WS candidates automatically get weight scaling tuned to
+// the device's loss rate), and reports the accuracy/efficiency frontier
+// with a recommendation -- the decision a practitioner deploying to analog
 // hardware faces, and the workflow the paper's method enables without any
 // retraining.
 //
 //   $ ./neuromorphic_deployment [device-name]
 //
 // Devices come from noise::device_catalog(): digital-cmos, mixed-signal,
-// analog-mature, memristive-early, memristive-aggressive.
+// analog-mature, memristive-early, memristive-aggressive. To compare ALL
+// devices across ALL zoo models instead, run the scenario bench:
+//   $ ./run_scenarios --suite devices
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "common/string_util.h"
-#include "convert/converter.h"
-#include "core/pipeline.h"
-#include "core/zoo.h"
+#include "core/scenario.h"
 #include "noise/device_profile.h"
 #include "report/table.h"
 
@@ -31,63 +35,41 @@ int main(int argc, char** argv) {
               device.name.c_str(), device.deletion_p, device.jitter_sigma,
               device.description.c_str());
 
-  // Trained source model from the zoo (trains on first run, then cached).
-  core::ModelBundle bundle = core::get_or_train(core::DatasetKind::kMnistLike);
-  const std::vector<Tensor> calibration(bundle.data.train.images.begin(),
-                                        bundle.data.train.images.begin() + 80);
-  const convert::Conversion conv = convert::convert(bundle.net, calibration);
-  std::printf("source DNN accuracy: %.1f%%\n", 100.0 * bundle.dnn_test_accuracy);
+  // The deployment question as a declarative scenario: candidate methods
+  // against the device's (fixed) noise stack, one grid cell per candidate.
+  core::ScenarioSpec spec = core::ScenarioSpec::parse(
+      "name = deployment\n"
+      "datasets = s-mnist\n"
+      "methods = rate, rate+WS, ttfs, ttfs+WS, ttas(3)+WS, ttas(5)+WS, "
+      "ttas(10)+WS\n"
+      "noise = device:" + device_name + "\n");
 
-  // Candidate deployment configurations. Weight scaling is tuned to the
-  // device's known loss rate -- the paper's training-free compensation.
-  struct Candidate {
-    std::string label;
-    core::PipelineConfig config;
-  };
-  std::vector<Candidate> candidates;
-  auto add = [&](const std::string& label, snn::Coding coding, std::size_t ta,
-                 bool ws) {
-    Candidate c;
-    c.label = label;
-    c.config.coding = coding;
-    c.config.params.burst_duration = ta;
-    c.config.weight_scaling = ws && device.deletion_p > 0.0;
-    c.config.assumed_deletion_p = device.deletion_p;
-    candidates.push_back(std::move(c));
-  };
-  add("rate", snn::Coding::kRate, 1, false);
-  add("rate+WS", snn::Coding::kRate, 1, true);
-  add("ttfs", snn::Coding::kTtfs, 1, false);
-  add("ttfs+WS", snn::Coding::kTtfs, 1, true);
-  add("ttas(3)+WS", snn::Coding::kTtas, 3, true);
-  add("ttas(5)+WS", snn::Coding::kTtas, 5, true);
-  add("ttas(10)+WS", snn::Coding::kTtas, 10, true);
+  core::ScenarioEngine::Options options;
+  // The whole test split: the recommendation should not hinge on a slice.
+  options.default_images = std::numeric_limits<std::size_t>::max();
+  core::ScenarioEngine engine(options);
+  const core::ScenarioResult result = engine.run_one(spec);
 
-  const auto device_noise = device.make_noise();
   report::Table table({"Config", "Acc on device (%)", "Spikes/img", "Note"});
-  double best_acc = -1.0;
-  double best_spikes = 0.0;
-  std::string best_label;
-  for (Candidate& c : candidates) {
-    core::NoiseRobustPipeline pipe(conv.model, c.config);
-    const snn::BatchResult r = pipe.evaluate(
-        bundle.data.test.images, bundle.data.test.labels, device_noise.get());
+  const core::ScenarioRow* best = nullptr;
+  for (const core::ScenarioRow& row : result.rows) {
     const bool better =
-        r.accuracy > best_acc + 1e-9 ||
-        (std::abs(r.accuracy - best_acc) < 1e-9 &&
-         r.mean_spikes_per_image < best_spikes);
+        best == nullptr || row.accuracy > best->accuracy + 1e-9 ||
+        (std::abs(row.accuracy - best->accuracy) < 1e-9 &&
+         row.mean_spikes < best->mean_spikes);
     if (better) {
-      best_acc = r.accuracy;
-      best_spikes = r.mean_spikes_per_image;
-      best_label = c.label;
+      best = &row;
     }
-    table.add_row({c.label, str::format_fixed(100.0 * r.accuracy, 1),
-                   str::sci(r.mean_spikes_per_image),
-                   c.config.weight_scaling ? "WS tuned to device" : ""});
+    table.add_row({row.method, str::format_fixed(100.0 * row.accuracy, 1),
+                   str::sci(row.mean_spikes),
+                   row.ws_factor != 1.0
+                       ? "WS x" + str::format_fixed(row.ws_factor, 2) +
+                             " tuned to device"
+                       : ""});
   }
   std::printf("\n%s", table.to_string().c_str());
   std::printf("\nrecommended configuration for %s: %s (%.1f%%, %s spikes/img)\n",
-              device.name.c_str(), best_label.c_str(), 100.0 * best_acc,
-              str::sci(best_spikes).c_str());
+              device.name.c_str(), best->method.c_str(),
+              100.0 * best->accuracy, str::sci(best->mean_spikes).c_str());
   return 0;
 }

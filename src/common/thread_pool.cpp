@@ -1,10 +1,33 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/error.h"
 
 namespace tsnn {
+
+namespace {
+
+/// The pool whose worker_loop owns this thread (null on non-pool threads).
+/// Lets the misuse guards tell "called from inside a worker of the same
+/// pool" apart from legal cross-pool calls.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+void ThreadPool::fatal_misuse(const char* what) {
+  std::fprintf(stderr, "ThreadPool misuse: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ThreadPool::check_not_worker(const char* what) const {
+  if (tls_worker_pool == this) {
+    fatal_misuse(what);
+  }
+}
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   if (requested != 0) {
@@ -46,6 +69,9 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
+  check_not_worker(
+      "wait() called from inside a worker of the same pool -- the caller's "
+      "own task counts as pending, so this can never return");
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -66,14 +92,20 @@ void ThreadPool::parallel_for(std::size_t n,
 void ThreadPool::parallel_for_async(std::size_t n,
                                     const std::function<void(std::size_t)>& fn) {
   TSNN_CHECK_MSG(fn != nullptr, "cannot broadcast a null callable");
+  check_not_worker(
+      "parallel_for[_async] nested inside a worker of the same pool -- the "
+      "worker executing fn can never retire the broadcast it is part of");
   if (n == 0) {
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     TSNN_CHECK_MSG(!stop_, "parallel_for on a stopped ThreadPool");
-    // Serialize broadcasts: a second caller waits until the first drained.
-    all_done_.wait(lock, [this] { return pf_fn_ == nullptr; });
+    if (pf_fn_ != nullptr) {
+      fatal_misuse(
+          "parallel_for_async while a previous broadcast is still in flight "
+          "-- call wait() before starting another broadcast");
+    }
     pf_fn_ = &fn;
     pf_n_ = n;
     pf_next_.store(0, std::memory_order_relaxed);
@@ -103,6 +135,7 @@ void ThreadPool::run_broadcast_items() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   std::uint64_t joined_generation = 0;  // last broadcast this worker served
   for (;;) {
     std::function<void()> task;

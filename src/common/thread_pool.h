@@ -26,10 +26,19 @@
 // completed sweep cells while later cells are still running); wait() then
 // blocks until the broadcast -- and any queued tasks -- finished. The
 // callable must outlive the broadcast: it is borrowed by reference, not
-// copied. At most one broadcast runs at a time; starting a second one blocks
-// until the first finished. Workers never call the callable reentrantly from
-// inside itself, so submitting from fn or nesting parallel_for inside fn is
-// not supported.
+// copied.
+//
+// Misuse is fatal, not undefined: the pool runs ONE broadcast at a time, and
+// the contract violations that would otherwise deadlock or corrupt the
+// borrowed-callable protocol abort the process with a diagnostic instead
+// (tests/test_thread_pool.cpp pins them as death tests):
+//   - parallel_for / parallel_for_async / wait called from inside a worker
+//     of the SAME pool (nesting a broadcast inside fn would self-deadlock:
+//     the worker executing fn can never retire the broadcast it is part of);
+//   - parallel_for_async while a previous broadcast is still in flight
+//     (i.e. without an intervening wait()): the first callable is borrowed
+//     by reference, so "fire and forget twice" has no safe meaning.
+// Calling into a *different* pool from a worker remains legal.
 #pragma once
 
 #include <atomic>
@@ -65,17 +74,19 @@ class ThreadPool {
 
   /// Blocks until every submitted task and any in-flight parallel_for
   /// broadcast has finished, then rethrows the first exception any of them
-  /// threw (if any).
+  /// threw (if any). Fatal if called from a worker of this pool.
   void wait();
 
   /// Runs fn(i) for i in [0, n) across the pool (allocation-free atomic
   /// index broadcast) and blocks until all are done; rethrows the first
-  /// exception. Every index runs even if an earlier one threw.
+  /// exception. Every index runs even if an earlier one threw. Fatal if
+  /// called from a worker of this pool (see the misuse contract above).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Starts the broadcast without blocking; pair with wait(). `fn` is
   /// borrowed -- it must stay alive and callable until wait() returns.
-  /// Blocks only if another broadcast is still in flight.
+  /// Fatal if called from a worker of this pool or while a previous
+  /// broadcast is still in flight (see the misuse contract above).
   void parallel_for_async(std::size_t n,
                           const std::function<void(std::size_t)>& fn);
 
@@ -85,6 +96,13 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// Aborts with a diagnostic when the calling thread is a worker of this
+  /// pool (nested broadcast / wait would self-deadlock).
+  void check_not_worker(const char* what) const;
+
+  /// Prints "ThreadPool misuse: ..." to stderr and aborts.
+  [[noreturn]] static void fatal_misuse(const char* what);
 
   /// Pulls indices from the active broadcast until exhausted; called by
   /// workers outside the pool lock.

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/ttas.h"
 #include "core/weight_scaling.h"
+#include "noise/input_noise.h"
 #include "noise/noise.h"
 #include "snn/simulator.h"
 
@@ -58,64 +60,86 @@ const snn::SnnModel& ScaledModelCache::get(float factor) {
 
 namespace {
 
-void check_inputs(const SweepInputs& in) {
-  TSNN_CHECK_MSG(in.model != nullptr, "sweep needs a model");
-  TSNN_CHECK_MSG(in.images != nullptr && in.labels != nullptr,
-                 "sweep needs images and labels");
-  TSNN_CHECK_MSG(in.images->size() == in.labels->size(),
-                 "images/labels size mismatch");
-}
-
-enum class NoiseKind { kDeletion, kJitter };
-
-/// One (method, level) grid cell, its model/scheme/noise resolved up front.
-struct Cell {
-  const MethodSpec* method = nullptr;
-  double level = 0.0;
-  float ws_factor = 1.0f;
-  const snn::SnnModel* model = nullptr;      ///< base or cached scaled clone
-  const snn::CodingScheme* scheme = nullptr; ///< shared across the method's cells
-  const snn::NoiseModel* noise = nullptr;    ///< null for the clean point
-};
-
 /// Simulates image `i` of `cell` into the caller's slots. The one per-image
 /// body both the serial walker and every pool worker run, so the two paths
 /// cannot drift apart (their bit-identity is the engine's core guarantee).
 /// The workspace is thread_local: warm across cells, sweeps, and (on a
 /// persistent pool) whole benches.
-void eval_cell_image(const Cell& cell, const SweepInputs& in, std::size_t i,
+void eval_cell_image(const EvalCell& cell, std::size_t i,
                      std::uint8_t* correct, std::size_t* spikes) {
   thread_local snn::SimWorkspace ws;
   thread_local snn::SimResult r;
-  Rng rng = Rng::for_stream(in.seed, i);
-  snn::simulate_into(*cell.model, *cell.scheme, (*in.images)[i], cell.noise,
-                     &rng, ws, r);
-  *correct = r.predicted_class == (*in.labels)[i] ? 1 : 0;
+  thread_local Tensor corrupted;  ///< input-noise scratch, grow-only
+  Rng rng = Rng::for_stream(cell.seed, i);
+  const Tensor* image = &(*cell.images)[i];
+  if (cell.input_noise != nullptr) {
+    cell.input_noise->apply_into(*image, corrupted, rng);
+    image = &corrupted;
+  }
+  snn::simulate_into(*cell.model, *cell.scheme, *image, cell.noise, &rng, ws,
+                     r);
+  *correct = r.predicted_class == (*cell.labels)[i] ? 1 : 0;
   *spikes = r.total_spikes;
+}
+
+void check_cells(const std::vector<EvalCell>& cells) {
+  for (const EvalCell& cell : cells) {
+    TSNN_CHECK_MSG(cell.model != nullptr, "grid cell needs a model");
+    TSNN_CHECK_MSG(cell.scheme != nullptr, "grid cell needs a coding scheme");
+    TSNN_CHECK_MSG(cell.images != nullptr && cell.labels != nullptr,
+                   "grid cell needs images and labels");
+    TSNN_CHECK_MSG(cell.images->size() == cell.labels->size(),
+                   "grid cell images/labels size mismatch");
+  }
+}
+
+/// Reduces one completed cell in image-index order (the serial reduction
+/// order, so results are bit-identical at any thread count).
+EvalCellResult reduce_cell(const std::uint8_t* correct,
+                           const std::size_t* spikes, std::size_t n) {
+  std::size_t num_correct = 0;
+  double spike_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num_correct += correct[i];
+    spike_acc += static_cast<double>(spikes[i]);
+  }
+  EvalCellResult result;
+  if (n > 0) {
+    result.accuracy =
+        static_cast<double>(num_correct) / static_cast<double>(n);
+    result.mean_spikes = spike_acc / static_cast<double>(n);
+  }
+  return result;
 }
 
 /// Mutable completion state of the parallel grid run. Tasks only touch this
 /// through run_task(), keeping the std::function the pool broadcasts small
 /// (one pointer) and allocation-free.
 struct GridState {
-  const SweepInputs* in = nullptr;
-  const std::vector<Cell>* cells = nullptr;
-  std::size_t images_per_cell = 0;
-  std::vector<std::uint8_t> correct;  ///< cells x images, cell-major
-  std::vector<std::size_t> spikes;    ///< cells x images, cell-major
+  const std::vector<EvalCell>* cells = nullptr;
+  std::vector<std::size_t> offsets;   ///< per-cell prefix sums, cells+1 long
+  std::vector<std::uint8_t> correct;  ///< task-indexed (cell-major)
+  std::vector<std::size_t> spikes;    ///< task-indexed (cell-major)
   std::unique_ptr<std::atomic<std::size_t>[]> remaining;  ///< images left per cell
   std::mutex mutex;
   std::condition_variable cell_done;
   std::vector<std::uint8_t> done;  ///< guarded by mutex
   std::exception_ptr error;        ///< guarded by mutex
 
-  /// Flat task t = cell * images_per_cell + image. Never throws: failures
-  /// are captured so the cell still completes and the emitter can unblock.
+  /// Flat task index -> owning cell (cells may have different image counts,
+  /// so this is an upper_bound over the prefix sums, not a division).
+  std::size_t cell_of(std::size_t t) const {
+    const auto it = std::upper_bound(offsets.begin(), offsets.end(), t);
+    return static_cast<std::size_t>(it - offsets.begin()) - 1;
+  }
+
+  /// Never throws: failures are captured so the cell still completes and
+  /// the emitter can unblock.
   void run_task(std::size_t t) {
-    const std::size_t c = t / images_per_cell;
-    const std::size_t i = t % images_per_cell;
+    const std::size_t c = cell_of(t);
+    const std::size_t i = t - offsets[c];
     try {
-      eval_cell_image((*cells)[c], *in, i, &correct[t], &spikes[t]);
+      eval_cell_image((*cells)[c], i, &correct[t], &spikes[t]);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex);
       if (!error) {
@@ -134,136 +158,90 @@ struct GridState {
   }
 };
 
-/// Reduces one completed cell in image-index order (the serial reduction
-/// order, so results are bit-identical at any thread count) and emits it.
-SweepRow reduce_cell(const Cell& cell, const std::uint8_t* correct,
-                     const std::size_t* spikes, std::size_t n) {
-  std::size_t num_correct = 0;
-  double spike_acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    num_correct += correct[i];
-    spike_acc += static_cast<double>(spikes[i]);
+void emit_cell(std::vector<EvalCellResult>& results, std::size_t c,
+               EvalCellResult result, const GridOptions& options) {
+  results.push_back(result);
+  if (options.on_cell) {
+    options.on_cell(c, results.back());
   }
-  SweepRow row;
-  row.method = cell.method->label;
-  row.level = cell.level;
-  if (n > 0) {
-    row.accuracy = static_cast<double>(num_correct) / static_cast<double>(n);
-    row.mean_spikes = spike_acc / static_cast<double>(n);
-  }
-  row.ws_factor = static_cast<double>(cell.ws_factor);
-  return row;
 }
 
-void emit_row(std::vector<SweepRow>& rows, SweepRow row,
-              const SweepOptions& options) {
-  rows.push_back(std::move(row));
-  const SweepRow& r = rows.back();
-  if (options.on_row) {
-    options.on_row(r);
-  }
-  TSNN_LOG(kInfo) << r.method << " level " << r.level << " acc " << r.accuracy
-                  << " spikes " << r.mean_spikes;
-}
+}  // namespace
 
-std::vector<SweepRow> sweep(const SweepInputs& in,
-                            const std::vector<MethodSpec>& methods,
-                            const std::vector<double>& levels, NoiseKind kind,
-                            const SweepOptions& options) {
-  check_inputs(in);
-  const std::size_t n = in.images->size();
+std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
+                                     const GridOptions& options) {
+  check_cells(cells);
 
-  // Resolve the whole grid up front: schemes once per method, noise models
-  // once per cell, and models through the scaled-clone cache -- every
-  // method at the same deletion level shares one scaled model.
-  std::vector<snn::CodingSchemePtr> schemes;
-  schemes.reserve(methods.size());
-  for (const MethodSpec& method : methods) {
-    schemes.push_back(coding::make_scheme(method.coding, method.params));
-  }
-  ScaledModelCache cache(*in.model);
-  std::vector<snn::NoiseModelPtr> noises;
-  std::vector<Cell> cells;
-  noises.reserve(methods.size() * levels.size());
-  cells.reserve(methods.size() * levels.size());
-  for (std::size_t m = 0; m < methods.size(); ++m) {
-    for (const double level : levels) {
-      Cell cell;
-      cell.method = &methods[m];
-      cell.level = level;
-      cell.scheme = schemes[m].get();
-      // Weight scaling compensates the *deletion* level; for jitter sweeps
-      // the clean (unscaled) model is correct since no charge is lost (see
-      // MethodSpec) -- ws_factor stays 1.
-      if (methods[m].weight_scaling && kind == NoiseKind::kDeletion &&
-          level > 0.0) {
-        cell.ws_factor = weight_scaling_factor(level);
-      }
-      cell.model = &cache.get(cell.ws_factor);
-      if (level > 0.0) {
-        noises.push_back(kind == NoiseKind::kDeletion
-                             ? noise::make_deletion(level)
-                             : noise::make_jitter(level));
-        cell.noise = noises.back().get();
-      }
-      cells.push_back(cell);
-    }
-  }
-
-  std::vector<SweepRow> rows;
-  rows.reserve(cells.size());
+  std::vector<EvalCellResult> results;
+  results.reserve(cells.size());
   if (cells.empty()) {
-    return rows;
+    return results;
+  }
+
+  std::size_t total_tasks = 0;
+  for (const EvalCell& cell : cells) {
+    total_tasks += cell.images->size();
   }
 
   // Parallelism keys on the whole grid, not the per-cell image count: a
-  // 60-cell sweep of 1-image cells still has 60 independent tasks.
+  // 60-cell grid of 1-image cells still has 60 independent tasks.
   const bool parallel =
-      cells.size() * n > 1 && (options.pool != nullptr ||
-                               ThreadPool::resolve_threads(in.num_threads) > 1);
+      total_tasks > 1 &&
+      (options.pool != nullptr ||
+       ThreadPool::resolve_threads(options.num_threads) > 1);
 
   if (!parallel) {
-    // Serial grid walk on the calling thread, cell by cell in grid order.
-    std::vector<std::uint8_t> correct(n);
-    std::vector<std::size_t> spikes(n);
-    for (const Cell& cell : cells) {
+    // Serial grid walk on the calling thread, cell by cell in index order.
+    std::vector<std::uint8_t> correct;
+    std::vector<std::size_t> spikes;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t n = cells[c].images->size();
+      correct.resize(n);
+      spikes.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        eval_cell_image(cell, in, i, &correct[i], &spikes[i]);
+        eval_cell_image(cells[c], i, &correct[i], &spikes[i]);
       }
-      emit_row(rows, reduce_cell(cell, correct.data(), spikes.data(), n),
-               options);
+      emit_cell(results, c, reduce_cell(correct.data(), spikes.data(), n),
+                options);
     }
-    return rows;
+    return results;
   }
 
   // Grid-parallel path: one flat task stream (cell-major, so cells finish
-  // roughly in emission order) over a pool that lives for the whole sweep.
+  // roughly in emission order) over a pool that lives for the whole grid.
   std::optional<ThreadPool> owned_pool;
   ThreadPool* pool = options.pool;
   if (pool == nullptr) {
-    owned_pool.emplace(ThreadPool::resolve_threads(in.num_threads));
+    owned_pool.emplace(ThreadPool::resolve_threads(options.num_threads));
     pool = &*owned_pool;
   }
 
   GridState state;
-  state.in = &in;
   state.cells = &cells;
-  state.images_per_cell = n;
-  state.correct.assign(cells.size() * n, 0);
-  state.spikes.assign(cells.size() * n, 0);
-  state.remaining = std::make_unique<std::atomic<std::size_t>[]>(cells.size());
+  state.offsets.resize(cells.size() + 1);
+  state.offsets[0] = 0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    state.remaining[c].store(n, std::memory_order_relaxed);
+    state.offsets[c + 1] = state.offsets[c] + cells[c].images->size();
   }
+  state.correct.assign(total_tasks, 0);
+  state.spikes.assign(total_tasks, 0);
+  state.remaining = std::make_unique<std::atomic<std::size_t>[]>(cells.size());
   state.done.assign(cells.size(), 0);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::size_t n = cells[c].images->size();
+    state.remaining[c].store(n, std::memory_order_relaxed);
+    if (n == 0) {
+      state.done[c] = 1;  // no task will ever decrement an empty cell
+    }
+  }
 
   const std::function<void(std::size_t)> task = [&state](std::size_t t) {
     state.run_task(t);
   };
-  pool->parallel_for_async(cells.size() * n, task);
+  pool->parallel_for_async(total_tasks, task);
 
-  // Emit completed cells in grid order while later cells are still
-  // running. On any error (a simulation failure or a throwing on_row
+  // Emit completed cells in index order while later cells are still
+  // running. On any error (a simulation failure or a throwing on_cell
   // callback) stop emitting -- but always drain the pool before unwinding:
   // workers reference `task` and `state` on this frame.
   std::exception_ptr error;
@@ -277,10 +255,11 @@ std::vector<SweepRow> sweep(const SweepInputs& in,
       if (error) {
         break;
       }
-      emit_row(rows,
-               reduce_cell(cells[c], &state.correct[c * n],
-                           &state.spikes[c * n], n),
-               options);
+      const std::size_t n = cells[c].images->size();
+      emit_cell(results, c,
+                reduce_cell(&state.correct[state.offsets[c]],
+                            &state.spikes[state.offsets[c]], n),
+                options);
     }
   } catch (...) {
     error = std::current_exception();
@@ -289,6 +268,98 @@ std::vector<SweepRow> sweep(const SweepInputs& in,
   if (error) {
     std::rethrow_exception(error);
   }
+  return results;
+}
+
+namespace {
+
+void check_inputs(const SweepInputs& in) {
+  TSNN_CHECK_MSG(in.model != nullptr, "sweep needs a model");
+  TSNN_CHECK_MSG(in.images != nullptr && in.labels != nullptr,
+                 "sweep needs images and labels");
+  TSNN_CHECK_MSG(in.images->size() == in.labels->size(),
+                 "images/labels size mismatch");
+}
+
+enum class NoiseKind { kDeletion, kJitter };
+
+std::vector<SweepRow> sweep(const SweepInputs& in,
+                            const std::vector<MethodSpec>& methods,
+                            const std::vector<double>& levels, NoiseKind kind,
+                            const SweepOptions& options) {
+  check_inputs(in);
+
+  // Resolve the whole grid up front: schemes once per method, noise models
+  // once per cell, and models through the scaled-clone cache -- every
+  // method at the same deletion level shares one scaled model.
+  std::vector<snn::CodingSchemePtr> schemes;
+  schemes.reserve(methods.size());
+  for (const MethodSpec& method : methods) {
+    schemes.push_back(coding::make_scheme(method.coding, method.params));
+  }
+  ScaledModelCache cache(*in.model);
+  std::vector<snn::NoiseModelPtr> noises;
+  noises.reserve(methods.size() * levels.size());
+
+  /// Row metadata of cell c (EvalCell carries no labels of its own).
+  struct CellMeta {
+    const MethodSpec* method;
+    double level;
+    float ws_factor;
+  };
+  std::vector<CellMeta> meta;
+  std::vector<EvalCell> cells;
+  meta.reserve(methods.size() * levels.size());
+  cells.reserve(methods.size() * levels.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    for (const double level : levels) {
+      EvalCell cell;
+      cell.scheme = schemes[m].get();
+      cell.images = in.images;
+      cell.labels = in.labels;
+      cell.seed = in.seed;
+      // Weight scaling compensates the *deletion* level; for jitter sweeps
+      // the clean (unscaled) model is correct since no charge is lost (see
+      // MethodSpec) -- ws_factor stays 1.
+      float ws_factor = 1.0f;
+      if (methods[m].weight_scaling && kind == NoiseKind::kDeletion &&
+          level > 0.0) {
+        ws_factor = weight_scaling_factor(level);
+      }
+      cell.model = &cache.get(ws_factor);
+      if (level > 0.0) {
+        noises.push_back(kind == NoiseKind::kDeletion
+                             ? noise::make_deletion(level)
+                             : noise::make_jitter(level));
+        cell.noise = noises.back().get();
+      }
+      cells.push_back(cell);
+      meta.push_back({&methods[m], level, ws_factor});
+    }
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(cells.size());
+
+  GridOptions grid;
+  grid.pool = options.pool;
+  grid.num_threads = in.num_threads;
+  grid.on_cell = [&](std::size_t c, const EvalCellResult& result) {
+    SweepRow row;
+    row.method = meta[c].method->label;
+    row.level = meta[c].level;
+    row.accuracy = result.accuracy;
+    row.mean_spikes = result.mean_spikes;
+    row.ws_factor = static_cast<double>(meta[c].ws_factor);
+    rows.push_back(std::move(row));
+    const SweepRow& r = rows.back();
+    if (options.on_row) {
+      options.on_row(r);
+    }
+    TSNN_LOG(kInfo) << r.method << " level " << r.level << " acc "
+                    << r.accuracy << " spikes " << r.mean_spikes;
+  };
+  run_grid(cells, grid);
   return rows;
 }
 

@@ -16,6 +16,12 @@
 // cell-by-cell run at any thread count: image i of every cell draws from
 // Rng::for_stream(seed, i) and each cell reduces in image-index order (see
 // docs/ARCHITECTURE.md, "Sweep engine").
+//
+// The scheduler itself is exposed as run_grid(): a flat stream of
+// heterogeneous EvalCells -- each its own (model, scheme, noise stack,
+// dataset, seed) -- evaluated as one task stream over one pool. The sweeps
+// compile onto it, and core::ScenarioEngine (scenario.h) compiles whole
+// multi-dataset scenario suites onto it.
 #pragma once
 
 #include <functional>
@@ -29,6 +35,14 @@
 
 namespace tsnn {
 class ThreadPool;
+}
+
+namespace tsnn::snn {
+class NoiseModel;
+}
+
+namespace tsnn::noise {
+class InputNoiseModel;
 }
 
 namespace tsnn::core {
@@ -114,6 +128,53 @@ class ScaledModelCache {
   const snn::SnnModel* base_;
   std::vector<std::pair<float, std::unique_ptr<snn::SnnModel>>> clones_;
 };
+
+/// One generalized cell of the grid scheduler: an independent evaluation of
+/// a (model, scheme, noise stack) triple over a labeled image set. Unlike
+/// the sweep cells, every field may vary per cell -- different datasets,
+/// different models, different seeds -- so a whole multi-scenario suite can
+/// run as one flat task stream. All pointers are borrowed and must outlive
+/// the run_grid() call; `noise` / `input_noise` may be null (clean input).
+struct EvalCell {
+  const snn::SnnModel* model = nullptr;
+  const snn::CodingScheme* scheme = nullptr;
+  /// Spike-train corruption applied to every layer's output (null = clean).
+  const snn::NoiseModel* noise = nullptr;
+  /// Pre-encoding image corruption (null = none). Applied before `noise`,
+  /// drawing from the same per-image stream first -- one deterministic
+  /// draw order per image regardless of stack shape.
+  const noise::InputNoiseModel* input_noise = nullptr;
+  const std::vector<Tensor>* images = nullptr;
+  const std::vector<std::size_t>* labels = nullptr;
+  std::uint64_t seed = 0;  ///< image i draws from Rng::for_stream(seed, i)
+};
+
+/// Reduction of one completed cell (image-index order, so results are
+/// bit-identical at any thread count).
+struct EvalCellResult {
+  double accuracy = 0.0;
+  double mean_spikes = 0.0;
+};
+
+/// How run_grid schedules its cells; same guarantees as SweepOptions
+/// (results never depend on either knob, cells complete in index order).
+struct GridOptions {
+  /// External persistent pool (borrowed); null = run_grid creates one sized
+  /// by `num_threads` for the duration of the call.
+  ThreadPool* pool = nullptr;
+  /// Workers when no pool is given; 0 = hardware concurrency, <= 1 runs
+  /// the grid serially on the calling thread.
+  std::size_t num_threads = 1;
+  /// Called once per completed cell, in cell-index order, from the calling
+  /// thread, while later cells may still be running.
+  std::function<void(std::size_t cell, const EvalCellResult&)> on_cell;
+};
+
+/// Evaluates every cell (cells may have *different* image sets and counts)
+/// as one flat cell-major task stream and returns per-cell results in cell
+/// order. The engine under the sweeps and the scenario engine.
+std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
+                                     const GridOptions& options = {});
 
 /// Accuracy/spikes of every method at every deletion probability.
 /// `levels` may include 0.0 for the clean point.

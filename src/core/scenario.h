@@ -1,0 +1,212 @@
+// Declarative scenario engine over the grid scheduler.
+//
+// A ScenarioSpec names one robustness experiment declaratively -- which
+// datasets, which coding/mitigation methods, which ordered noise stack, and
+// which level grid -- and the ScenarioEngine compiles a whole *suite* of
+// specs into a single run_grid() task stream (core/experiment.h): one
+// persistent pool, one scaled-model cache per dataset, rows streaming back
+// in deterministic grid order while later cells still run. This turns the
+// per-figure bench binaries into data: the built-in "paper" suite
+// reproduces the fig2-8/table1-2 sweep cells bit-identically, and new
+// suites (device catalogs, mixed noise stacks the paper never ran) are a
+// text file away.
+//
+// Spec text format (INI-ish key=value, '#' comments, one [scenario] section
+// per spec; ScenarioSpec::parse / parse_scenarios, no dependencies):
+//
+//   [scenario]
+//   name = stress_triple_stack
+//   datasets = s-mnist, s-cifar10        # zoo names or provider-resolved
+//   methods = rate+WS, ttfs, ttas(5)+WS  # coding [+WS]; ttas(t_a) = TTAS
+//   noise = input:0.05, deletion:sweep, jitter:0.5
+//   levels = 0, 0.1, 0.3, 0.5, 0.7      # grid of the "sweep" layer
+//   images = 40                          # optional; engine default if absent
+//   seed = 48879                         # optional; engine default if absent
+//
+// The noise stack is an *ordered* list (CompositeNoise's ordering contract,
+// noise/noise.h): layers apply left to right. Layer kinds:
+//   deletion:P      spike deletion, P in [0,1]
+//   jitter:S        spike-timing jitter, sigma >= 0 timesteps
+//   input:S         Gaussian input noise (pre-encoding), sigma >= 0
+//   saltpepper:R    salt-and-pepper input noise (pre-encoding), R in [0,1]
+//   device:NAME     a noise::device_catalog() profile (its deletion then
+//                   jitter component, in that order)
+// Exactly one layer may take the value "sweep" -- it reads its magnitude
+// from the level grid (for device:sweep the grid enumerates the whole
+// catalog and `levels` stays empty). Input-noise layers corrupt the image
+// before encoding, drawing from the per-image rng stream first; spike
+// layers corrupt every layer's output train, in stack order.
+//
+// Mitigation is encoded in the method label: "+WS" opts into the paper's
+// deletion compensation W' = C.W, where C multiplies 1/(1-p) over every
+// deletion component of the resolved stack at that grid point (a plain
+// deletion sweep therefore matches deletion_sweep()'s factor bit-exactly,
+// and a device profile gets the compensation tuned to its loss rate);
+// TTAS is itself a coding ("ttas(5)"). Jitter-only stacks yield C = 1 --
+// jitter displaces charge but loses none, exactly as in jitter_sweep().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+#include "core/experiment.h"
+#include "core/zoo.h"
+
+namespace tsnn::core {
+
+/// One layer of a scenario's ordered noise stack.
+struct NoiseLayerSpec {
+  enum class Kind { kDeletion, kJitter, kInput, kSaltPepper, kDevice };
+  Kind kind = Kind::kDeletion;
+  double value = 0.0;   ///< p / sigma / rate; unused for kDevice
+  std::string device;   ///< kDevice only: catalog profile name
+  bool swept = false;   ///< reads its value from the scenario's level grid
+
+  bool operator==(const NoiseLayerSpec&) const = default;
+};
+
+/// A declarative robustness scenario; see the file comment for the text
+/// grammar. Every spec compiles to |datasets| x |methods| x |levels| grid
+/// cells.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<std::string> datasets;
+  std::vector<MethodSpec> methods;
+  std::vector<NoiseLayerSpec> noise;  ///< ordered stack; empty = clean
+  std::vector<double> levels;         ///< grid of the swept layer
+  std::size_t images = 0;             ///< 0 = engine default
+  std::uint64_t seed = 0;             ///< meaningful iff has_seed
+  bool has_seed = false;
+
+  /// Parses exactly one scenario (with or without a leading [scenario]
+  /// header); throws InvalidArgument with a line diagnostic on any error.
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Canonical text form; parse(to_text()) round-trips every field.
+  std::string to_text() const;
+
+  /// Index of the swept noise layer, or npos when the scenario is a single
+  /// grid point per (dataset, method).
+  static constexpr std::size_t kNoSweep = static_cast<std::size_t>(-1);
+  std::size_t swept_layer() const;
+
+  /// Column name of the swept magnitude: "p" (deletion), "sigma" (jitter),
+  /// "sigma_in" / "rate_in" (input noise), "device" (catalog index), or
+  /// "level" for sweep-less scenarios.
+  std::string level_name() const;
+};
+
+/// Parses a suite: one spec per [scenario] section. Throws InvalidArgument
+/// (with line numbers) on malformed text.
+std::vector<ScenarioSpec> parse_scenarios(const std::string& text);
+
+/// Parses a single method label ("rate", "burst+WS", "ttas(5)+WS", ...) --
+/// the inverse of the label convention of baseline_method / ttas_method.
+MethodSpec parse_method_label(const std::string& label);
+
+/// Built-in suites: "paper" (the fig2-8/table1-2 sweep cells), "devices"
+/// (the whole device catalog across all three zoo models), "stress" (mixed
+/// deletion+jitter+input stacks the paper never ran). The suites are
+/// authored as spec text and go through the same parser as user files.
+std::vector<ScenarioSpec> builtin_suite(const std::string& name);
+const std::vector<std::string>& builtin_suite_names();
+
+/// A converted, evaluation-ready zoo workload -- the dataset-loading step
+/// the benches and the scenario engine share (identical calibration slice,
+/// identical test-set slice, so their results are comparable bit-for-bit).
+struct ZooWorkload {
+  DatasetKind kind = DatasetKind::kMnistLike;
+  double dnn_accuracy = 0.0;  ///< source DNN accuracy on the test split
+  convert::Conversion conversion;
+  std::vector<Tensor> test_images;
+  std::vector<std::size_t> test_labels;
+};
+
+/// Loads (or trains) the zoo model for `kind`, converts it with the
+/// standard 100-image calibration slice, and keeps the first `max_images`
+/// test samples.
+ZooWorkload load_zoo_workload(DatasetKind kind, std::size_t max_images);
+
+/// One completed scenario grid cell.
+struct ScenarioRow {
+  std::string dataset;  ///< dataset name as given in the spec
+  std::string method;   ///< method label (no dataset prefix)
+  double level = 0.0;   ///< swept magnitude (catalog index for device:sweep)
+  std::string noise;    ///< resolved stack, e.g. "deletion(p=0.50)+jitter(sigma=1.00)"
+  double accuracy = 0.0;
+  double mean_spikes = 0.0;
+  double ws_factor = 1.0;  ///< weight scaling actually applied (1 = none)
+};
+
+/// All rows of one scenario, in grid order (dataset-major, then method,
+/// then level -- the bench sweep convention).
+struct ScenarioResult {
+  std::string name;
+  std::string level_name;
+  std::size_t num_datasets = 0;
+  std::vector<ScenarioRow> rows;
+  std::size_t images_simulated = 0;  ///< one count per (cell, image) pair
+};
+
+/// Non-owning view of an evaluation-ready workload a provider returns; the
+/// provider owns the storage for at least the duration of run().
+struct ScenarioWorkload {
+  const snn::SnnModel* model = nullptr;
+  const std::vector<Tensor>* images = nullptr;
+  const std::vector<std::size_t>* labels = nullptr;
+};
+
+/// Compiles scenario suites onto the grid scheduler and runs them.
+///
+/// The engine caches zoo workloads (and their weight-scaled model clones)
+/// across run() calls -- one conversion per dataset, with per-image-count
+/// test slices layered on top -- so consecutive suites over the same
+/// datasets pay conversion once. Results carry the
+/// run_grid() determinism guarantee: rows are bit-identical at any thread
+/// count and stream to `on_row` in grid order while later cells run.
+class ScenarioEngine {
+ public:
+  struct Options {
+    std::size_t default_images = 40;     ///< for specs with images = 0
+    std::uint64_t default_seed = 0xBEEF; ///< for specs without a seed
+    std::size_t num_threads = 1;         ///< 0 = hardware concurrency
+    /// External persistent pool (borrowed); null = per-run pool.
+    ThreadPool* pool = nullptr;
+    /// Resolves dataset names the zoo does not know (tests inject tiny
+    /// fixtures; services inject live datasets). Return a view with a null
+    /// model to fall through to the zoo loader.
+    std::function<ScenarioWorkload(const std::string& dataset,
+                                   std::size_t images)>
+        workload_provider;
+    /// Streamed once per completed cell, in grid order, from the calling
+    /// thread.
+    std::function<void(std::size_t scenario, const ScenarioRow&)> on_row;
+  };
+
+  ScenarioEngine();  ///< default Options
+  explicit ScenarioEngine(Options options);
+  ~ScenarioEngine();
+
+  /// Runs every scenario of `suite` as ONE flat task stream over one pool;
+  /// returns per-scenario results in suite order.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& suite);
+
+  /// Convenience wrapper for a single spec.
+  ScenarioResult run_one(const ScenarioSpec& spec);
+
+ private:
+  struct CachedWorkload;
+
+  ScenarioWorkload resolve_workload(const std::string& dataset,
+                                    std::size_t images);
+
+  Options options_;
+  std::map<std::string, std::unique_ptr<CachedWorkload>> workloads_;
+};
+
+}  // namespace tsnn::core

@@ -91,6 +91,17 @@ std::string dataset_name(DatasetKind kind) {
   return "unknown";
 }
 
+bool dataset_kind_from_name(const std::string& name, DatasetKind* kind) {
+  for (const DatasetKind k : {DatasetKind::kMnistLike, DatasetKind::kCifar10Like,
+                              DatasetKind::kCifar20Like}) {
+    if (dataset_name(k) == name) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 data::DatasetPair make_dataset(DatasetKind kind) {
   const std::size_t train_scale = fast_mode() ? 3 : 1;
   switch (kind) {

@@ -25,6 +25,11 @@ enum class DatasetKind { kMnistLike, kCifar10Like, kCifar20Like };
 /// ("s-mnist", "s-cifar10", "s-cifar20").
 std::string dataset_name(DatasetKind kind);
 
+/// Inverse of dataset_name: true and sets *kind if `name` names a zoo
+/// dataset; false otherwise (scenario specs may also name datasets that a
+/// custom workload provider resolves -- see core/scenario.h).
+bool dataset_kind_from_name(const std::string& name, DatasetKind* kind);
+
 /// A trained source model with its dataset.
 struct ModelBundle {
   DatasetKind kind = DatasetKind::kMnistLike;

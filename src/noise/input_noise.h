@@ -5,7 +5,19 @@
 // provides the two standard image corruptions so robustness studies can
 // separate external noise from the internal (spike) noise the paper
 // evaluates.
+//
+// Two entry points: the one-shot free functions (tests, analyses) and the
+// InputNoiseModel class hierarchy, which is the scenario engine's
+// (core/scenario.h) pre-encoding stage of a noise stack -- apply_into()
+// writes the corrupted image into caller-owned scratch so the per-image
+// hot path allocates nothing once warm, and draws from the same per-image
+// rng stream the spike noise uses afterwards (input corruption first, spike
+// corruption second -- one deterministic draw order per image).
 #pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "tensor/tensor.h"
@@ -18,5 +30,58 @@ Tensor gaussian_input_noise(const Tensor& image, double sigma, Rng& rng);
 /// Salt-and-pepper: each pixel is forced to 0 or 1 with probability
 /// `rate` (half salt, half pepper).
 Tensor salt_pepper_input_noise(const Tensor& image, double rate, Rng& rng);
+
+/// Abstract pre-encoding input corruption. Implementations draw randomness
+/// from `rng` only (fixed seed -> identical corruption) and must not alias
+/// `in` and `out`.
+class InputNoiseModel {
+ public:
+  virtual ~InputNoiseModel() = default;
+
+  /// Writes the corrupted copy of `in` into `out` (reshaped to match; the
+  /// storage is reused across calls once grown).
+  virtual void apply_into(const Tensor& in, Tensor& out, Rng& rng) const = 0;
+
+  /// Human-readable description ("input_gaussian(sigma=0.10)").
+  virtual std::string name() const = 0;
+};
+
+using InputNoiseModelPtr = std::unique_ptr<InputNoiseModel>;
+
+/// Gaussian pixel noise as a model; see gaussian_input_noise.
+class GaussianInputNoise : public InputNoiseModel {
+ public:
+  explicit GaussianInputNoise(double sigma);
+  void apply_into(const Tensor& in, Tensor& out, Rng& rng) const override;
+  std::string name() const override;
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// Salt-and-pepper pixel noise as a model; see salt_pepper_input_noise.
+class SaltPepperInputNoise : public InputNoiseModel {
+ public:
+  explicit SaltPepperInputNoise(double rate);
+  void apply_into(const Tensor& in, Tensor& out, Rng& rng) const override;
+  std::string name() const override;
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Applies member models in order (same ordering contract as
+/// CompositeNoise: composite[a + b] feeds a's output to b).
+class CompositeInputNoise : public InputNoiseModel {
+ public:
+  explicit CompositeInputNoise(std::vector<InputNoiseModelPtr> models);
+  void apply_into(const Tensor& in, Tensor& out, Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<InputNoiseModelPtr> models_;
+};
 
 }  // namespace tsnn::noise

@@ -8,7 +8,21 @@
 
 namespace tsnn::noise {
 
-/// Applies member models in order (e.g. deletion then jitter).
+/// Applies member models in order: composite[a + b] feeds a's output train
+/// to b, exactly like function composition b(a(x)).
+///
+/// Ordering contract (tests/test_noise.cpp, CompositeOrdering):
+///   - Order is significant. deletion-then-jitter first thins the train and
+///     then displaces the survivors; jitter-then-deletion displaces every
+///     spike and then thins -- for a fixed seed the two produce different
+///     trains (different events survive AND the rng draw sequences diverge
+///     after the first stage). Scenario specs therefore treat the stack as
+///     an ordered list, and name() reports members in application order.
+///   - Both entry points compose identically: apply() chains the members'
+///     raster paths, apply_inplace() chains their in-place paths over one
+///     EventBuffer, and each member consumes the rng in the same order on
+///     either path -- so raster and in-place results stay bit-identical for
+///     stacks of any depth, not just for the single models.
 class CompositeNoise : public snn::NoiseModel {
  public:
   explicit CompositeNoise(std::vector<snn::NoiseModelPtr> models);

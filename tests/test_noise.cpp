@@ -9,6 +9,7 @@
 #include "noise/device_profile.h"
 #include "noise/jitter.h"
 #include "noise/noise.h"
+#include "snn/event_buffer.h"
 
 namespace tsnn::noise {
 namespace {
@@ -209,6 +210,99 @@ TEST(Composite, AppliesInOrder) {
   EXPECT_NEAR(static_cast<double>(out.total_spikes()), 200.0, 60.0);
   EXPECT_NE(composite.name().find("deletion"), std::string::npos);
   EXPECT_NE(composite.name().find("jitter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CompositeNoise ordering contract (see the class comment in noise/noise.h):
+// member order is significant, and the raster and in-place paths must agree
+// for stacks of any depth.
+
+snn::NoiseModelPtr make_composite(
+    std::vector<snn::NoiseModelPtr> models) {
+  return std::make_unique<CompositeNoise>(std::move(models));
+}
+
+TEST(CompositeOrdering, DeletionThenJitterDiffersFromJitterThenDeletion) {
+  const snn::SpikeRaster in = full_raster(12, 24);
+
+  std::vector<snn::NoiseModelPtr> dj;
+  dj.push_back(make_deletion(0.5));
+  dj.push_back(make_jitter(2.0));
+  std::vector<snn::NoiseModelPtr> jd;
+  jd.push_back(make_jitter(2.0));
+  jd.push_back(make_deletion(0.5));
+  const CompositeNoise del_jit(std::move(dj));
+  const CompositeNoise jit_del(std::move(jd));
+
+  Rng rng_a(71);
+  Rng rng_b(71);
+  const auto a = del_jit.apply(in, rng_a).to_events();
+  const auto b = jit_del.apply(in, rng_b).to_events();
+  // Same seed, same members, opposite order: the corrupted trains differ --
+  // the first stage changes both which events reach the second stage and
+  // what the second stage draws from the shared rng.
+  EXPECT_NE(a, b);
+  // name() reports members in application order.
+  const std::string dj_name = del_jit.name();
+  const std::string jd_name = jit_del.name();
+  EXPECT_LT(dj_name.find("deletion"), dj_name.find("jitter"));
+  EXPECT_LT(jd_name.find("jitter"), jd_name.find("deletion"));
+}
+
+/// Applies `noise` to the same input via the raster path and the in-place
+/// event-buffer path with identical seeds; both must produce the same train.
+void expect_inplace_matches_raster(const snn::NoiseModel& noise,
+                                   std::uint64_t seed) {
+  const snn::SpikeRaster in = full_raster(10, 18);
+  Rng rng_raster(seed);
+  const snn::SpikeRaster via_raster = noise.apply(in, rng_raster);
+
+  snn::EventBuffer buf;
+  snn::EventSortScratch scratch;
+  buf.assign_from(in, scratch);
+  Rng rng_events(seed);
+  noise.apply_inplace(buf, scratch, rng_events);
+  EXPECT_EQ(buf.to_raster().to_events(), via_raster.to_events())
+      << noise.name() << " seed " << seed;
+}
+
+TEST(CompositeOrdering, InplaceMatchesRasterForDepth3Stacks) {
+  for (const std::uint64_t seed : {7ull, 1234ull, 0xC0FFEEull}) {
+    std::vector<snn::NoiseModelPtr> stack3;
+    stack3.push_back(make_deletion(0.3));
+    stack3.push_back(make_jitter(1.5));
+    stack3.push_back(make_deletion(0.2));
+    expect_inplace_matches_raster(*make_composite(std::move(stack3)), seed);
+
+    std::vector<snn::NoiseModelPtr> stack4;
+    stack4.push_back(make_jitter(1.0));
+    stack4.push_back(make_deletion(0.4));
+    stack4.push_back(make_jitter(0.5));
+    stack4.push_back(make_deletion(0.1));
+    expect_inplace_matches_raster(*make_composite(std::move(stack4)), seed);
+  }
+}
+
+TEST(CompositeOrdering, NestedCompositeMatchesFlatStack) {
+  // composite[a + composite[b + c]] == composite[a + b + c]: composition is
+  // associative because each member only sees the previous output and the
+  // shared rng.
+  const snn::SpikeRaster in = full_raster(8, 16);
+  std::vector<snn::NoiseModelPtr> inner;
+  inner.push_back(make_jitter(1.2));
+  inner.push_back(make_deletion(0.25));
+  std::vector<snn::NoiseModelPtr> nested;
+  nested.push_back(make_deletion(0.3));
+  nested.push_back(make_composite(std::move(inner)));
+  std::vector<snn::NoiseModelPtr> flat;
+  flat.push_back(make_deletion(0.3));
+  flat.push_back(make_jitter(1.2));
+  flat.push_back(make_deletion(0.25));
+
+  Rng rng_a(99);
+  Rng rng_b(99);
+  EXPECT_EQ(make_composite(std::move(nested))->apply(in, rng_a).to_events(),
+            make_composite(std::move(flat))->apply(in, rng_b).to_events());
 }
 
 TEST(Composite, FactoryHelper) {

@@ -178,6 +178,70 @@ TEST(ThreadPool, ParallelForRunsEveryIndexDespiteException) {
   EXPECT_EQ(counter.load(), 39);
 }
 
+// ---------------------------------------------------------------------------
+// Misuse guards: the contract violations that would otherwise deadlock
+// (nesting a broadcast inside a worker of the same pool, starting a second
+// broadcast while the first still borrows its callable) abort with a
+// diagnostic instead of hanging. Death tests fork, so the "threadsafe"
+// style is required with live pool threads.
+
+void nested_parallel_for_from_worker() {
+  ThreadPool pool(2);
+  const std::function<void(std::size_t)> inner = [](std::size_t) {};
+  const std::function<void(std::size_t)> outer = [&](std::size_t) {
+    pool.parallel_for(4, inner);
+  };
+  pool.parallel_for(4, outer);
+}
+
+void wait_from_worker() {
+  ThreadPool pool(2);
+  pool.submit([&pool] { pool.wait(); });
+  pool.wait();
+}
+
+void double_parallel_for_async() {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  const std::function<void(std::size_t)> slow = [&](std::size_t) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  pool.parallel_for_async(64, slow);
+  const std::function<void(std::size_t)> second = [](std::size_t) {};
+  pool.parallel_for_async(1, second);  // must abort, not block or deadlock
+}
+
+TEST(ThreadPoolDeath, NestedParallelForFromWorkerAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(nested_parallel_for_from_worker(), "nested inside a worker");
+}
+
+TEST(ThreadPoolDeath, WaitFromWorkerAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(wait_from_worker(), "called from inside a worker");
+}
+
+TEST(ThreadPoolDeath, SecondBroadcastWithoutWaitAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(double_parallel_for_async(),
+               "previous broadcast is still in flight");
+}
+
+TEST(ThreadPool, CrossPoolNestingRemainsLegal) {
+  // Only same-pool nesting is fatal: a worker of pool A may drive pool B.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> counter{0};
+  const std::function<void(std::size_t)> leaf = [&counter](std::size_t) {
+    ++counter;
+  };
+  outer.submit([&inner, &leaf] { inner.parallel_for(8, leaf); });
+  outer.wait();
+  EXPECT_EQ(counter.load(), 8);
+}
+
 TEST(ThreadPool, RejectsNullTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
