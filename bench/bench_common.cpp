@@ -179,9 +179,13 @@ Workload prepare_workload(core::DatasetKind kind) {
   w.test_images = std::move(zoo.test_images);
   w.test_labels = std::move(zoo.test_labels);
 
-  std::printf("# dataset %s | source DNN acc %s%% | %zu test images | %zu stages\n",
-              core::dataset_name(kind).c_str(), pct(w.dnn_accuracy).c_str(),
-              w.test_images.size(), w.conversion.model.num_stages());
+  std::printf(
+      "# dataset %s | source DNN acc %s%% | %zu test images | %zu stages"
+      " | %s in %.2fs\n",
+      core::dataset_name(kind).c_str(), pct(w.dnn_accuracy).c_str(),
+      w.test_images.size(), w.conversion.model.num_stages(),
+      zoo.from_artifact_cache ? "artifact cache" : "fresh convert",
+      zoo.prep_seconds);
   return w;
 }
 

@@ -114,7 +114,8 @@ void print_scenario(const core::ScenarioResult& result,
 
 void write_suite_json(const std::string& suite_label,
                       const std::vector<core::ScenarioResult>& results,
-                      double seconds) {
+                      double seconds,
+                      const core::ScenarioEngine::ZooPrepStats& zoo) {
   const std::string path = bench::bench_json();
   if (path.empty()) {
     return;
@@ -161,17 +162,24 @@ void write_suite_json(const std::string& suite_label,
     }
     std::fprintf(f, "\n     ]}");
   }
+  // zoo_prep_seconds covers dataset generation + model load-or-train +
+  // conversion (or a TSNZ artifact load); on a warm zoo cache it is the
+  // cold-vs-warm signal the perf-smoke CI job tracks.
   std::fprintf(f,
                "\n  ],\n"
                "  \"metrics\": {\n"
                "    \"seconds\": %.8g,\n"
                "    \"images_simulated\": %zu,\n"
-               "    \"images_per_sec\": %.8g\n"
+               "    \"images_per_sec\": %.8g,\n"
+               "    \"zoo_prep_seconds\": %.8g,\n"
+               "    \"zoo_loads\": %zu,\n"
+               "    \"zoo_artifact_hits\": %zu\n"
                "  }\n"
                "}\n",
                seconds, total_images,
                seconds > 0.0 ? static_cast<double>(total_images) / seconds
-                             : 0.0);
+                             : 0.0,
+               zoo.seconds, zoo.loads, zoo.artifact_hits);
   std::fclose(f);
   std::printf("json: %s\n", path.c_str());
 }
@@ -280,6 +288,11 @@ int main(int argc, char** argv) {
                 total_images, seconds,
                 static_cast<double>(total_images) / seconds);
   }
-  write_suite_json(suite_label, results, seconds);
+  const core::ScenarioEngine::ZooPrepStats& zoo = engine.zoo_prep();
+  if (zoo.loads > 0) {
+    std::printf("zoo prep: %.2fs for %zu dataset(s), %zu from artifact cache\n",
+                zoo.seconds, zoo.loads, zoo.artifact_hits);
+  }
+  write_suite_json(suite_label, results, seconds, zoo);
   return 0;
 }

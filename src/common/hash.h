@@ -1,0 +1,37 @@
+// Content hashing for cache keys and file integrity.
+//
+// FNV-1a (64-bit) is deliberately non-cryptographic: the model zoo uses it
+// to content-address cache artifacts and to checksum their bytes against
+// accidental corruption, not against an adversary. It is tiny, dependency
+// free, stable across platforms, and streams (the seed parameter chains
+// calls over discontiguous ranges).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tsnn {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// 64-bit FNV-1a over `n` bytes; pass a previous result as `seed` to chain.
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+/// Convenience overload for strings (cache keys).
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace tsnn

@@ -1,0 +1,94 @@
+#include "common/mapped_file.h"
+
+#include <fstream>
+
+#include "common/env.h"
+#include "common/error.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TSNN_HAVE_MMAP 1
+#endif
+
+namespace tsnn {
+
+namespace {
+
+/// read()+copy fallback: the whole file lands in 8-byte-aligned storage,
+/// which over-satisfies the float alignment zero-copy adoption needs.
+void read_into(const std::string& path, std::vector<std::uint64_t>& storage,
+               const unsigned char*& data, std::size_t& size) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) {
+    throw IoError("cannot open for read: " + path);
+  }
+  const std::streamoff end = is.tellg();
+  if (end < 0) {
+    throw IoError("cannot determine size of " + path);
+  }
+  const std::size_t n = static_cast<std::size_t>(end);
+  storage.resize((n + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t));
+  is.seekg(0);
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(storage.data()),
+            static_cast<std::streamsize>(n));
+    if (!is) {
+      throw IoError("read failed: " + path);
+    }
+  }
+  data = reinterpret_cast<const unsigned char*>(storage.data());
+  size = n;
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path,
+                                                   bool allow_mmap) {
+  if (env::get_bool("TSNN_NO_MMAP", false)) {
+    allow_mmap = false;
+  }
+  std::shared_ptr<MappedFile> file(new MappedFile());
+#ifdef TSNN_HAVE_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw IoError("cannot open for read: " + path);
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      throw IoError("cannot stat: " + path);
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      // Nothing to map; an empty artifact fails header validation later.
+      ::close(fd);
+      return file;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping outlives the descriptor
+    if (base != MAP_FAILED) {
+      file->map_base_ = base;
+      file->data_ = static_cast<const unsigned char*>(base);
+      file->size_ = size;
+      return file;
+    }
+    // mmap refused (unusual filesystem); fall through to the read path.
+  }
+#endif
+  read_into(path, file->fallback_, file->data_, file->size_);
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#ifdef TSNN_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, size_);
+  }
+#endif
+}
+
+}  // namespace tsnn

@@ -1,0 +1,47 @@
+// Read-only whole-file views for binary artifact loading.
+//
+// MappedFile maps a file with mmap(2) where available and falls back to a
+// plain read()+copy into 8-byte-aligned storage otherwise (non-POSIX
+// builds, filesystems that refuse mappings, or TSNN_NO_MMAP=1 -- the test
+// knob that exercises the fallback on any platform). Instances are handed
+// out as shared_ptr so borrowers -- e.g. zero-copy weight views into a
+// mapped TSNZ artifact -- keep the backing bytes alive past the loader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tsnn {
+
+class MappedFile {
+ public:
+  /// Opens `path` and exposes its entire contents. Throws IoError when the
+  /// file cannot be opened or read. `allow_mmap = false` forces the
+  /// read()+copy fallback (TSNN_NO_MMAP=1 does the same globally).
+  static std::shared_ptr<const MappedFile> open(const std::string& path,
+                                                bool allow_mmap = true);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// True when the bytes come from an actual memory mapping (the fallback
+  /// path reports false).
+  bool mapped() const { return map_base_ != nullptr; }
+
+ private:
+  MappedFile() = default;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;              ///< non-null iff mmap'd
+  std::vector<std::uint64_t> fallback_;   ///< 8-byte-aligned copy otherwise
+};
+
+}  // namespace tsnn

@@ -9,6 +9,7 @@
 #include "coding/registry.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/weight_scaling.h"
 #include "noise/device_profile.h"
@@ -508,27 +509,23 @@ std::vector<ScenarioSpec> builtin_suite(const std::string& name) {
 // ----------------------------------------------------------------- engine --
 
 ZooWorkload load_zoo_workload(DatasetKind kind, std::size_t max_images) {
+  const Stopwatch watch;
   ZooWorkload w;
   w.kind = kind;
-  ModelBundle bundle = get_or_train(kind);
-  w.dnn_accuracy = bundle.dnn_test_accuracy;
+  const data::DatasetPair data = make_dataset(kind);
+  ConvertedModel converted = get_or_convert(kind, data);
+  w.dnn_accuracy = converted.dnn_test_accuracy;
+  w.conversion = std::move(converted.conversion);
+  w.from_artifact_cache = converted.loaded_from_cache;
 
-  // The standard calibration slice -- identical to the benches', so bench
-  // and scenario results over the same dataset are comparable bit-for-bit.
-  const std::size_t calib_n =
-      std::min<std::size_t>(100, bundle.data.train.size());
-  const std::vector<Tensor> calib(
-      bundle.data.train.images.begin(),
-      bundle.data.train.images.begin() + static_cast<std::ptrdiff_t>(calib_n));
-  w.conversion = convert::convert(bundle.net, calib);
-
-  const std::size_t n = std::min(max_images, bundle.data.test.size());
+  const std::size_t n = std::min(max_images, data.test.size());
   w.test_images.assign(
-      bundle.data.test.images.begin(),
-      bundle.data.test.images.begin() + static_cast<std::ptrdiff_t>(n));
+      data.test.images.begin(),
+      data.test.images.begin() + static_cast<std::ptrdiff_t>(n));
   w.test_labels.assign(
-      bundle.data.test.labels.begin(),
-      bundle.data.test.labels.begin() + static_cast<std::ptrdiff_t>(n));
+      data.test.labels.begin(),
+      data.test.labels.begin() + static_cast<std::ptrdiff_t>(n));
+  w.prep_seconds = watch.elapsed();
   return w;
 }
 
@@ -574,6 +571,11 @@ ScenarioWorkload ScenarioEngine::resolve_workload(const std::string& dataset,
     auto cached = std::make_unique<CachedWorkload>();
     cached->data = load_zoo_workload(
         kind, std::numeric_limits<std::size_t>::max());
+    zoo_prep_.seconds += cached->data.prep_seconds;
+    ++zoo_prep_.loads;
+    if (cached->data.from_artifact_cache) {
+      ++zoo_prep_.artifact_hits;
+    }
     cached->scaled =
         std::make_unique<ScaledModelCache>(cached->data.conversion.model);
     it = workloads_.emplace(dataset, std::move(cached)).first;

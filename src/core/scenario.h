@@ -125,11 +125,16 @@ struct ZooWorkload {
   convert::Conversion conversion;
   std::vector<Tensor> test_images;
   std::vector<std::size_t> test_labels;
+  bool from_artifact_cache = false;  ///< conversion served from a TSNZ file
+  double prep_seconds = 0.0;         ///< wall time spent preparing (train/
+                                     ///< load + convert + dataset + slicing)
 };
 
-/// Loads (or trains) the zoo model for `kind`, converts it with the
-/// standard 100-image calibration slice, and keeps the first `max_images`
-/// test samples.
+/// Loads the zoo workload for `kind` through the TSNZ artifact cache
+/// (core::get_or_convert): an artifact hit skips training, conversion, and
+/// DNN evaluation; a miss trains/loads the source DNN, converts with the
+/// standard 100-image calibration slice, and repairs the cache. Keeps the
+/// first `max_images` test samples either way.
 ZooWorkload load_zoo_workload(DatasetKind kind, std::size_t max_images);
 
 /// One completed scenario grid cell.
@@ -188,9 +193,20 @@ class ScenarioEngine {
     std::function<void(std::size_t scenario, const ScenarioRow&)> on_row;
   };
 
+  /// Zoo-preparation accounting across run() calls: wall seconds spent in
+  /// load_zoo_workload, how many datasets were resolved through the zoo,
+  /// and how many of those were served from the TSNZ artifact cache.
+  struct ZooPrepStats {
+    double seconds = 0.0;
+    std::size_t loads = 0;
+    std::size_t artifact_hits = 0;
+  };
+
   ScenarioEngine();  ///< default Options
   explicit ScenarioEngine(Options options);
   ~ScenarioEngine();
+
+  const ZooPrepStats& zoo_prep() const { return zoo_prep_; }
 
   /// Runs every scenario of `suite` as ONE flat task stream over one pool;
   /// returns per-scenario results in suite order.
@@ -207,6 +223,7 @@ class ScenarioEngine {
 
   Options options_;
   std::map<std::string, std::unique_ptr<CachedWorkload>> workloads_;
+  ZooPrepStats zoo_prep_;
 };
 
 }  // namespace tsnn::core

@@ -1,9 +1,13 @@
 #include "core/zoo.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <sstream>
 
 #include "common/env.h"
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/cifar_like.h"
@@ -136,40 +140,158 @@ std::string zoo_model_path(DatasetKind kind) {
   return zoo_dir() + "/" + dataset_name(kind) + suffix + ".tsnn";
 }
 
-ModelBundle get_or_train(DatasetKind kind) {
-  ModelBundle bundle;
-  bundle.kind = kind;
-  bundle.data = make_dataset(kind);
+namespace {
 
+/// Shared train-or-load step over a caller-provided dataset (get_or_train
+/// regenerates the dataset itself; get_or_convert already has one in hand).
+struct TrainedNet {
+  dnn::Network net{Shape{1}};
+  double test_accuracy = 0.0;
+  bool loaded_from_cache = false;
+};
+
+TrainedNet train_or_load_net(DatasetKind kind, const data::DatasetPair& data) {
+  TrainedNet out;
   const std::string path = zoo_model_path(kind);
   if (dnn::is_saved_network(path)) {
-    bundle.net = dnn::load_network(path);
-    bundle.loaded_from_cache = true;
-    bundle.dnn_test_accuracy = dnn::evaluate_accuracy(
-        bundle.net, bundle.data.test.images, bundle.data.test.labels);
+    out.net = dnn::load_network(path);
+    out.loaded_from_cache = true;
+    out.test_accuracy =
+        dnn::evaluate_accuracy(out.net, data.test.images, data.test.labels);
     TSNN_LOG(kInfo) << "zoo: loaded " << dataset_name(kind) << " (test acc "
-                    << bundle.dnn_test_accuracy << ")";
-    return bundle;
+                    << out.test_accuracy << ")";
+    return out;
   }
 
   TSNN_LOG(kInfo) << "zoo: training " << dataset_name(kind) << " from scratch";
   Stopwatch watch;
-  bundle.net = dnn::vgg_mini(vgg_config_for(kind));
-  dnn::train(bundle.net, bundle.data.train.images, bundle.data.train.labels,
+  out.net = dnn::vgg_mini(vgg_config_for(kind));
+  dnn::train(out.net, data.train.images, data.train.labels,
              train_config_for(kind));
-  bundle.dnn_test_accuracy = dnn::evaluate_accuracy(
-      bundle.net, bundle.data.test.images, bundle.data.test.labels);
+  out.test_accuracy =
+      dnn::evaluate_accuracy(out.net, data.test.images, data.test.labels);
   TSNN_LOG(kInfo) << "zoo: trained " << dataset_name(kind) << " in "
-                  << watch.elapsed() << "s, test acc " << bundle.dnn_test_accuracy;
+                  << watch.elapsed() << "s, test acc " << out.test_accuracy;
 
   std::error_code ec;
   std::filesystem::create_directories(zoo_dir(), ec);
   if (!ec) {
-    dnn::save_network(bundle.net, path);
+    dnn::save_network(out.net, path);
   } else {
     TSNN_LOG(kWarn) << "zoo: cannot create cache dir " << zoo_dir();
   }
+  return out;
+}
+
+}  // namespace
+
+ModelBundle get_or_train(DatasetKind kind) {
+  ModelBundle bundle;
+  bundle.kind = kind;
+  bundle.data = make_dataset(kind);
+  TrainedNet trained = train_or_load_net(kind, bundle.data);
+  bundle.net = std::move(trained.net);
+  bundle.dnn_test_accuracy = trained.test_accuracy;
+  bundle.loaded_from_cache = trained.loaded_from_cache;
   return bundle;
+}
+
+std::string zoo_artifact_key(DatasetKind kind) {
+  // Canonical, human-readable rendering of every input that shapes the
+  // converted weights. The leading "tsnz1" is the key schema version: bump
+  // it when the *meaning* of a field changes without its value changing.
+  // TrainConfig::verbose is deliberately excluded (no effect on weights);
+  // dataset generation parameters are code constants covered by the CI
+  // cache key over src/**, not by this string.
+  const dnn::VggConfig v = vgg_config_for(kind);
+  const dnn::TrainConfig t = train_config_for(kind);
+  const convert::ConvertConfig c;
+  std::ostringstream key;
+  key << "tsnz1|" << dataset_name(kind) << "|fast=" << (fast_mode() ? 1 : 0)
+      << "|vgg=" << v.in_channels << ',' << v.image_size << ',' << v.num_classes
+      << ',' << v.base_width << ',' << v.num_blocks << ',' << v.dense_width
+      << ',' << v.conv_dropout << ',' << v.dense_dropout << ',' << v.init_seed
+      << "|train=" << t.epochs << ',' << t.batch_size << ',' << t.sgd.lr << ','
+      << t.sgd.momentum << ',' << t.sgd.weight_decay << ',' << t.lr_decay_gamma
+      << ',' << t.lr_decay_epochs << ',' << t.shuffle_seed
+      << "|calib=100|convert=" << c.percentile << ',' << c.min_scale;
+  return key.str();
+}
+
+std::string zoo_artifact_path(DatasetKind kind) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(zoo_artifact_key(kind))));
+  const std::string suffix = fast_mode() ? "-fast" : "";
+  return zoo_dir() + "/" + dataset_name(kind) + suffix + "-" + hex + ".tsnz";
+}
+
+ConvertedModel convert_fresh(DatasetKind kind, const data::DatasetPair& data) {
+  TrainedNet trained = train_or_load_net(kind, data);
+  ConvertedModel out;
+  out.kind = kind;
+  out.dnn_test_accuracy = trained.test_accuracy;
+  // The standard calibration slice -- identical for benches and the
+  // scenario engine, so their results stay comparable bit-for-bit (and
+  // identical to what a cached artifact was converted with).
+  const std::size_t calib_n = std::min<std::size_t>(100, data.train.size());
+  const std::vector<Tensor> calib(
+      data.train.images.begin(),
+      data.train.images.begin() + static_cast<std::ptrdiff_t>(calib_n));
+  out.conversion = convert::convert(trained.net, calib);
+  return out;
+}
+
+ConvertedModel get_or_convert(DatasetKind kind, const data::DatasetPair& data) {
+  const std::string key = zoo_artifact_key(kind);
+  const std::string path = zoo_artifact_path(kind);
+  if (dnn::is_saved_artifact(path)) {
+    try {
+      dnn::SnnArtifact artifact = dnn::load_snn_artifact(path);
+      if (artifact.key == key) {
+        ConvertedModel out;
+        out.kind = kind;
+        out.dnn_test_accuracy = artifact.dnn_accuracy;
+        out.conversion.model = std::move(artifact.model);
+        out.conversion.scales = std::move(artifact.scales);
+        out.loaded_from_cache = true;
+        TSNN_LOG(kInfo) << "zoo: loaded converted " << dataset_name(kind)
+                        << " artifact (test acc " << out.dnn_test_accuracy
+                        << ")";
+        return out;
+      }
+      // Filename hash matched but the stored key differs (hash collision or
+      // a hand-renamed file): treat as a miss and repair below.
+      TSNN_LOG(kWarn) << "zoo: artifact key mismatch for " << path
+                      << "; reconverting";
+    } catch (const Error& e) {
+      TSNN_LOG(kWarn) << "zoo: discarding unreadable artifact " << path << ": "
+                      << e.what();
+    }
+  }
+
+  ConvertedModel out = convert_fresh(kind, data);
+
+  // Repair/populate the cache best-effort: losing the write costs the next
+  // process a warm start, nothing else.
+  std::error_code ec;
+  std::filesystem::create_directories(zoo_dir(), ec);
+  if (ec) {
+    TSNN_LOG(kWarn) << "zoo: cannot create cache dir " << zoo_dir();
+    return out;
+  }
+  try {
+    dnn::SnnArtifact artifact;
+    artifact.key = key;
+    artifact.dnn_accuracy = out.dnn_test_accuracy;
+    artifact.model = out.conversion.model.clone();
+    artifact.scales = out.conversion.scales;
+    dnn::save_snn_artifact(artifact, path);
+  } catch (const Error& e) {
+    TSNN_LOG(kWarn) << "zoo: cannot write artifact " << path << ": "
+                    << e.what();
+  }
+  return out;
 }
 
 }  // namespace tsnn::core

@@ -1,4 +1,5 @@
-// Model zoo: train-once, cache, and reload the source DNNs.
+// Model zoo: train-once, cache, and reload -- source DNNs *and* converted
+// SNN artifacts.
 //
 // The benches for every figure/table need the same three trained VGG-mini
 // classifiers (S-MNIST, S-CIFAR10, S-CIFAR20). The zoo trains each on first
@@ -6,13 +7,28 @@
 // reloads afterwards so the full bench suite pays the training cost once.
 // Dataset generation is deterministic and fast, so data is not cached.
 //
+// Two cache layers live side by side in the zoo directory:
+//   <name>[-fast].tsnn          the trained source DNN (dnn::save_network)
+//   <name>[-fast]-<hash>.tsnz   the *converted* artifact (model + scaling
+//                               trace + coding-relevant config), content-
+//                               addressed by zoo_artifact_key() and loaded
+//                               via mmap with zero-copy weight adoption
+// get_or_convert() is the load-or-convert entry point benches, scenario
+// suites, and tests share: an artifact hit skips training, conversion, and
+// DNN evaluation entirely; any miss (absent, corrupt, stale key) falls back
+// to the DNN cache / fresh training and repairs the artifact on the way
+// out. Cache-hit results are bit-identical to fresh conversion -- pinned by
+// tests/test_golden_zoo.cpp.
+//
 // Environment knobs:
 //   TSNN_ZOO_DIR  cache directory (created if missing)
 //   TSNN_FAST     "1" trains smaller/shorter models (CI-scale smoke runs)
+//   TSNN_NO_MMAP  "1" forces the artifact loader's read()+copy fallback
 #pragma once
 
 #include <string>
 
+#include "convert/converter.h"
 #include "data/dataset.h"
 #include "dnn/network.h"
 
@@ -49,5 +65,37 @@ data::DatasetPair make_dataset(DatasetKind kind);
 
 /// Cache path that get_or_train uses for `kind`.
 std::string zoo_model_path(DatasetKind kind);
+
+/// A converted zoo model: the conversion output plus its provenance.
+struct ConvertedModel {
+  DatasetKind kind = DatasetKind::kMnistLike;
+  double dnn_test_accuracy = 0.0;  ///< source DNN accuracy on the test split
+  convert::Conversion conversion;
+  bool loaded_from_cache = false;  ///< true = served from a TSNZ artifact
+};
+
+/// Canonical content key of the converted artifact for `kind`: every
+/// config field that influences the converted weights (architecture,
+/// training hyperparameters and seeds, dataset scale, calibration recipe,
+/// converter config, TSNN_FAST) rendered as one stable string. Any change
+/// to these inputs changes the key, and with it the artifact filename.
+std::string zoo_artifact_key(DatasetKind kind);
+
+/// Artifact cache path: zoo dir / <name>[-fast]-<fnv1a64(key) hex>.tsnz.
+std::string zoo_artifact_path(DatasetKind kind);
+
+/// Fresh conversion, deliberately bypassing (and not writing) the TSNZ
+/// artifact cache: trains or loads the source DNN, then converts with the
+/// standard 100-image calibration slice of `data`. The golden cache-
+/// equivalence tests pin get_or_convert() == convert_fresh() bit-for-bit.
+ConvertedModel convert_fresh(DatasetKind kind, const data::DatasetPair& data);
+
+/// Load-or-convert: serves the converted artifact from the TSNZ cache when
+/// a valid entry with the current key exists (mmap load, zero-copy weight
+/// adoption, no training and no DNN evaluation), otherwise falls back to
+/// convert_fresh() and repairs/populates the cache best-effort. `data` must
+/// be make_dataset(kind) (callers pass it in so dataset generation is paid
+/// once per process, not once per cache layer).
+ConvertedModel get_or_convert(DatasetKind kind, const data::DatasetPair& data);
 
 }  // namespace tsnn::core

@@ -1,14 +1,23 @@
 #include "dnn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
+#include "common/hash.h"
+#include "common/mapped_file.h"
 #include "dnn/activations.h"
 #include "dnn/avgpool.h"
 #include "dnn/conv2d.h"
 #include "dnn/dense.h"
 #include "dnn/dropout.h"
 #include "dnn/flatten.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace tsnn::dnn {
 
@@ -228,6 +237,416 @@ bool is_saved_network(const std::string& path) {
   char magic[4] = {};
   is.read(magic, sizeof(magic));
   return is && std::string(magic, 4) == std::string(kMagic, 4);
+}
+
+// ------------------------------------------------ converted artifacts -----
+
+namespace {
+
+constexpr char kArtifactMagic[4] = {'T', 'S', 'N', 'Z'};
+constexpr std::uint32_t kArtifactVersion = 1;
+constexpr std::size_t kChecksumOffset = 16;    // u64 field within the header
+constexpr std::size_t kPayloadAlign = 64;      // weight block file alignment
+
+// Stage kind tags in the TSNZ stage table.
+constexpr std::uint32_t kStageDense = 0;
+constexpr std::uint32_t kStageConv = 1;
+constexpr std::uint32_t kStagePool = 2;
+
+// Caps that bound allocations before the (already checksummed) fields are
+// trusted structurally; generous vs. anything the converter produces.
+constexpr std::uint64_t kMaxRank = 8;
+constexpr std::uint64_t kMaxDim = 1u << 24;
+constexpr std::uint64_t kMaxStages = 1024;
+constexpr std::uint64_t kMaxScales = 4096;
+constexpr std::uint64_t kMaxStringBytes = 1u << 20;
+
+/// FNV-1a64 of `size` bytes with the checksum field treated as zero, so
+/// the stored checksum can cover the entire file including its own slot.
+std::uint64_t artifact_checksum(const unsigned char* data, std::size_t size) {
+  if (size <= kChecksumOffset) {
+    return fnv1a64(data, size);
+  }
+  std::uint64_t h = fnv1a64(data, kChecksumOffset);
+  const unsigned char zeros[8] = {};
+  const std::size_t zeroed = std::min<std::size_t>(8, size - kChecksumOffset);
+  h = fnv1a64(zeros, zeroed, h);
+  if (size > kChecksumOffset + 8) {
+    h = fnv1a64(data + kChecksumOffset + 8, size - kChecksumOffset - 8, h);
+  }
+  return h;
+}
+
+/// In-memory little-endian writer; the whole artifact is assembled in one
+/// buffer so offsets can be patched and the write made atomic.
+struct ArtifactWriter {
+  std::vector<unsigned char> buf;
+
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* c = static_cast<const unsigned char*>(p);
+    buf.insert(buf.end(), c, c + n);
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f32(float v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { bytes(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  /// Reserves a u64 slot and returns its position for patch_u64().
+  std::size_t placeholder_u64() {
+    const std::size_t pos = buf.size();
+    u64(0);
+    return pos;
+  }
+  void patch_u64(std::size_t pos, std::uint64_t v) {
+    std::memcpy(buf.data() + pos, &v, sizeof(v));
+  }
+  void align(std::size_t a) {
+    while (buf.size() % a != 0) {
+      buf.push_back(0);
+    }
+  }
+};
+
+/// Bounds-checked little-endian reader over a mapped artifact. Every
+/// primitive read validates remaining bytes first, so a truncated or
+/// length-corrupted file throws IoError instead of reading out of bounds.
+struct ArtifactReader {
+  const unsigned char* base;
+  std::size_t size;
+  std::size_t off = 0;
+  const std::string& path;
+
+  void need(std::size_t n) const {
+    // off <= size is an invariant (reads only advance after need passes).
+    if (size - off < n) {
+      throw IoError("truncated TSNZ artifact: " + path);
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, base + off, sizeof(v));
+    off += sizeof(v);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, base + off, sizeof(v));
+    off += sizeof(v);
+    return v;
+  }
+  float f32() {
+    need(4);
+    float v;
+    std::memcpy(&v, base + off, sizeof(v));
+    off += sizeof(v);
+    return v;
+  }
+  double f64() {
+    need(8);
+    double v;
+    std::memcpy(&v, base + off, sizeof(v));
+    off += sizeof(v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > kMaxStringBytes) {
+      throw IoError("corrupt string length in TSNZ artifact: " + path);
+    }
+    need(static_cast<std::size_t>(n));
+    std::string s(reinterpret_cast<const char*>(base) + off,
+                  static_cast<std::size_t>(n));
+    off += static_cast<std::size_t>(n);
+    return s;
+  }
+};
+
+Shape read_checked_shape(ArtifactReader& r, std::uint64_t rank) {
+  if (rank > kMaxRank) {
+    throw IoError("corrupt shape rank in TSNZ artifact: " + r.path);
+  }
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) {
+    const std::uint64_t v = r.u64();
+    if (v == 0 || v > kMaxDim) {
+      throw IoError("corrupt shape extent in TSNZ artifact: " + r.path);
+    }
+    d = static_cast<std::size_t>(v);
+  }
+  return shape;
+}
+
+}  // namespace
+
+void save_snn_artifact(const SnnArtifact& artifact, const std::string& path) {
+  ArtifactWriter w;
+  w.bytes(kArtifactMagic, sizeof(kArtifactMagic));
+  w.u32(kArtifactVersion);
+  const std::size_t size_pos = w.placeholder_u64();
+  const std::size_t checksum_pos = w.placeholder_u64();
+  w.u64(fnv1a64(artifact.key));
+  w.str(artifact.key);
+  w.f64(artifact.dnn_accuracy);
+
+  const Shape& input = artifact.model.input_shape();
+  w.u64(input.size());
+  for (const std::size_t d : input) {
+    w.u64(d);
+  }
+
+  w.u64(artifact.scales.size());
+  for (const convert::StageScale& s : artifact.scales) {
+    w.str(s.stage_name);
+    w.f64(s.lambda_in);
+    w.f64(s.lambda_out);
+  }
+
+  // Stage table first (payload offsets patched afterwards), then the
+  // aligned weight payload -- mmap loaders adopt these blocks zero-copy.
+  struct PendingPayload {
+    std::size_t patch_pos;
+    const float* data;
+    std::size_t numel;
+  };
+  std::vector<PendingPayload> payloads;
+  w.u64(artifact.model.num_stages());
+  for (std::size_t i = 0; i < artifact.model.num_stages(); ++i) {
+    const snn::SnnStage& stage = artifact.model.stage(i);
+    const snn::SynapseTopology* syn = stage.synapse.get();
+    if (const auto* dense = dynamic_cast<const snn::DenseTopology*>(syn)) {
+      const snn::WeightBlock& wb = dense->weight_block();
+      w.u32(kStageDense);
+      w.str(stage.name);
+      w.u64(wb.dim(0));
+      w.u64(wb.dim(1));
+      payloads.push_back({w.placeholder_u64(), wb.data(), wb.numel()});
+    } else if (const auto* conv = dynamic_cast<const snn::ConvTopology*>(syn)) {
+      const snn::WeightBlock& wb = conv->weight_block();
+      w.u32(kStageConv);
+      w.str(stage.name);
+      w.u64(wb.dim(0));  // out channels
+      w.u64(wb.dim(1));  // in channels
+      w.u64(wb.dim(2));  // kernel (square)
+      w.u64(conv->in_h());
+      w.u64(conv->in_w());
+      w.u64(conv->stride());
+      w.u64(conv->pad());
+      payloads.push_back({w.placeholder_u64(), wb.data(), wb.numel()});
+    } else if (const auto* pool = dynamic_cast<const snn::PoolTopology*>(syn)) {
+      w.u32(kStagePool);
+      w.str(stage.name);
+      w.u64(pool->channels());
+      w.u64(pool->in_h());
+      w.u64(pool->in_w());
+      w.u64(pool->kernel());
+      w.f32(pool->pool_weight());
+    } else {
+      throw IoError("cannot serialize stage '" + stage.name +
+                    "': unknown topology kind");
+    }
+  }
+  for (const PendingPayload& p : payloads) {
+    w.align(kPayloadAlign);
+    w.patch_u64(p.patch_pos, w.buf.size());
+    w.bytes(p.data, p.numel * sizeof(float));
+  }
+  w.patch_u64(size_pos, w.buf.size());
+  w.patch_u64(checksum_pos, artifact_checksum(w.buf.data(), w.buf.size()));
+
+  // Atomic publish: concurrent writers (parallel ctest, racing CI shards)
+  // each rename a private temp file; deterministic conversion means the
+  // bytes are identical whoever wins.
+#if defined(_WIN32)
+  const unsigned long pid = 0;
+#else
+  const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw IoError("cannot open for write: " + tmp);
+    }
+    os.write(reinterpret_cast<const char*>(w.buf.data()),
+             static_cast<std::streamsize>(w.buf.size()));
+    if (!os) {
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw IoError("cannot publish artifact " + path + ": " + ec.message());
+  }
+}
+
+SnnArtifact load_snn_artifact(const std::string& path,
+                              const ArtifactLoadOptions& options) {
+  const std::shared_ptr<const MappedFile> file =
+      MappedFile::open(path, options.use_mmap);
+  ArtifactReader r{file->data(), file->size(), 0, path};
+
+  r.need(sizeof(kArtifactMagic));
+  if (std::memcmp(r.base, kArtifactMagic, sizeof(kArtifactMagic)) != 0) {
+    throw IoError("not a TSNZ artifact: " + path);
+  }
+  r.off += sizeof(kArtifactMagic);
+  const std::uint32_t version = r.u32();
+  if (version != kArtifactVersion) {
+    throw IoError("unsupported TSNZ artifact version " +
+                  std::to_string(version) + " in " + path + " (this build reads " +
+                  std::to_string(kArtifactVersion) + ")");
+  }
+  if (r.u64() != r.size) {
+    throw IoError("TSNZ artifact size mismatch (truncated or padded): " + path);
+  }
+  const std::uint64_t stored_checksum = r.u64();
+  if (artifact_checksum(r.base, r.size) != stored_checksum) {
+    throw IoError("TSNZ artifact checksum mismatch (corrupt file): " + path);
+  }
+  const std::uint64_t key_hash = r.u64();
+
+  // The checksum vouches the bytes are as written, but structural
+  // validation still guards every field: a *maliciously consistent* file is
+  // out of scope, an arbitrarily corrupted one must never reach UB. Any
+  // non-IO error from model construction (shape chaining, geometry checks)
+  // is reported as the corruption it is.
+  try {
+    SnnArtifact artifact;
+    artifact.key = r.str();
+    if (fnv1a64(artifact.key) != key_hash) {
+      throw IoError("TSNZ artifact key hash mismatch: " + path);
+    }
+    artifact.dnn_accuracy = r.f64();
+    artifact.model = snn::SnnModel(read_checked_shape(r, r.u64()));
+
+    const std::uint64_t num_scales = r.u64();
+    if (num_scales > kMaxScales) {
+      throw IoError("corrupt scale count in TSNZ artifact: " + path);
+    }
+    artifact.scales.reserve(static_cast<std::size_t>(num_scales));
+    for (std::uint64_t i = 0; i < num_scales; ++i) {
+      convert::StageScale s;
+      s.stage_name = r.str();
+      s.lambda_in = r.f64();
+      s.lambda_out = r.f64();
+      artifact.scales.push_back(std::move(s));
+    }
+
+    // Validates one payload record and returns a weight block over it --
+    // borrowed (zero-copy, keeps the mapping alive) when the bytes are
+    // float-aligned, copied otherwise. Writer offsets are 64-byte aligned
+    // and both mmap and the read fallback give >= 8-byte bases, so the
+    // copy branch only runs for corrupt-but-checksum-consistent offsets.
+    const auto payload_block = [&](Shape shape) -> snn::WeightBlock {
+      std::uint64_t numel = 1;
+      for (const std::size_t d : shape) {
+        numel *= d;  // bounded: rank <= kMaxRank, dims <= kMaxDim
+        if (numel > (std::uint64_t{1} << 40)) {
+          throw IoError("corrupt weight extent in TSNZ artifact: " + path);
+        }
+      }
+      const std::uint64_t offset = r.u64();
+      if (offset > r.size || numel * sizeof(float) > r.size - offset) {
+        throw IoError("weight payload out of bounds in TSNZ artifact: " + path);
+      }
+      const unsigned char* bytes = r.base + offset;
+      if (reinterpret_cast<std::uintptr_t>(bytes) % alignof(float) == 0) {
+        return snn::WeightBlock::borrow(
+            std::move(shape), reinterpret_cast<const float*>(bytes), file);
+      }
+      Tensor t{shape};
+      std::memcpy(t.data(), bytes, static_cast<std::size_t>(numel) * sizeof(float));
+      return t;
+    };
+
+    const std::uint64_t num_stages = r.u64();
+    if (num_stages > kMaxStages) {
+      throw IoError("corrupt stage count in TSNZ artifact: " + path);
+    }
+    for (std::uint64_t i = 0; i < num_stages; ++i) {
+      const std::uint32_t kind = r.u32();
+      std::string name = r.str();
+      switch (kind) {
+        case kStageDense: {
+          Shape shape = read_checked_shape(r, 2);
+          artifact.model.add_stage(
+              std::move(name),
+              std::make_unique<snn::DenseTopology>(payload_block(std::move(shape))));
+          break;
+        }
+        case kStageConv: {
+          const std::uint64_t oc = r.u64();
+          const std::uint64_t ic = r.u64();
+          const std::uint64_t k = r.u64();
+          if (oc == 0 || ic == 0 || k == 0 || oc > kMaxDim || ic > kMaxDim ||
+              k > kMaxDim) {
+            throw IoError("corrupt conv geometry in TSNZ artifact: " + path);
+          }
+          const std::uint64_t in_h = r.u64();
+          const std::uint64_t in_w = r.u64();
+          const std::uint64_t stride = r.u64();
+          const std::uint64_t pad = r.u64();
+          if (in_h == 0 || in_w == 0 || stride == 0 || in_h > kMaxDim ||
+              in_w > kMaxDim || stride > kMaxDim || pad > kMaxDim) {
+            throw IoError("corrupt conv geometry in TSNZ artifact: " + path);
+          }
+          artifact.model.add_stage(
+              std::move(name),
+              std::make_unique<snn::ConvTopology>(
+                  payload_block(Shape{static_cast<std::size_t>(oc),
+                                      static_cast<std::size_t>(ic),
+                                      static_cast<std::size_t>(k),
+                                      static_cast<std::size_t>(k)}),
+                  static_cast<std::size_t>(in_h), static_cast<std::size_t>(in_w),
+                  static_cast<std::size_t>(stride),
+                  static_cast<std::size_t>(pad)));
+          break;
+        }
+        case kStagePool: {
+          const std::uint64_t ch = r.u64();
+          const std::uint64_t in_h = r.u64();
+          const std::uint64_t in_w = r.u64();
+          const std::uint64_t k = r.u64();
+          if (ch == 0 || in_h == 0 || in_w == 0 || k == 0 || ch > kMaxDim ||
+              in_h > kMaxDim || in_w > kMaxDim || k > kMaxDim) {
+            throw IoError("corrupt pool geometry in TSNZ artifact: " + path);
+          }
+          const float pool_weight = r.f32();
+          artifact.model.add_stage(
+              std::move(name),
+              std::make_unique<snn::PoolTopology>(
+                  static_cast<std::size_t>(ch), static_cast<std::size_t>(in_h),
+                  static_cast<std::size_t>(in_w), static_cast<std::size_t>(k),
+                  pool_weight));
+          break;
+        }
+        default:
+          throw IoError("corrupt stage kind in TSNZ artifact: " + path);
+      }
+    }
+    return artifact;
+  } catch (const IoError&) {
+    throw;
+  } catch (const Error& e) {
+    throw IoError("corrupt TSNZ artifact " + path + ": " + e.what());
+  }
+}
+
+bool is_saved_artifact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  return is && std::memcmp(magic, kArtifactMagic, sizeof(magic)) == 0;
 }
 
 }  // namespace tsnn::dnn

@@ -1,16 +1,39 @@
-// Binary model serialization.
+// Binary model serialization: source DNNs and converted SNN artifacts.
 //
-// Format (little-endian):
+// TSNN container -- the *source* network (little-endian):
 //   magic "TSNN" | u32 version | u64 input rank | u64[] input shape |
 //   u64 layer count | per-layer records (kind tag + config + param data)
 //
 // Reconstructing the layer stack from the file means a saved model is fully
 // self-describing: the model zoo uses this to train once and reload across
 // bench invocations.
+//
+// TSNZ container -- the *converted* artifact (the real unit of deployment:
+// layer stack + normalized weights + per-stage scaling trace + the source
+// DNN's test accuracy), little-endian:
+//
+//   [ 0] magic "TSNZ"
+//   [ 4] u32 version (readers reject any other value)
+//   [ 8] u64 total file size (cheap truncation check)
+//   [16] u64 FNV-1a64 checksum of the whole file with this field zeroed
+//   [24] u64 FNV-1a64 of the key string (filename <-> content cross-check)
+//   [32] body: string key | f64 dnn accuracy | input shape |
+//        scale records (name, lambda_in, lambda_out) |
+//        stage records (kind tag + name + geometry + payload offset)
+//   [..] payload: raw float32 weight blocks at 64-byte-aligned offsets
+//
+// Weights live in a dedicated aligned payload section (FFmpeg's native DNN
+// model-loader idiom) so a loader can mmap the file and hand out zero-copy
+// views (snn::WeightBlock::borrow) instead of parsing/copying tensors; the
+// header is fully validated (bounds, checksum, offsets) before any view is
+// created, and every corruption mode surfaces as IoError, never UB.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "convert/converter.h"
 #include "dnn/network.h"
 
 namespace tsnn::dnn {
@@ -25,5 +48,41 @@ Network load_network(const std::string& path);
 
 /// True if `path` exists and starts with the TSNN magic.
 bool is_saved_network(const std::string& path);
+
+// ------------------------------------------------ converted artifacts -----
+
+/// A converted SNN artifact as stored in a TSNZ container: the content key
+/// it was produced under, the source DNN's test accuracy, the converted
+/// model, and the conversion's normalization trace.
+struct SnnArtifact {
+  std::string key;            ///< canonical content key (core::zoo builds it)
+  double dnn_accuracy = 0.0;  ///< source DNN accuracy on the test split
+  snn::SnnModel model;
+  std::vector<convert::StageScale> scales;
+};
+
+/// Load knobs for load_snn_artifact.
+struct ArtifactLoadOptions {
+  /// false forces the read()+copy path even where mmap is available
+  /// (TSNN_NO_MMAP=1 does the same globally).
+  bool use_mmap = true;
+};
+
+/// Writes `artifact` to `path` atomically (temp file + rename), so a
+/// concurrent reader never observes a half-written cache entry. Throws
+/// IoError on filesystem failure.
+void save_snn_artifact(const SnnArtifact& artifact, const std::string& path);
+
+/// Loads a TSNZ artifact. The file is mapped read-only (with a read()+copy
+/// fallback) and weight tensors are adopted zero-copy where alignment
+/// allows -- the returned model's stages keep the mapping alive and
+/// copy-on-write on their first weight mutation. Every failure mode
+/// (missing file, bad magic, future version, truncation, bit flips,
+/// inconsistent geometry) throws IoError.
+SnnArtifact load_snn_artifact(const std::string& path,
+                              const ArtifactLoadOptions& options = {});
+
+/// True if `path` exists and starts with the TSNZ magic.
+bool is_saved_artifact(const std::string& path);
 
 }  // namespace tsnn::dnn

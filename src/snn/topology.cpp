@@ -17,6 +17,44 @@ std::vector<float>& dense_scratch(std::size_t n) {
 
 }  // namespace
 
+// ---------------------------------------------------------- WeightBlock ----
+
+WeightBlock WeightBlock::borrow(Shape shape, const float* data,
+                                std::shared_ptr<const void> keeper) {
+  TSNN_CHECK_MSG(data != nullptr || shape_numel(shape) == 0,
+                 "cannot borrow null weight data");
+  WeightBlock block;
+  block.view_ = data;
+  block.view_numel_ = shape_numel(shape);
+  block.view_shape_ = std::move(shape);
+  block.keeper_ = std::move(keeper);
+  return block;
+}
+
+std::size_t WeightBlock::dim(std::size_t d) const {
+  const Shape& s = shape();
+  TSNN_CHECK_MSG(d < s.size(), "weight dim " << d << " out of rank " << s.size());
+  return s[d];
+}
+
+float* WeightBlock::mutable_data() {
+  if (view_ != nullptr) {
+    owned_ = tensor();
+    view_ = nullptr;
+    view_shape_.clear();
+    view_numel_ = 0;
+    keeper_.reset();
+  }
+  return owned_.data();
+}
+
+Tensor WeightBlock::tensor() const {
+  if (view_ == nullptr) {
+    return owned_;
+  }
+  return Tensor{view_shape_, std::vector<float>(view_, view_ + view_numel_)};
+}
+
 // ----------------------------------------------------------------- base ----
 
 void SynapseTopology::dense_drive(const SpikeBatch& batch, float* u) const {
@@ -47,7 +85,7 @@ void SynapseTopology::propagate(const SpikeBatch& batch, float* u) const {
 
 // ---------------------------------------------------------------- Dense ----
 
-DenseTopology::DenseTopology(Tensor weight) : weight_(std::move(weight)) {
+DenseTopology::DenseTopology(WeightBlock weight) : weight_(std::move(weight)) {
   TSNN_CHECK_SHAPE(weight_.rank() == 2, "dense topology weight must be rank 2");
 }
 
@@ -124,7 +162,7 @@ void DenseTopology::apply_dense(const float* x, float* y) const {
 }
 
 void DenseTopology::scale_weights(float c) {
-  float* w = weight_.data();
+  float* w = weight_.mutable_data();
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] *= c;
   }
@@ -132,7 +170,7 @@ void DenseTopology::scale_weights(float c) {
 }
 
 void DenseTopology::map_weights(const std::function<float(float)>& f) {
-  float* w = weight_.data();
+  float* w = weight_.mutable_data();
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] = f(w[i]);
   }
@@ -145,7 +183,7 @@ std::unique_ptr<SynapseTopology> DenseTopology::clone() const {
 
 // ----------------------------------------------------------------- Conv ----
 
-ConvTopology::ConvTopology(Tensor weight, std::size_t in_h, std::size_t in_w,
+ConvTopology::ConvTopology(WeightBlock weight, std::size_t in_h, std::size_t in_w,
                            std::size_t stride, std::size_t pad)
     : weight_(std::move(weight)),
       in_h_(in_h),
@@ -437,7 +475,7 @@ void ConvTopology::apply_dense_transposed(const float* x, float* y) const {
 }
 
 void ConvTopology::scale_weights(float c) {
-  float* w = weight_.data();
+  float* w = weight_.mutable_data();
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] *= c;
   }
@@ -445,7 +483,7 @@ void ConvTopology::scale_weights(float c) {
 }
 
 void ConvTopology::map_weights(const std::function<float(float)>& f) {
-  float* w = weight_.data();
+  float* w = weight_.mutable_data();
   for (std::size_t i = 0; i < weight_.numel(); ++i) {
     w[i] = f(w[i]);
   }
@@ -460,13 +498,19 @@ std::unique_ptr<SynapseTopology> ConvTopology::clone() const {
 
 PoolTopology::PoolTopology(std::size_t channels, std::size_t in_h,
                            std::size_t in_w, std::size_t kernel)
+    : PoolTopology(channels, in_h, in_w, kernel,
+                   1.0f / static_cast<float>(kernel * kernel)) {}
+
+PoolTopology::PoolTopology(std::size_t channels, std::size_t in_h,
+                           std::size_t in_w, std::size_t kernel,
+                           float pool_weight)
     : channels_(channels),
       in_h_(in_h),
       in_w_(in_w),
       kernel_(kernel),
       out_h_(in_h / kernel),
       out_w_(in_w / kernel),
-      weight_(1.0f / static_cast<float>(kernel * kernel)) {
+      weight_(pool_weight) {
   TSNN_CHECK_MSG(kernel_ > 0, "pool kernel must be positive");
   TSNN_CHECK_SHAPE(in_h_ % kernel_ == 0 && in_w_ % kernel_ == 0,
                    "pool extent not divisible by kernel");

@@ -155,10 +155,50 @@ class SynapseTopology {
   void dense_drive(const SpikeBatch& batch, float* u) const;
 };
 
+/// Weight storage for a topology: either an owned Tensor or an immutable
+/// borrowed view into externally kept bytes (a mapped TSNZ artifact --
+/// dnn/serialize.h). Reads are uniform across both modes; the first mutable
+/// access of a borrowed block materializes an owned copy (copy-on-write),
+/// so weight scaling or parametric noise on a loaded model never writes
+/// through the file mapping. Copying a borrowed block shares the view (and
+/// its keeper); copying an owned block deep-copies, preserving the old
+/// Tensor-member clone semantics.
+class WeightBlock {
+ public:
+  WeightBlock() = default;
+  /*implicit*/ WeightBlock(Tensor owned) : owned_(std::move(owned)) {}
+
+  /// Borrowed view over `data` (row-major float32, shape_numel(shape)
+  /// elements, float-aligned), kept alive by `keeper`.
+  static WeightBlock borrow(Shape shape, const float* data,
+                            std::shared_ptr<const void> keeper);
+
+  const Shape& shape() const { return view_ ? view_shape_ : owned_.shape(); }
+  std::size_t rank() const { return shape().size(); }
+  std::size_t dim(std::size_t d) const;
+  std::size_t numel() const { return view_ ? view_numel_ : owned_.numel(); }
+  const float* data() const { return view_ ? view_ : owned_.data(); }
+  bool borrowed() const { return view_ != nullptr; }
+
+  /// Mutable access; a borrowed view is materialized into owned storage
+  /// first (copy-on-write), detaching from the keeper.
+  float* mutable_data();
+
+  /// Owned deep copy of the contents (inspection, re-serialization).
+  Tensor tensor() const;
+
+ private:
+  Tensor owned_;
+  const float* view_ = nullptr;
+  Shape view_shape_;
+  std::size_t view_numel_ = 0;
+  std::shared_ptr<const void> keeper_;
+};
+
 /// Fully connected synapses from a dense DNN layer; weight {out, in}.
 class DenseTopology : public SynapseTopology {
  public:
-  explicit DenseTopology(Tensor weight);
+  explicit DenseTopology(WeightBlock weight);
 
   std::size_t in_size() const override { return weight_.dim(1); }
   std::size_t out_size() const override { return weight_.dim(0); }
@@ -169,7 +209,9 @@ class DenseTopology : public SynapseTopology {
   void map_weights(const std::function<float(float)>& f) override;
   std::unique_ptr<SynapseTopology> clone() const override;
 
-  const Tensor& weight() const { return weight_; }
+  /// Owned snapshot of the weights (copies a borrowed view).
+  Tensor weight() const { return weight_.tensor(); }
+  const WeightBlock& weight_block() const { return weight_; }
 
  private:
   /// Returns the lazily built {in, out} transposed weight copy, so
@@ -178,7 +220,7 @@ class DenseTopology : public SynapseTopology {
   const float* transposed() const;
   void invalidate_cache();
 
-  Tensor weight_;
+  WeightBlock weight_;
   mutable std::mutex cache_mutex_;
   mutable std::atomic<bool> cache_ready_{false};
   mutable std::vector<float> weight_t_;  // {in, out}
@@ -188,7 +230,7 @@ class DenseTopology : public SynapseTopology {
 /// follow dnn::Conv2d with symmetric zero padding.
 class ConvTopology : public SynapseTopology {
  public:
-  ConvTopology(Tensor weight, std::size_t in_h, std::size_t in_w,
+  ConvTopology(WeightBlock weight, std::size_t in_h, std::size_t in_w,
                std::size_t stride, std::size_t pad);
 
   std::size_t in_size() const override;
@@ -209,7 +251,13 @@ class ConvTopology : public SynapseTopology {
 
   std::size_t out_h() const { return out_h_; }
   std::size_t out_w() const { return out_w_; }
-  const Tensor& weight() const { return weight_; }
+  std::size_t in_h() const { return in_h_; }
+  std::size_t in_w() const { return in_w_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t pad() const { return pad_; }
+  /// Owned snapshot of the weights (copies a borrowed view).
+  Tensor weight() const { return weight_.tensor(); }
+  const WeightBlock& weight_block() const { return weight_; }
 
  private:
   /// apply_dense() twin writing y in the transposed {spatial, channel}
@@ -237,7 +285,7 @@ class ConvTopology : public SynapseTopology {
   const PropagateCache& cache() const;
   void invalidate_cache();
 
-  Tensor weight_;
+  WeightBlock weight_;
   std::size_t in_ch_, in_h_, in_w_;
   std::size_t out_ch_, out_h_, out_w_;
   std::size_t kernel_, stride_, pad_;
@@ -252,6 +300,10 @@ class PoolTopology : public SynapseTopology {
  public:
   PoolTopology(std::size_t channels, std::size_t in_h, std::size_t in_w,
                std::size_t kernel);
+  /// Variant with an explicit (possibly pre-scaled) pool weight, used when
+  /// reconstructing a stage from a serialized artifact.
+  PoolTopology(std::size_t channels, std::size_t in_h, std::size_t in_w,
+               std::size_t kernel, float pool_weight);
 
   std::size_t in_size() const override { return channels_ * in_h_ * in_w_; }
   std::size_t out_size() const override { return channels_ * out_h_ * out_w_; }
@@ -265,6 +317,10 @@ class PoolTopology : public SynapseTopology {
   std::unique_ptr<SynapseTopology> clone() const override;
 
   float pool_weight() const { return weight_; }
+  std::size_t channels() const { return channels_; }
+  std::size_t in_h() const { return in_h_; }
+  std::size_t in_w() const { return in_w_; }
+  std::size_t kernel() const { return kernel_; }
 
  private:
   /// Lazily built pre -> post index map (geometry never mutates, so no

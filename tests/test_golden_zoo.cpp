@@ -8,7 +8,10 @@
 // conversion, encoding, simulation, noise, readout -- so the next rewrite
 // cannot silently drift. Everything below is a pure function of fixed
 // seeds: the datasets, the fast-mode training run, the conversion
-// calibration, and the per-image noise streams.
+// calibration, and the per-image noise streams. The suite reads through the
+// persistent TSNZ artifact cache (warm cache = sub-second run; a cache hit
+// is bit-identical to fresh conversion, which CacheHitMatchesFreshConvert
+// pins in-process).
 //
 // Regenerating (after an INTENTIONAL semantics change only -- an accidental
 // mismatch is a bug in the change, not in the goldens):
@@ -184,25 +187,35 @@ constexpr Golden kGolden[] = {
     // clang-format on
 };
 
-/// Trains (fresh, deterministic) and converts the three fast zoo models
-/// once per process.
+bool regen_mode() { return std::getenv("TSNN_GOLDEN_REGEN") != nullptr; }
+
+/// Loads the three fast zoo models once per process. Cache-hit conversion
+/// is bit-identical to fresh conversion (pinned by CacheHitMatchesFreshConvert
+/// below), so the suite runs against the persistent TSNN_ZOO_DIR artifact
+/// cache: a warm cache makes the whole suite a sub-second `fast` test, a
+/// cold one trains deterministically and leaves the cache warm. Under
+/// TSNN_GOLDEN_REGEN=1 a scratch dir forces fresh training -- the goldens
+/// pin training itself, so regeneration must never read a stale cache.
 const std::vector<ZooWorkload>& workloads() {
   static const std::vector<ZooWorkload>* kWorkloads = [] {
-    const std::string dir =
-        (std::filesystem::temp_directory_path() / "tsnn_golden_zoo").string();
-    std::filesystem::remove_all(dir);  // always train fresh: the goldens pin
-                                       // training, not a stale cache
-    setenv("TSNN_ZOO_DIR", dir.c_str(), 1);
     setenv("TSNN_FAST", "1", 1);
+    std::string scratch;
+    if (regen_mode()) {
+      scratch =
+          (std::filesystem::temp_directory_path() / "tsnn_golden_zoo").string();
+      std::filesystem::remove_all(scratch);
+      setenv("TSNN_ZOO_DIR", scratch.c_str(), 1);
+    }
     auto* loaded = new std::vector<ZooWorkload>();
     for (const DatasetKind kind :
          {DatasetKind::kMnistLike, DatasetKind::kCifar10Like,
           DatasetKind::kCifar20Like}) {
       loaded->push_back(load_zoo_workload(kind, kImages));
     }
-    unsetenv("TSNN_ZOO_DIR");
-    unsetenv("TSNN_FAST");
-    std::filesystem::remove_all(dir);
+    if (regen_mode()) {
+      unsetenv("TSNN_ZOO_DIR");
+      std::filesystem::remove_all(scratch);
+    }
     return loaded;
   }();
   return *kWorkloads;
@@ -309,6 +322,69 @@ TEST(GoldenZoo, SourceDnnAccuracyIsPinned) {
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(w[i].dnn_accuracy, kDnnAccuracy[i])
         << dataset_name(w[i].kind);
+  }
+}
+
+TEST(GoldenZoo, CacheHitMatchesFreshConvert) {
+  // The TSNZ artifact cache's core promise: a cache hit is bit-identical to
+  // converting from scratch, for every model, end to end through simulation.
+  if (regen_mode()) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  const auto& ws = workloads();  // warms the cache (and sets TSNN_FAST)
+  for (const ZooWorkload& w : ws) {
+    SCOPED_TRACE(dataset_name(w.kind));
+    const data::DatasetPair data = make_dataset(w.kind);
+    ConvertedModel cached = get_or_convert(w.kind, data);
+    ASSERT_TRUE(cached.loaded_from_cache);
+    ConvertedModel fresh = convert_fresh(w.kind, data);
+    EXPECT_EQ(cached.dnn_test_accuracy, fresh.dnn_test_accuracy);
+
+    // The conversion trace must match exactly...
+    ASSERT_EQ(cached.conversion.scales.size(), fresh.conversion.scales.size());
+    for (std::size_t i = 0; i < fresh.conversion.scales.size(); ++i) {
+      EXPECT_EQ(cached.conversion.scales[i].stage_name,
+                fresh.conversion.scales[i].stage_name);
+      EXPECT_EQ(cached.conversion.scales[i].lambda_in,
+                fresh.conversion.scales[i].lambda_in);
+      EXPECT_EQ(cached.conversion.scales[i].lambda_out,
+                fresh.conversion.scales[i].lambda_out);
+    }
+
+    // ...and so must what the models *compute*: same evaluation recipe as
+    // the pinned table (rate coding, clean), exact accuracy and spike
+    // counts, logits to the table's tolerance.
+    const MethodSpec spec = parse_method_label("rate");
+    const snn::CodingSchemePtr scheme =
+        coding::make_scheme(spec.coding, spec.params);
+    const std::vector<Tensor> images(
+        data.test.images.begin(),
+        data.test.images.begin() + static_cast<std::ptrdiff_t>(kImages));
+    const std::vector<std::size_t> labels(
+        data.test.labels.begin(),
+        data.test.labels.begin() + static_cast<std::ptrdiff_t>(kImages));
+    snn::EvalOptions options;
+    options.base_seed = kSeed;
+    options.num_threads = 1;
+    const snn::BatchResult from_cache = snn::evaluate(
+        cached.conversion.model, *scheme, images, labels, nullptr, options);
+    const snn::BatchResult from_fresh = snn::evaluate(
+        fresh.conversion.model, *scheme, images, labels, nullptr, options);
+    EXPECT_EQ(from_cache.accuracy, from_fresh.accuracy);
+    EXPECT_EQ(from_cache.mean_spikes_per_image,
+              from_fresh.mean_spikes_per_image);
+
+    const snn::SimResult rc =
+        snn::simulate(cached.conversion.model, *scheme, images[0]);
+    const snn::SimResult rf =
+        snn::simulate(fresh.conversion.model, *scheme, images[0]);
+    EXPECT_EQ(rc.total_spikes, rf.total_spikes);
+    ASSERT_EQ(rc.logits.numel(), rf.logits.numel());
+    for (std::size_t i = 0; i < rf.logits.numel(); ++i) {
+      EXPECT_NEAR(rc.logits[i], rf.logits[i],
+                  1e-5 * std::abs(rf.logits[i]) + 1e-7)
+          << "logit " << i;
+    }
   }
 }
 

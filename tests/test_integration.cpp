@@ -1,13 +1,30 @@
 // End-to-end integration tests: train a small CNN on synthetic data,
 // convert, and verify the paper's qualitative claims hold through the whole
 // stack (the quantitative versions are the benches).
+//
+// The trained-and-converted fixture is cached as a TSNZ artifact under
+// TSNN_ZOO_DIR (default ./tsnn_zoo -- the build dir under ctest) through the
+// same content-keyed dnn::SnnArtifact API the zoo uses: the first run pays
+// the training cost and every later run loads in milliseconds, which is
+// what lets this suite carry the `fast` CTest label. Training is
+// deterministic, so a cache hit is bit-identical to a fresh fixture; any
+// corrupt or stale (key-mismatched) artifact falls back to retraining and
+// repairs the cache.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
 #include "coding/registry.h"
+#include "common/env.h"
+#include "common/hash.h"
 #include "convert/converter.h"
 #include "core/experiment.h"
 #include "core/ttas.h"
 #include "data/mnist_like.h"
+#include "dnn/serialize.h"
 #include "dnn/trainer.h"
 #include "dnn/vgg.h"
 #include "noise/noise.h"
@@ -18,20 +35,48 @@ namespace {
 
 using snn::Coding;
 
-/// Shared fixture: a VGG-mini trained on a small S-MNIST, converted once.
+/// Shared fixture: a VGG-mini trained on a small S-MNIST, converted once
+/// per cache lifetime (see the file comment).
 struct EndToEnd {
   data::DatasetPair data;
-  dnn::Network net;
   convert::Conversion conversion;
   double dnn_accuracy = 0.0;
   std::vector<Tensor> test_images;
   std::vector<std::size_t> test_labels;
 
-  EndToEnd() : net(Shape{1}) {
+  EndToEnd() {
     data::MnistLikeConfig dcfg;
     dcfg.train_per_class = 70;
     dcfg.test_per_class = 10;
     data = data::make_mnist_like(dcfg);
+    test_images.assign(data.test.images.begin(), data.test.images.begin() + 40);
+    test_labels.assign(data.test.labels.begin(), data.test.labels.begin() + 40);
+
+    // Every input that shapes the converted fixture, in the zoo's canonical
+    // key idiom; change a config below and the key (hence the filename)
+    // moves with it.
+    const std::string key =
+        "tsnz1|integration-fixture|data=70,10|vgg=1,16,10,8,2,48"
+        "|train=12,0.05|calib=60";
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    const std::string dir = env::get_string("TSNN_ZOO_DIR", "./tsnn_zoo");
+    const std::string path = dir + "/integration-" + hex + ".tsnz";
+
+    if (dnn::is_saved_artifact(path)) {
+      try {
+        dnn::SnnArtifact artifact = dnn::load_snn_artifact(path);
+        if (artifact.key == key) {
+          dnn_accuracy = artifact.dnn_accuracy;
+          conversion.model = std::move(artifact.model);
+          conversion.scales = std::move(artifact.scales);
+          return;
+        }
+      } catch (const IoError&) {
+        // Corrupt cache entry: retrain below and repair.
+      }
+    }
 
     dnn::VggConfig vcfg;
     vcfg.in_channels = 1;
@@ -40,7 +85,7 @@ struct EndToEnd {
     vcfg.base_width = 8;
     vcfg.dense_width = 48;
     vcfg.num_classes = 10;
-    net = dnn::vgg_mini(vcfg);
+    dnn::Network net = dnn::vgg_mini(vcfg);
 
     dnn::TrainConfig tcfg;
     tcfg.epochs = 12;
@@ -53,8 +98,20 @@ struct EndToEnd {
                                     data.train.images.begin() + 60);
     conversion = convert::convert(net, calib);
 
-    test_images.assign(data.test.images.begin(), data.test.images.begin() + 40);
-    test_labels.assign(data.test.labels.begin(), data.test.labels.begin() + 40);
+    // Cache best-effort: losing the write costs the next run a retrain.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) {
+      try {
+        dnn::SnnArtifact artifact;
+        artifact.key = key;
+        artifact.dnn_accuracy = dnn_accuracy;
+        artifact.model = conversion.model.clone();
+        artifact.scales = conversion.scales;
+        dnn::save_snn_artifact(artifact, path);
+      } catch (const Error&) {
+      }
+    }
   }
 
   core::SweepInputs inputs() const {

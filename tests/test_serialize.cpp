@@ -1,9 +1,12 @@
-// Model serialization round-trip tests.
+// Model serialization round-trip tests: TSNN source networks and TSNZ
+// converted artifacts.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "common/rng.h"
 #include "dnn/activations.h"
@@ -14,6 +17,8 @@
 #include "dnn/serialize.h"
 #include "dnn/trainer.h"
 #include "dnn/vgg.h"
+#include "snn/snn_model.h"
+#include "snn/topology.h"
 #include "tensor/tensor_ops.h"
 
 namespace tsnn::dnn {
@@ -109,6 +114,227 @@ TEST(Serialize, IsSavedNetworkDetectsValidFiles) {
   EXPECT_TRUE(is_saved_network(path));
   EXPECT_FALSE(is_saved_network("/nonexistent.tsnn"));
   std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripZeroRateDropout) {
+  // Edge case: a dropout layer with rate 0 (a no-op at inference AND at
+  // train time) must still survive the round trip as a distinct layer.
+  Network net(Shape{4});
+  net.add(std::make_unique<Dense>("fc", 4, 4, false));
+  net.add(std::make_unique<Dropout>("d0", 0.0));
+  const std::string path = temp_path("tsnn_drop0.tsnn");
+  save_network(net, path);
+  Network loaded = load_network(path);
+  ASSERT_EQ(loaded.num_layers(), 2u);
+  const auto& drop = static_cast<const Dropout&>(loaded.layer(1));
+  EXPECT_DOUBLE_EQ(drop.rate(), 0.0);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ converted artifacts -----
+
+Tensor filled_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t{std::move(shape)};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+  return t;
+}
+
+/// A small artifact exercising every stage kind, including the edge-shape
+/// 1x1 convolution: conv3x3 -> pool2x2 -> conv1x1 -> dense readout.
+SnnArtifact make_test_artifact() {
+  SnnArtifact a;
+  a.key = "tsnz1|test|fixture";
+  a.dnn_accuracy = 0.8125;
+  a.model = snn::SnnModel(Shape{2, 4, 4});
+  a.model.add_stage("conv1",
+                    std::make_unique<snn::ConvTopology>(
+                        filled_tensor(Shape{3, 2, 3, 3}, 11), 4, 4, 1, 1));
+  a.model.add_stage("pool1",
+                    std::make_unique<snn::PoolTopology>(3, 4, 4, 2, 0.3125f));
+  a.model.add_stage("conv1x1",
+                    std::make_unique<snn::ConvTopology>(
+                        filled_tensor(Shape{2, 3, 1, 1}, 22), 2, 2, 1, 0));
+  a.model.add_stage("fc",
+                    std::make_unique<snn::DenseTopology>(
+                        filled_tensor(Shape{5, 8}, 33)));
+  a.scales = {{"conv1", 1.0, 2.5}, {"pool1", 2.5, 2.5}, {"conv1x1", 2.5, 0.75},
+              {"fc", 0.75, 1.0}};
+  return a;
+}
+
+void expect_artifacts_equal(const SnnArtifact& a, const SnnArtifact& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_DOUBLE_EQ(a.dnn_accuracy, b.dnn_accuracy);
+  EXPECT_EQ(a.model.input_shape(), b.model.input_shape());
+  ASSERT_EQ(a.model.num_stages(), b.model.num_stages());
+  ASSERT_EQ(a.scales.size(), b.scales.size());
+  for (std::size_t i = 0; i < a.scales.size(); ++i) {
+    EXPECT_EQ(a.scales[i].stage_name, b.scales[i].stage_name);
+    EXPECT_DOUBLE_EQ(a.scales[i].lambda_in, b.scales[i].lambda_in);
+    EXPECT_DOUBLE_EQ(a.scales[i].lambda_out, b.scales[i].lambda_out);
+  }
+  for (std::size_t i = 0; i < a.model.num_stages(); ++i) {
+    const snn::SnnStage& sa = a.model.stage(i);
+    const snn::SnnStage& sb = b.model.stage(i);
+    EXPECT_EQ(sa.name, sb.name);
+    ASSERT_EQ(sa.synapse->in_size(), sb.synapse->in_size());
+    ASSERT_EQ(sa.synapse->out_size(), sb.synapse->out_size());
+    // Bitwise weight equality, per stage kind.
+    if (const auto* da = dynamic_cast<const snn::DenseTopology*>(
+            sa.synapse.get())) {
+      const auto* db = dynamic_cast<const snn::DenseTopology*>(sb.synapse.get());
+      ASSERT_NE(db, nullptr) << sa.name;
+      EXPECT_TRUE(ops::allclose(da->weight(), db->weight(), 0.0, 0.0));
+    } else if (const auto* ca = dynamic_cast<const snn::ConvTopology*>(
+                   sa.synapse.get())) {
+      const auto* cb = dynamic_cast<const snn::ConvTopology*>(sb.synapse.get());
+      ASSERT_NE(cb, nullptr) << sa.name;
+      EXPECT_EQ(ca->in_h(), cb->in_h());
+      EXPECT_EQ(ca->in_w(), cb->in_w());
+      EXPECT_EQ(ca->stride(), cb->stride());
+      EXPECT_EQ(ca->pad(), cb->pad());
+      EXPECT_TRUE(ops::allclose(ca->weight(), cb->weight(), 0.0, 0.0));
+    } else if (const auto* pa = dynamic_cast<const snn::PoolTopology*>(
+                   sa.synapse.get())) {
+      const auto* pb = dynamic_cast<const snn::PoolTopology*>(sb.synapse.get());
+      ASSERT_NE(pb, nullptr) << sa.name;
+      EXPECT_EQ(pa->channels(), pb->channels());
+      EXPECT_EQ(pa->kernel(), pb->kernel());
+      EXPECT_EQ(pa->pool_weight(), pb->pool_weight());
+    } else {
+      FAIL() << "unknown topology kind in stage " << sa.name;
+    }
+  }
+}
+
+std::vector<unsigned char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+TEST(SerializeArtifact, RoundTripEveryStageKind) {
+  const SnnArtifact a = make_test_artifact();
+  const std::string path = temp_path("tsnz_roundtrip.tsnz");
+  save_snn_artifact(a, path);
+  const SnnArtifact b = load_snn_artifact(path);
+  expect_artifacts_equal(a, b);
+
+  // The loaded model must also *behave* identically: one dense pass per
+  // stage over a random drive, bitwise.
+  for (std::size_t i = 0; i < a.model.num_stages(); ++i) {
+    const snn::SynapseTopology& ta = *a.model.stage(i).synapse;
+    const snn::SynapseTopology& tb = *b.model.stage(i).synapse;
+    const Tensor x = filled_tensor(Shape{ta.in_size()}, 100 + i);
+    std::vector<float> ya(ta.out_size(), 0.0f), yb(tb.out_size(), 0.0f);
+    ta.apply_dense(x.data(), ya.data());
+    tb.apply_dense(x.data(), yb.data());
+    EXPECT_EQ(ya, yb) << "stage " << a.model.stage(i).name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeArtifact, SaveLoadSaveIsByteStable) {
+  const SnnArtifact a = make_test_artifact();
+  const std::string p1 = temp_path("tsnz_stable1.tsnz");
+  const std::string p2 = temp_path("tsnz_stable2.tsnz");
+  save_snn_artifact(a, p1);
+  const SnnArtifact b = load_snn_artifact(p1);
+  save_snn_artifact(b, p2);
+  EXPECT_EQ(read_bytes(p1), read_bytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SerializeArtifact, RejectsFutureVersion) {
+  const std::string path = temp_path("tsnz_future.tsnz");
+  save_snn_artifact(make_test_artifact(), path);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = 0xFF;  // version u32 at offset 4 (little-endian low byte)
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_snn_artifact(path);
+    FAIL() << "future version accepted";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeArtifact, MmapLoadBorrowsAndCopiesOnWrite) {
+  const std::string path = temp_path("tsnz_borrow.tsnz");
+  save_snn_artifact(make_test_artifact(), path);
+  SnnArtifact loaded = load_snn_artifact(path);
+
+  auto& dense = dynamic_cast<snn::DenseTopology&>(
+      *loaded.model.stage(3).synapse);
+  const Tensor before = dense.weight();
+  // Payload blocks are 64-byte aligned, so an mmap load adopts the weights
+  // as zero-copy views... (skipped if this platform fell back to read()).
+  if (dense.weight_block().borrowed()) {
+    // ...and a clone shares the same mapped bytes.
+    const snn::SnnModel copy = loaded.model.clone();
+    const auto& cloned_dense =
+        dynamic_cast<const snn::DenseTopology&>(*copy.stage(3).synapse);
+    EXPECT_EQ(cloned_dense.weight_block().data(), dense.weight_block().data());
+  }
+  // The first mutation detaches from the file (copy-on-write): scaling must
+  // not write through the mapping or disturb other readers.
+  dense.scale_weights(2.0f);
+  EXPECT_FALSE(dense.weight_block().borrowed());
+  const Tensor after = dense.weight();
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(after[i], 2.0f * before[i]);
+  }
+  // A fresh load still sees the original bytes.
+  const SnnArtifact reread = load_snn_artifact(path);
+  expect_artifacts_equal(make_test_artifact(), reread);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeArtifact, NoMmapFallbackMatchesMmap) {
+  const std::string path = temp_path("tsnz_nommap.tsnz");
+  save_snn_artifact(make_test_artifact(), path);
+  ArtifactLoadOptions no_mmap;
+  no_mmap.use_mmap = false;
+  const SnnArtifact a = load_snn_artifact(path);
+  const SnnArtifact b = load_snn_artifact(path, no_mmap);
+  expect_artifacts_equal(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeArtifact, MissingFileThrows) {
+  EXPECT_THROW(load_snn_artifact("/nonexistent/path/model.tsnz"), IoError);
+  EXPECT_FALSE(is_saved_artifact("/nonexistent/path/model.tsnz"));
+}
+
+TEST(SerializeArtifact, MagicProbesDistinguishContainers) {
+  // A source-network TSNN file is not a TSNZ artifact, and vice versa.
+  Network net = mlp(Shape{4}, 4, 2);
+  const std::string net_path = temp_path("tsnz_probe.tsnn");
+  save_network(net, net_path);
+  EXPECT_TRUE(is_saved_network(net_path));
+  EXPECT_FALSE(is_saved_artifact(net_path));
+
+  const std::string art_path = temp_path("tsnz_probe.tsnz");
+  save_snn_artifact(make_test_artifact(), art_path);
+  EXPECT_TRUE(is_saved_artifact(art_path));
+  EXPECT_FALSE(is_saved_network(art_path));
+  EXPECT_THROW(load_network(art_path), IoError);
+  EXPECT_THROW(load_snn_artifact(net_path), IoError);
+
+  std::remove(net_path.c_str());
+  std::remove(art_path.c_str());
 }
 
 }  // namespace
