@@ -8,6 +8,7 @@
 
 #include "common/env.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 #include "report/csv.h"
 #include "report/table.h"
 
@@ -292,10 +293,12 @@ void write_json_results(const std::string& name, const std::string& level_name,
                "  \"level_name\": \"%s\",\n"
                "  \"images\": %zu,\n"
                "  \"seed\": %llu,\n"
+               "  \"isa\": \"%s\",\n"
                "  \"rows\": [",
                json_escape(name).c_str(), json_escape(level_name).c_str(),
                bench_images(),
-               static_cast<unsigned long long>(bench_seed()));
+               static_cast<unsigned long long>(bench_seed()),
+               json_escape(simd::active_isa()).c_str());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const core::SweepRow& r = rows[i];
     std::fprintf(f,

@@ -5,12 +5,23 @@
 // encoding, and noise injection. These quantify the cost model behind the
 // figure benches (event-driven cost ~ spikes x fanout, which is why TTFS
 // simulations are ~10x cheaper than rate simulations).
+//
+// The spike-propagation benches also register one variant per runnable
+// SIMD dispatch table (e.g. BM_DenseSpikePropagate<scalar> next to
+// BM_DenseSpikePropagate<avx2+fma>), so one run measures the vector
+// speedup against the forced-scalar reference on identical batches. The
+// active table's dense-drive crossover shows up as the "dense_crossover"
+// counter on every propagate config, and the active ISA is stamped into
+// the benchmark JSON context ("isa").
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "coding/registry.h"
 #include "common/rng.h"
 #include "dnn/conv2d.h"
 #include "noise/noise.h"
+#include "simd/kernels.h"
 #include "snn/topology.h"
 #include "tensor/tensor_ops.h"
 
@@ -114,6 +125,8 @@ void BM_DenseSpikePropagate(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(spikes * n));
+  state.counters["dense_crossover"] =
+      static_cast<double>(syn.dense_drive_threshold());
 }
 BENCHMARK(BM_DenseSpikePropagate)->Args({512, 64})->Args({512, 350});
 
@@ -129,6 +142,8 @@ void BM_DenseSpikePropagateDenseDrive(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n));
+  state.counters["dense_crossover"] =
+      static_cast<double>(syn.dense_drive_threshold());
 }
 BENCHMARK(BM_DenseSpikePropagateDenseDrive)->Arg(512);
 
@@ -173,6 +188,8 @@ void BM_ConvSpikePropagate(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(spikes * 9 * channels));
+  state.counters["dense_crossover"] =
+      static_cast<double>(syn.dense_drive_threshold());
 }
 BENCHMARK(BM_ConvSpikePropagate)
     ->Args({64, 16, 1024})
@@ -248,6 +265,51 @@ void BM_JitterNoise(benchmark::State& state) {
 }
 BENCHMARK(BM_JitterNoise);
 
+/// Registers one copy of the spike-propagation benches per runnable
+/// dispatch table, each pinned via ScopedKernelOverride for the duration of
+/// its run -- BM_DenseSpikePropagate<scalar>/512/350 next to
+/// BM_DenseSpikePropagate<avx2+fma>/512/350 is the vector-vs-reference
+/// speedup on identical work. Only registered when more than one table is
+/// runnable (a TSNN_CPUFLAGS=scalar run has nothing to compare).
+void register_isa_variants() {
+  const std::vector<const tsnn::simd::KernelDispatch*> tables =
+      tsnn::simd::runnable_tables();
+  if (tables.size() < 2) {
+    return;
+  }
+  for (const tsnn::simd::KernelDispatch* table : tables) {
+    const std::string suffix = "<" + std::string(table->isa) + ">";
+    const auto pinned = [table](void (*bench)(benchmark::State&)) {
+      return [table, bench](benchmark::State& state) {
+        tsnn::simd::ScopedKernelOverride override_table(*table);
+        bench(state);
+      };
+    };
+    benchmark::RegisterBenchmark(("BM_DenseSpikePropagate" + suffix).c_str(),
+                                 pinned(BM_DenseSpikePropagate))
+        ->Args({512, 64})
+        ->Args({512, 350});
+    benchmark::RegisterBenchmark(
+        ("BM_DenseSpikePropagateDenseDrive" + suffix).c_str(),
+        pinned(BM_DenseSpikePropagateDenseDrive))
+        ->Arg(512);
+    benchmark::RegisterBenchmark(("BM_ConvSpikePropagate" + suffix).c_str(),
+                                 pinned(BM_ConvSpikePropagate))
+        ->Args({64, 16, 1024})
+        ->Args({128, 16, 2048});
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("isa", tsnn::simd::active_isa());
+  register_isa_variants();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include "core/scenario.h"
 #include "noise/device_profile.h"
 #include "report/csv.h"
+#include "simd/kernels.h"
 #include "report/table.h"
 
 namespace {
@@ -138,9 +139,11 @@ void write_suite_json(const std::string& suite_label,
                "  \"suite\": \"%s\",\n"
                "  \"default_images\": %zu,\n"
                "  \"default_seed\": %llu,\n"
+               "  \"isa\": \"%s\",\n"
                "  \"scenarios\": [",
                bench::json_escape(suite_label).c_str(), bench::bench_images(),
-               static_cast<unsigned long long>(bench::bench_seed()));
+               static_cast<unsigned long long>(bench::bench_seed()),
+               bench::json_escape(simd::active_isa()).c_str());
   for (std::size_t s = 0; s < results.size(); ++s) {
     const core::ScenarioResult& result = results[s];
     std::fprintf(f,

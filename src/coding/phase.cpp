@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "simd/kernels.h"
 
 namespace tsnn::coding {
 
@@ -29,20 +30,25 @@ void PhaseScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
   out.reset(n, params_.window);
   // Greedy binary expansion per period (MSB phase first); the residual
   // carries into the next period, so quantization error shrinks over time.
+  // Period-start integration is an axpy and each phase a subtract-mode
+  // threshold scan at that phase's weight -- bit-exact split, neurons are
+  // independent.
   ws.acc.assign(n, 0.0f);
-  float* acc = ws.acc.data();
   const float* a = activations.data();
+  const auto& kern = simd::kernels();
+  simd::ThresholdCtx fire;
+  fire.u = ws.acc.data();
+  fire.n = n;
+  fire.subtract = true;
+  fire.fired = ws.fired_scratch(n);
   for (std::size_t t = 0; t < params_.window; ++t) {
-    const bool period_start = (t % params_.phase_period) == 0;
-    const float pw = phase_weight(t);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (period_start) {
-        acc[i] += a[i];
-      }
-      if (acc[i] >= pw) {
-        acc[i] -= pw;
-        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(i));
-      }
+    if ((t % params_.phase_period) == 0) {
+      kern.axpy(fire.u, a, 1.0f, n);
+    }
+    fire.threshold = phase_weight(t);
+    const std::size_t nf = kern.threshold_fire(fire);
+    for (std::size_t f = 0; f < nf; ++f) {
+      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
     }
   }
   out.finalize(ws.sort);
@@ -57,21 +63,27 @@ void PhaseScheme::run_layer_into(const EventBuffer& in,
   // Encoder spikes are worth pw(t); hidden spikes are worth theta*pw(t).
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
   out.reset(out_n, params_.window);
+  const bool transposed = syn.accum_layout().transposed;
   const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
+  // Greedy weighted-spike emission: a neuron fires at phase t if its
+  // potential covers the theta-scaled phase weight, draining that quantum
+  // -- a subtract-mode threshold scan per phase.
+  simd::ThresholdCtx fire;
+  fire.u = ws.potentials(out_n);
+  fire.umap = transposed ? umap : nullptr;
+  fire.n = out_n;
+  fire.subtract = true;
+  fire.fired = ws.fired_scratch(out_n);
+  const auto& kern = simd::kernels();
   for (std::size_t t = 0; t < params_.window; ++t) {
     if (t < in.window()) {
-      snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch, u);
+      snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch,
+                          fire.u);
     }
-    // Greedy weighted-spike emission: a neuron fires at phase t if its
-    // potential covers theta-scaled phase weight, draining that quantum.
-    const float quantum = theta * phase_weight(t);
-    for (std::size_t j = 0; j < out_n; ++j) {
-      float& uj = u[umap[j]];
-      if (uj >= quantum) {
-        uj -= quantum;
-        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
-      }
+    fire.threshold = theta * phase_weight(t);
+    const std::size_t nf = kern.threshold_fire(fire);
+    for (std::size_t f = 0; f < nf; ++f) {
+      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
     }
   }
   out.finalize(ws.sort);

@@ -1,6 +1,7 @@
 #include "coding/rate.h"
 
 #include "common/error.h"
+#include "simd/kernels.h"
 
 namespace tsnn::coding {
 
@@ -20,16 +21,23 @@ void RateScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
   out.reset(n, params_.window);
   // Deterministic rate encoding: an accumulator integrates `a` per step and
   // fires on crossing 1, giving count == round-ish(a*T) with rate <= 1.
+  // Integration is an axpy and the fire pass a subtract-mode threshold
+  // scan; splitting them is bit-exact (each neuron is independent, per-i
+  // order unchanged) and both run through the dispatch table.
   ws.acc.assign(n, 0.0f);
-  float* acc = ws.acc.data();
   const float* a = activations.data();
+  const auto& kern = simd::kernels();
+  simd::ThresholdCtx fire;
+  fire.u = ws.acc.data();
+  fire.n = n;
+  fire.threshold = 1.0f;
+  fire.subtract = true;
+  fire.fired = ws.fired_scratch(n);
   for (std::size_t t = 0; t < params_.window; ++t) {
-    for (std::size_t i = 0; i < n; ++i) {
-      acc[i] += a[i];
-      if (acc[i] >= 1.0f) {
-        acc[i] -= 1.0f;
-        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(i));
-      }
+    kern.axpy(fire.u, a, 1.0f, n);
+    const std::size_t nf = kern.threshold_fire(fire);
+    for (std::size_t f = 0; f < nf; ++f) {
+      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
     }
   }
   out.finalize(ws.sort);
@@ -48,16 +56,24 @@ void RateScheme::run_layer_into(const EventBuffer& in,
   const float m_in = theta;
   static_cast<void>(role);
   out.reset(out_n, params_.window);
+  const bool transposed = syn.accum_layout().transposed;
   const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
+  // Subtract-mode threshold scan: fire where u >= theta and soft-reset by
+  // draining theta (residual preserved, RMP-SNN). Identity layouts skip
+  // the umap indirection inside the kernel.
+  simd::ThresholdCtx fire;
+  fire.u = ws.potentials(out_n);
+  fire.umap = transposed ? umap : nullptr;
+  fire.n = out_n;
+  fire.threshold = theta;
+  fire.subtract = true;
+  fire.fired = ws.fired_scratch(out_n);
+  const auto& kern = simd::kernels();
   for (std::size_t t = 0; t < in.window() && t < params_.window; ++t) {
-    snn::propagate_step(in, t, m_in, syn, ws.batch, u);
-    for (std::size_t j = 0; j < out_n; ++j) {
-      float& uj = u[umap[j]];
-      if (uj >= theta) {
-        uj -= theta;  // soft reset preserves the residual (RMP-SNN)
-        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
-      }
+    snn::propagate_step(in, t, m_in, syn, ws.batch, fire.u);
+    const std::size_t nf = kern.threshold_fire(fire);
+    for (std::size_t f = 0; f < nf; ++f) {
+      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
     }
   }
   out.finalize(ws.sort);

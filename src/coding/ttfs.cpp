@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "simd/kernels.h"
 
 namespace tsnn::coding {
 
@@ -98,12 +99,21 @@ void TtfsScheme::run_layer_into(const EventBuffer& in,
   // Fire phase: u >= theta*exp(-t/tau)  <=>  t >= tau*ln(theta/u). The
   // dynamic threshold floor is theta*exp(-(T-1)/tau); below it (including
   // all u <= 0) the neuron stays silent, which implements ReLU.
+  // The floor comparison is a collect-only threshold scan (no subtract);
+  // the per-candidate log/round stays scalar but now runs only over the
+  // typically sparse survivor list.
   const float floor = theta * kernel(window - 1);
-  for (std::size_t j = 0; j < out_n; ++j) {
+  simd::ThresholdCtx scan;
+  scan.u = u;
+  scan.umap = syn.accum_layout().transposed ? umap : nullptr;
+  scan.n = out_n;
+  scan.threshold = floor;
+  scan.subtract = false;
+  scan.fired = ws.fired_scratch(out_n);
+  const std::size_t nf = simd::kernels().threshold_fire(scan);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::uint32_t j = scan.fired[f];
     const float uj = u[umap[j]];
-    if (uj < floor) {
-      continue;
-    }
     auto t1 = static_cast<std::int64_t>(
         std::lround(params_.tau * std::log(theta / uj)));
     if (t1 < 0) {
@@ -115,8 +125,7 @@ void TtfsScheme::run_layer_into(const EventBuffer& in,
     // Simplified integrate-and-fire-or-burst (paper Eq. 4): burst of
     // burst_duration spikes from t1, then reset to -inf (silent forever).
     for (std::size_t b = 0; b < params_.burst_duration; ++b) {
-      out.push(static_cast<std::int32_t>(t1 + static_cast<std::int64_t>(b)),
-               static_cast<std::uint32_t>(j));
+      out.push(static_cast<std::int32_t>(t1 + static_cast<std::int64_t>(b)), j);
     }
   }
   out.finalize(ws.sort);

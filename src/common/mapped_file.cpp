@@ -17,9 +17,12 @@ namespace tsnn {
 
 namespace {
 
-/// read()+copy fallback: the whole file lands in 8-byte-aligned storage,
-/// which over-satisfies the float alignment zero-copy adoption needs.
-void read_into(const std::string& path, std::vector<std::uint64_t>& storage,
+/// read()+copy fallback: the whole file lands in kSimdAlign-aligned
+/// storage, so 64-byte-aligned payload offsets inside the artifact stay
+/// 64-byte-aligned addresses -- the same guarantee the mmap path gets from
+/// page alignment (zero-copy weight adoption relies on it; see
+/// dnn/serialize.cpp).
+void read_into(const std::string& path, aligned_vector<unsigned char>& storage,
                const unsigned char*& data, std::size_t& size) {
   std::ifstream is(path, std::ios::binary | std::ios::ate);
   if (!is) {
@@ -30,7 +33,7 @@ void read_into(const std::string& path, std::vector<std::uint64_t>& storage,
     throw IoError("cannot determine size of " + path);
   }
   const std::size_t n = static_cast<std::size_t>(end);
-  storage.resize((n + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t));
+  storage.resize(n);
   is.seekg(0);
   if (n > 0) {
     is.read(reinterpret_cast<char*>(storage.data()),

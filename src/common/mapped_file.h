@@ -1,18 +1,23 @@
 // Read-only whole-file views for binary artifact loading.
 //
 // MappedFile maps a file with mmap(2) where available and falls back to a
-// plain read()+copy into 8-byte-aligned storage otherwise (non-POSIX
-// builds, filesystems that refuse mappings, or TSNN_NO_MMAP=1 -- the test
-// knob that exercises the fallback on any platform). Instances are handed
-// out as shared_ptr so borrowers -- e.g. zero-copy weight views into a
-// mapped TSNZ artifact -- keep the backing bytes alive past the loader.
+// plain read()+copy into kSimdAlign (64-byte) aligned storage otherwise
+// (non-POSIX builds, filesystems that refuse mappings, or TSNN_NO_MMAP=1 --
+// the test knob that exercises the fallback on any platform). Both paths
+// give a 64-byte-aligned base (mmap returns page-aligned addresses), so
+// TSNZ weight payloads -- written at 64-byte-aligned offsets -- are always
+// SIMD-aligned after zero-copy adoption, whichever loader ran. Instances
+// are handed out as shared_ptr so borrowers -- e.g. zero-copy weight views
+// into a mapped TSNZ artifact -- keep the backing bytes alive past the
+// loader.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
+
+#include "common/aligned.h"
 
 namespace tsnn {
 
@@ -40,8 +45,8 @@ class MappedFile {
 
   const unsigned char* data_ = nullptr;
   std::size_t size_ = 0;
-  void* map_base_ = nullptr;              ///< non-null iff mmap'd
-  std::vector<std::uint64_t> fallback_;   ///< 8-byte-aligned copy otherwise
+  void* map_base_ = nullptr;               ///< non-null iff mmap'd
+  aligned_vector<unsigned char> fallback_;  ///< 64-byte-aligned copy otherwise
 };
 
 }  // namespace tsnn

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/aligned.h"
 #include "common/hash.h"
 #include "common/mapped_file.h"
 #include "dnn/activations.h"
@@ -247,6 +248,13 @@ constexpr char kArtifactMagic[4] = {'T', 'S', 'N', 'Z'};
 constexpr std::uint32_t kArtifactVersion = 1;
 constexpr std::size_t kChecksumOffset = 16;    // u64 field within the header
 constexpr std::size_t kPayloadAlign = 64;      // weight block file alignment
+
+// The writer's payload alignment and the SIMD allocator's must agree:
+// zero-copy adoption (below) hands payload pointers straight to kernels
+// that assume kSimdAlign-aligned weight rows.
+static_assert(kPayloadAlign == kSimdAlign,
+              "TSNZ payload alignment must match the SIMD alignment "
+              "contract (common/aligned.h)");
 
 // Stage kind tags in the TSNZ stage table.
 constexpr std::uint32_t kStageDense = 0;
@@ -541,9 +549,11 @@ SnnArtifact load_snn_artifact(const std::string& path,
 
     // Validates one payload record and returns a weight block over it --
     // borrowed (zero-copy, keeps the mapping alive) when the bytes are
-    // float-aligned, copied otherwise. Writer offsets are 64-byte aligned
-    // and both mmap and the read fallback give >= 8-byte bases, so the
-    // copy branch only runs for corrupt-but-checksum-consistent offsets.
+    // SIMD-aligned, copied otherwise. Writer offsets are kPayloadAlign
+    // (= kSimdAlign) aligned and both mmap (page-aligned) and the read
+    // fallback (aligned_vector) give 64-byte bases, so adopted weights are
+    // always kSimdAlign-aligned and the copy branch only runs for
+    // corrupt-but-checksum-consistent offsets.
     const auto payload_block = [&](Shape shape) -> snn::WeightBlock {
       std::uint64_t numel = 1;
       for (const std::size_t d : shape) {
@@ -557,7 +567,7 @@ SnnArtifact load_snn_artifact(const std::string& path,
         throw IoError("weight payload out of bounds in TSNZ artifact: " + path);
       }
       const unsigned char* bytes = r.base + offset;
-      if (reinterpret_cast<std::uintptr_t>(bytes) % alignof(float) == 0) {
+      if (is_simd_aligned(bytes)) {
         return snn::WeightBlock::borrow(
             std::move(shape), reinterpret_cast<const float*>(bytes), file);
       }

@@ -25,17 +25,22 @@ snn::SpikeRaster DeletionNoise::apply(const snn::SpikeRaster& in, Rng& rng) cons
 }
 
 void DeletionNoise::apply_inplace(snn::EventBuffer& events,
-                                  snn::EventSortScratch& /*scratch*/,
+                                  snn::EventSortScratch& scratch,
                                   Rng& rng) const {
   if (p_ == 0.0) {
     return;
   }
-  // Same event visit order and draw sequence as apply(): time-major,
-  // emission order within a step.
-  events.remove_if_not(
-      [&](std::int32_t /*t*/, std::uint32_t /*neuron*/) {
-        return !rng.bernoulli(p_);
-      });
+  // Same event visit order and draw sequence as apply() -- time-major,
+  // emission order within a step, which is exactly the finalized stream
+  // order -- staged as a keep mask so the compaction itself can run
+  // through the SIMD dispatch table (EventBuffer::remove_by_mask).
+  const std::size_t n = events.size();
+  scratch.keep.resize(n);
+  std::uint8_t* keep = scratch.keep.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    keep[i] = rng.bernoulli(p_) ? 0 : 1;
+  }
+  events.remove_by_mask(keep);
 }
 
 std::string DeletionNoise::name() const {

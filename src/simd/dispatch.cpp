@@ -1,0 +1,102 @@
+// Kernel table selection: best registered table whose feature bits are all
+// allowed (detection intersected with TSNN_CPUFLAGS), resolved once, with a
+// process-wide override hook for tests and per-ISA benchmarks.
+#include "simd/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "common/cpu.h"
+#include "common/env.h"
+#include "simd/kernels_internal.h"
+
+namespace tsnn::simd {
+namespace {
+
+// Best first; selection walks this in order.
+const KernelDispatch* const kRegistry[] = {
+#if defined(TSNN_SIMD_AVX2)
+    &kAvx2FmaTable,
+    &kAvx2Table,
+#endif
+    &kScalarTable,
+};
+
+// The table selection resolves to, with env policy knobs applied -- a copy,
+// so the registered tables stay pristine for runnable_tables()/find_table().
+const KernelDispatch& resolved() {
+  static const KernelDispatch table = [] {
+    const std::uint32_t allowed = cpu::allowed_features();
+    const KernelDispatch* best = &kScalarTable;
+    for (const KernelDispatch* t : kRegistry) {
+      if ((t->features & ~allowed) == 0) {
+        best = t;
+        break;
+      }
+    }
+    KernelDispatch copy = *best;
+    const int pct = env::get_int("TSNN_DENSE_CROSSOVER", -1);
+    if (pct >= 0 && pct <= 100) {
+      copy.policy.dense_crossover_num = static_cast<std::uint32_t>(pct);
+      copy.policy.dense_crossover_den = 100;
+    } else if (pct != -1) {
+      std::fprintf(stderr,
+                   "warning: TSNN_DENSE_CROSSOVER=%d out of range [0, 100], "
+                   "keeping %u/%u\n",
+                   pct, copy.policy.dense_crossover_num,
+                   copy.policy.dense_crossover_den);
+    }
+    return copy;
+  }();
+  return table;
+}
+
+std::atomic<const KernelDispatch*> g_active{nullptr};
+
+}  // namespace
+
+const KernelDispatch& kernels() {
+  const KernelDispatch* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first calls all store the same pointer.
+    t = &resolved();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+std::string active_isa() { return kernels().isa; }
+
+const KernelDispatch& scalar_kernels() { return kScalarTable; }
+
+std::vector<const KernelDispatch*> runnable_tables() {
+  const std::uint32_t allowed = cpu::allowed_features();
+  std::vector<const KernelDispatch*> out;
+  for (const KernelDispatch* t : kRegistry) {
+    if ((t->features & ~allowed) == 0) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+const KernelDispatch* find_table(const std::string& isa) {
+  for (const KernelDispatch* t : kRegistry) {
+    if (isa == t->isa) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+ScopedKernelOverride::ScopedKernelOverride(const KernelDispatch& table)
+    : saved_(&kernels()) {
+  g_active.store(&table, std::memory_order_release);
+}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  g_active.store(saved_, std::memory_order_release);
+}
+
+}  // namespace tsnn::simd

@@ -1,0 +1,29 @@
+// Internal sharing between the kernel translation units: the scalar leaf
+// functions (reused by vector tables where vectorizing does not pay) and
+// the table objects dispatch.cpp registers. Not part of the public API --
+// include simd/kernels.h instead.
+#pragma once
+
+#include "simd/kernels.h"
+
+namespace tsnn::simd {
+
+void sc_dense_scatter(const DenseScatterCtx& ctx);
+void sc_dense_matvec(const DenseMatvecCtx& ctx);
+void sc_conv_taps(const ConvTapCtx& ctx);
+std::size_t sc_threshold_fire(const ThresholdCtx& ctx);
+void sc_axpy(float* y, const float* x, float a, std::size_t n);
+std::size_t sc_mask_compact(const std::uint32_t* src, const std::uint8_t* keep,
+                            std::size_t n, std::uint32_t* dst);
+
+extern const KernelDispatch kScalarTable;
+
+// Defined in kernels_avx2.cpp, which CMake compiles with -mavx2 -mfma only
+// on toolchains that support it; the define keeps dispatch.cpp (built
+// without those flags) from referencing tables that were never built.
+#if defined(TSNN_SIMD_AVX2)
+extern const KernelDispatch kAvx2Table;
+extern const KernelDispatch kAvx2FmaTable;
+#endif
+
+}  // namespace tsnn::simd

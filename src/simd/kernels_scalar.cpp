@@ -1,0 +1,107 @@
+// Scalar reference kernels: the semantics every vector variant is measured
+// against (bit-exact for all but dense_matvec -- see simd/kernels.h). These
+// are the historical inner loops of topology.cpp / the coding schemes,
+// lifted verbatim; this TU is compiled with -ffp-contract=off so the
+// reference stays plain mul+add under any optimization flags.
+#include "simd/kernels_internal.h"
+
+namespace tsnn::simd {
+
+void sc_dense_scatter(const DenseScatterCtx& ctx) {
+  for (std::size_t i = 0; i < ctx.count; ++i) {
+    const float* col = ctx.wt + static_cast<std::size_t>(ctx.pre[i]) * ctx.out;
+    const float m = ctx.mag[i];
+    for (std::size_t j = 0; j < ctx.out; ++j) {
+      ctx.u[j] += m * col[j];
+    }
+  }
+}
+
+void sc_dense_matvec(const DenseMatvecCtx& ctx) {
+  for (std::size_t j = 0; j < ctx.out; ++j) {
+    const float* row = ctx.w + j * ctx.in;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < ctx.in; ++i) {
+      acc += row[i] * ctx.x[i];
+    }
+    ctx.y[j] += acc;
+  }
+}
+
+void sc_conv_taps(const ConvTapCtx& ctx) {
+  for (std::size_t i = 0; i < ctx.count; ++i) {
+    const std::size_t pre = ctx.pre[i];
+    const std::size_t ic = pre / ctx.in_hw;
+    const std::size_t sp = pre % ctx.in_hw;
+    const float m = ctx.mag[i];
+    const float* wbase = ctx.wt + ic * ctx.k2 * ctx.oc;
+    const std::uint32_t end = ctx.tap_offset[sp + 1];
+    for (std::uint32_t t = ctx.tap_offset[sp]; t < end; ++t) {
+      const ConvTap tap = ctx.taps[t];
+      float* urow = ctx.u + static_cast<std::size_t>(tap.spatial) * ctx.oc;
+      const float* wrow = wbase + static_cast<std::size_t>(tap.wofs) * ctx.oc;
+      for (std::size_t c = 0; c < ctx.oc; ++c) {
+        urow[c] += m * wrow[c];
+      }
+    }
+  }
+}
+
+std::size_t sc_threshold_fire(const ThresholdCtx& ctx) {
+  std::size_t fired = 0;
+  if (ctx.umap == nullptr) {
+    for (std::size_t j = 0; j < ctx.n; ++j) {
+      const float v = ctx.u[j];
+      if (v >= ctx.threshold) {
+        if (ctx.subtract) {
+          ctx.u[j] = v - ctx.threshold;
+        }
+        ctx.fired[fired++] = static_cast<std::uint32_t>(j);
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < ctx.n; ++j) {
+      const std::size_t idx = ctx.umap[j];
+      const float v = ctx.u[idx];
+      if (v >= ctx.threshold) {
+        if (ctx.subtract) {
+          ctx.u[idx] = v - ctx.threshold;
+        }
+        ctx.fired[fired++] = static_cast<std::uint32_t>(j);
+      }
+    }
+  }
+  return fired;
+}
+
+void sc_axpy(float* y, const float* x, float a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+std::size_t sc_mask_compact(const std::uint32_t* src, const std::uint8_t* keep,
+                            std::size_t n, std::uint32_t* dst) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i] != 0) {
+      dst[k++] = src[i];
+    }
+  }
+  return k;
+}
+
+const KernelDispatch kScalarTable = [] {
+  KernelDispatch t;
+  t.isa = "scalar";
+  t.features = 0;
+  t.dense_scatter = sc_dense_scatter;
+  t.dense_matvec = sc_dense_matvec;
+  t.conv_taps = sc_conv_taps;
+  t.threshold_fire = sc_threshold_fire;
+  t.axpy = sc_axpy;
+  t.mask_compact = sc_mask_compact;
+  return t;
+}();
+
+}  // namespace tsnn::simd

@@ -1,5 +1,9 @@
 #include "snn/event_buffer.h"
 
+#include <algorithm>
+
+#include "simd/kernels.h"
+
 namespace tsnn::snn {
 
 void EventBuffer::reset(std::size_t num_neurons, std::size_t window) {
@@ -42,6 +46,32 @@ void EventBuffer::finalize(EventSortScratch& scratch) {
     sorted_ = true;
   }
   finalized_ = true;
+}
+
+void EventBuffer::remove_by_mask(const std::uint8_t* keep) {
+  check_finalized();
+  // Per-step left-pack through the mask_compact kernel (in-place safe:
+  // the write cursor never passes the read cursor), then re-stamp the
+  // surviving times from the step index -- the same post-state as
+  // remove_if_not() with an equivalent predicate.
+  const auto compact = simd::kernels().mask_compact;
+  std::size_t w = 0;
+  std::uint32_t read_begin = offsets_[0];
+  for (std::size_t t = 0; t < window_; ++t) {
+    const std::uint32_t read_end = offsets_[t + 1];
+    offsets_[t] = static_cast<std::uint32_t>(w);
+    const std::size_t kept =
+        compact(neurons_.data() + read_begin, keep + read_begin,
+                read_end - read_begin, neurons_.data() + w);
+    std::fill(times_.begin() + static_cast<std::ptrdiff_t>(w),
+              times_.begin() + static_cast<std::ptrdiff_t>(w + kept),
+              static_cast<std::int32_t>(t));
+    w += kept;
+    read_begin = read_end;
+  }
+  offsets_[window_] = static_cast<std::uint32_t>(w);
+  times_.resize(w);
+  neurons_.resize(w);
 }
 
 void EventBuffer::assign_from(const SpikeRaster& raster,

@@ -28,18 +28,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/error.h"
 #include "snn/spike.h"
 
 namespace tsnn::snn {
 
 /// Reusable scratch for EventBuffer::finalize's stable counting sort and
-/// assign_from. Owned by SimWorkspace so re-bucketing allocates nothing
-/// once warm; must not be shared across threads.
+/// assign_from, plus the noise models' keep-mask staging. Owned by
+/// SimWorkspace so re-bucketing allocates nothing once warm; must not be
+/// shared across threads. The scatter destinations are aligned_vectors
+/// because finalize() swaps them into the buffer's own (aligned) storage.
 struct EventSortScratch {
-  std::vector<std::uint32_t> cursor;   ///< per-step scatter cursors
-  std::vector<std::int32_t> times;     ///< scatter destination, swapped in
-  std::vector<std::uint32_t> neurons;  ///< scatter destination, swapped in
+  std::vector<std::uint32_t> cursor;       ///< per-step scatter cursors
+  aligned_vector<std::int32_t> times;      ///< scatter destination, swapped in
+  aligned_vector<std::uint32_t> neurons;   ///< scatter destination, swapped in
+  aligned_vector<std::uint8_t> keep;       ///< remove_by_mask() staging
 };
 
 /// Flat spike train: SoA (time, neuron) events with per-step CSR offsets.
@@ -126,6 +130,14 @@ class EventBuffer {
     neurons_.resize(w);
   }
 
+  /// Kernelized twin of remove_if_not(): compacts to exactly the events
+  /// whose `keep[i]` byte is nonzero, where i indexes the finalized
+  /// time-major event stream (size() entries). Callers whose predicate
+  /// draws randomness pre-generate the mask in one serial pass -- same
+  /// draw order as remove_if_not() -- and the compaction itself runs
+  /// through the dispatch table's mask_compact kernel. Stays finalized.
+  void remove_by_mask(const std::uint8_t* keep);
+
   /// In-place time rewrite: every event's time becomes
   /// `fn(time, neuron)` (must land in [0, window)), visiting events in
   /// time-major order, then re-buckets. Events that map to the same step
@@ -159,9 +171,11 @@ class EventBuffer {
   std::size_t window_ = 0;
   bool sorted_ = true;     ///< pushes so far are non-decreasing in time
   bool finalized_ = false;
-  std::vector<std::int32_t> times_;
-  std::vector<std::uint32_t> neurons_;
-  std::vector<std::uint32_t> offsets_;  ///< window+1 entries once finalized
+  // Aligned so the propagation and compaction kernels stream whole cache
+  // lines (see common/aligned.h).
+  aligned_vector<std::int32_t> times_;
+  aligned_vector<std::uint32_t> neurons_;
+  aligned_vector<std::uint32_t> offsets_;  ///< window+1 entries once finalized
 };
 
 }  // namespace tsnn::snn

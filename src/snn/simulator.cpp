@@ -8,9 +8,22 @@
 
 namespace tsnn::snn {
 
-void simulate_into(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng* rng,
-                   SimWorkspace& ws, SimResult& out) {
+void simulate_into(const SimRequest& req, const Tensor& image,
+                   SimResult& out) {
+  TSNN_CHECK_MSG(req.model != nullptr && req.scheme != nullptr,
+                 "SimRequest needs a model and a scheme");
+  if (req.workspace == nullptr) {
+    SimRequest with_ws = req;
+    SimWorkspace ws;
+    with_ws.workspace = &ws;
+    simulate_into(with_ws, image, out);
+    return;
+  }
+  const SnnModel& model = *req.model;
+  const CodingScheme& scheme = *req.scheme;
+  const NoiseModel* noise = req.noise;
+  Rng* rng = req.rng;
+  SimWorkspace& ws = *req.workspace;
   TSNN_CHECK_MSG(noise == nullptr || rng != nullptr,
                  "noise model requires an rng");
   TSNN_CHECK_MSG(model.num_stages() > 0, "empty SNN model");
@@ -54,20 +67,26 @@ void simulate_into(const SnnModel& model, const CodingScheme& scheme,
   out.predicted_class = ops::argmax(out.logits);
 }
 
+SimResult simulate(const SimRequest& req, const Tensor& image) {
+  SimResult out;
+  simulate_into(req, image, out);
+  return out;
+}
+
+void simulate_into(const SnnModel& model, const CodingScheme& scheme,
+                   const Tensor& image, const NoiseModel* noise, Rng* rng,
+                   SimWorkspace& ws, SimResult& out) {
+  simulate_into(SimRequest{&model, &scheme, noise, rng, &ws}, image, out);
+}
+
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image, const NoiseModel* noise, Rng& rng) {
-  SimWorkspace ws;
-  SimResult out;
-  simulate_into(model, scheme, image, noise, &rng, ws, out);
-  return out;
+  return simulate(SimRequest{&model, &scheme, noise, &rng, nullptr}, image);
 }
 
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image) {
-  SimWorkspace ws;
-  SimResult out;
-  simulate_into(model, scheme, image, /*noise=*/nullptr, /*rng=*/nullptr, ws, out);
-  return out;
+  return simulate(SimRequest{&model, &scheme}, image);
 }
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
@@ -97,7 +116,7 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   std::size_t* const spikes = spike_slots.data();
   const auto eval_one = [&](std::size_t i, SimWorkspace& ws, SimResult& r) {
     Rng rng = Rng::for_stream(options.base_seed, i);
-    simulate_into(model, scheme, images[i], noise, &rng, ws, r);
+    simulate_into(SimRequest{&model, &scheme, noise, &rng, &ws}, images[i], r);
     correct[i] = r.predicted_class == labels[i] ? 1 : 0;
     spikes[i] = r.total_spikes;
   };

@@ -6,12 +6,17 @@
 // noisy-output-spike model. The last stage is a non-firing readout whose
 // accumulated membrane potential is the logit vector.
 //
-// The hot path is simulate_into(): spike trains live in the caller's
-// SimWorkspace as flat EventBuffers ping-ponged between stages, noise is
-// applied in place, and the SimResult's storage is recycled -- once the
-// workspace is warm, simulating an image performs zero heap allocations
-// (see docs/ARCHITECTURE.md, "Event buffers & the zero-allocation
-// workspace"). The simulate() overloads wrap it for convenience.
+// The single entry point is a SimRequest: one options struct naming the
+// model, scheme, and optional noise/rng/workspace, so callers (and the
+// future serve mode) batch against one stable signature instead of an
+// overload family. The hot path is simulate_into(request, image, out):
+// spike trains live in the request's SimWorkspace as flat EventBuffers
+// ping-ponged between stages, noise is applied in place, and the
+// SimResult's storage is recycled -- once the workspace is warm,
+// simulating an image performs zero heap allocations (see
+// docs/ARCHITECTURE.md, "Event buffers & the zero-allocation workspace").
+// The legacy positional simulate()/simulate_into() signatures remain as
+// thin wrappers.
 #pragma once
 
 #include <cstddef>
@@ -37,21 +42,46 @@ struct SimResult {
   std::vector<std::size_t> layer_spikes;    ///< per spike-train (encoder + hidden)
 };
 
-/// Zero-allocation core: simulates `image` through `model` with `scheme`
-/// into `out`, reusing `ws` and `out`'s storage. `noise` (may be null)
-/// corrupts every spike train in place using `rng`; `rng` may be null only
-/// when `noise` is null. `ws` and `out` must not be shared across threads.
+/// Everything one simulation needs besides the image: the model and coding
+/// scheme (required), and the optional noise model, rng, and reusable
+/// workspace. Aggregate-initializable so call sites read like named
+/// arguments:
+///
+///   snn::simulate({.model = &model, .scheme = &scheme}, image)
+///   snn::SimRequest req{&model, &scheme, &noise, &rng, &ws};
+///   snn::simulate_into(req, image, out);   // zero-alloc hot path
+///
+/// `rng` may be null only when `noise` is null; a null `workspace` makes
+/// the call self-contained (a transient workspace, convenient but cold).
+/// The request only borrows the pointers -- everything must outlive the
+/// call, and `workspace` must not be shared across threads.
+struct SimRequest {
+  const SnnModel* model = nullptr;
+  const CodingScheme* scheme = nullptr;
+  const NoiseModel* noise = nullptr;
+  Rng* rng = nullptr;
+  SimWorkspace* workspace = nullptr;
+};
+
+/// Zero-allocation core: simulates `image` per `req` into `out`, reusing
+/// the request's workspace (when set) and `out`'s storage.
+void simulate_into(const SimRequest& req, const Tensor& image, SimResult& out);
+
+/// Convenience wrapper allocating a fresh SimResult per call.
+SimResult simulate(const SimRequest& req, const Tensor& image);
+
+/// Legacy positional wrapper over simulate_into(SimRequest, ...).
 void simulate_into(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image, const NoiseModel* noise, Rng* rng,
                    SimWorkspace& ws, SimResult& out);
 
-/// Simulates `image` through `model` with `scheme`; `noise` (may be null)
-/// corrupts every spike train using `rng`.
+/// Legacy positional wrapper; `noise` (may be null) corrupts every spike
+/// train using `rng`.
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image, const NoiseModel* noise, Rng& rng);
 
-/// Convenience overload without noise; draws no randomness (no Rng is
-/// constructed), so the result is a pure function of (model, scheme, image).
+/// Legacy noise-free wrapper; draws no randomness (no Rng is constructed),
+/// so the result is a pure function of (model, scheme, image).
 SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
                    const Tensor& image);
 

@@ -1,6 +1,8 @@
 #include "snn/topology.h"
 
+#include "common/aligned.h"
 #include "common/error.h"
+#include "simd/kernels.h"
 
 namespace tsnn::snn {
 
@@ -9,10 +11,20 @@ namespace {
 /// Thread-local gather scratch for the dense drive. Sized to the largest
 /// in_size() seen on this thread; zeroed per use (cost amortized by the
 /// density threshold that gates the dense path).
-std::vector<float>& dense_scratch(std::size_t n) {
-  thread_local std::vector<float> x;
+aligned_vector<float>& dense_scratch(std::size_t n) {
+  thread_local aligned_vector<float> x;
   x.assign(n, 0.0f);
   return x;
+}
+
+/// Bounds-validates a batch once up front so the kernel leaf functions
+/// (simd/kernels.h) run branch-free over trusted indices.
+void check_batch_bounds(const SpikeBatch& batch, std::size_t in_size) {
+  const std::uint32_t* pre = batch.pre();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TSNN_CHECK_MSG(pre[i] < in_size,
+                   "pre neuron " << pre[i] << " out of range " << in_size);
+  }
 }
 
 }  // namespace
@@ -58,7 +70,7 @@ Tensor WeightBlock::tensor() const {
 // ----------------------------------------------------------------- base ----
 
 void SynapseTopology::dense_drive(const SpikeBatch& batch, float* u) const {
-  std::vector<float>& x = dense_scratch(in_size());
+  aligned_vector<float>& x = dense_scratch(in_size());
   const std::uint32_t* pre = batch.pre();
   const float* mag = batch.magnitude();
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -134,31 +146,28 @@ void DenseTopology::propagate(const SpikeBatch& batch, float* u) const {
     dense_drive(batch, u);
     return;
   }
-  const float* wt = transposed();
-  const std::uint32_t* pre = batch.pre();
-  const float* mag = batch.magnitude();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    TSNN_CHECK_MSG(pre[i] < in, "pre neuron " << pre[i] << " out of range " << in);
-    const float m = mag[i];
-    const float* col = wt + static_cast<std::size_t>(pre[i]) * out;
-    for (std::size_t j = 0; j < out; ++j) {
-      u[j] += m * col[j];
-    }
-  }
+  check_batch_bounds(batch, in);
+  simd::DenseScatterCtx ctx;
+  ctx.wt = transposed();
+  ctx.pre = batch.pre();
+  ctx.mag = batch.magnitude();
+  ctx.count = batch.size();
+  ctx.out = out;
+  ctx.u = u;
+  simd::kernels().dense_scatter(ctx);
 }
 
 void DenseTopology::apply_dense(const float* x, float* y) const {
-  const std::size_t out = weight_.dim(0);
-  const std::size_t in = weight_.dim(1);
-  const float* w = weight_.data();
-  for (std::size_t j = 0; j < out; ++j) {
-    const float* row = w + j * in;
-    float acc = 0.0f;
-    for (std::size_t i = 0; i < in; ++i) {
-      acc += row[i] * x[i];
-    }
-    y[j] += acc;
-  }
+  // Tolerance path: dense_matvec may reorder the per-row reduction (see
+  // simd/kernels.h), which is within this entry point's documented ~1e-5
+  // agreement contract.
+  simd::DenseMatvecCtx ctx;
+  ctx.w = weight_.data();
+  ctx.x = x;
+  ctx.in = weight_.dim(1);
+  ctx.out = weight_.dim(0);
+  ctx.y = y;
+  simd::kernels().dense_matvec(ctx);
 }
 
 void DenseTopology::scale_weights(float c) {
@@ -360,7 +369,7 @@ void ConvTopology::propagate_accum(const SpikeBatch& batch, float* u) const {
   if (batch.size() >= dense_drive_threshold()) {
     // Mirrors SynapseTopology::dense_drive, but through the transposed
     // apply_dense twin so the accumulator layout stays consistent.
-    std::vector<float>& x = dense_scratch(in_size());
+    aligned_vector<float>& x = dense_scratch(in_size());
     const std::uint32_t* pre = batch.pre();
     const float* mag = batch.magnitude();
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -370,35 +379,29 @@ void ConvTopology::propagate_accum(const SpikeBatch& batch, float* u) const {
     apply_dense_transposed(x.data(), u);
     return;
   }
+  // Each accumulator slot is touched at most once per spike, and spikes
+  // stay in batch order, so per-slot addition order matches propagate()
+  // exactly (values are bit-identical up to the layout permutation) -- the
+  // conv_taps kernel contract in simd/kernels.h.
+  check_batch_bounds(batch, in_size());
   const PropagateCache& c = cache();
-  const std::size_t hw = in_h_ * in_w_;
-  const std::size_t k2 = kernel_ * kernel_;
-  const std::size_t oc_n = out_ch_;
-  const std::uint32_t* pre = batch.pre();
-  const float* mag = batch.magnitude();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    TSNN_CHECK_MSG(pre[i] < in_size(), "pre neuron out of range");
-    const std::size_t ic = pre[i] / hw;
-    const std::size_t sp = pre[i] - ic * hw;
-    const Tap* taps = c.taps.data() + c.tap_offset[sp];
-    const std::size_t num_taps = c.tap_offset[sp + 1] - c.tap_offset[sp];
-    const float m = mag[i];
-    const float* wt = c.weight_acc.data() + ic * k2 * oc_n;
-    // Each accumulator slot is touched at most once per spike, and spikes
-    // stay in batch order, so per-slot addition order matches propagate()
-    // exactly (values are bit-identical up to the layout permutation).
-    for (std::size_t t = 0; t < num_taps; ++t) {
-      float* __restrict urow = u + static_cast<std::size_t>(taps[t].spatial) * oc_n;
-      const float* __restrict wrow = wt + static_cast<std::size_t>(taps[t].wofs) * oc_n;
-      for (std::size_t oc = 0; oc < oc_n; ++oc) {
-        urow[oc] += m * wrow[oc];
-      }
-    }
-  }
+  simd::ConvTapCtx ctx;
+  ctx.wt = c.weight_acc.data();
+  ctx.tap_offset = c.tap_offset.data();
+  ctx.taps = c.taps.data();
+  ctx.pre = batch.pre();
+  ctx.mag = batch.magnitude();
+  ctx.count = batch.size();
+  ctx.in_hw = in_h_ * in_w_;
+  ctx.k2 = kernel_ * kernel_;
+  ctx.oc = out_ch_;
+  ctx.u = u;
+  simd::kernels().conv_taps(ctx);
 }
 
 void ConvTopology::apply_dense(const float* x, float* y) const {
   const float* w = weight_.data();
+  const auto axpy = simd::kernels().axpy;
   for (std::size_t oc = 0; oc < out_ch_; ++oc) {
     float* ymap = y + oc * out_h_ * out_w_;
     for (std::size_t ic = 0; ic < in_ch_; ++ic) {
@@ -419,6 +422,28 @@ void ConvTopology::apply_dense(const float* x, float* y) const {
             }
             const float* xrow = xmap + static_cast<std::size_t>(iy) * in_w_;
             float* yrow = ymap + oy * out_w_;
+            if (stride_ == 1) {
+              // Unit stride: the valid ox range is one contiguous span, an
+              // axpy (elementwise mul+add -- bit-exact vs the scalar loop).
+              const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kx) -
+                                           static_cast<std::ptrdiff_t>(pad_);
+              const std::size_t ox_lo =
+                  shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+              const std::ptrdiff_t hi =
+                  static_cast<std::ptrdiff_t>(in_w_) - shift;
+              const std::size_t ox_hi =
+                  hi < 0 ? 0
+                         : (static_cast<std::size_t>(hi) < out_w_
+                                ? static_cast<std::size_t>(hi)
+                                : out_w_);
+              if (ox_hi > ox_lo) {
+                axpy(yrow + ox_lo,
+                     xrow + static_cast<std::size_t>(
+                                static_cast<std::ptrdiff_t>(ox_lo) + shift),
+                     wv, ox_hi - ox_lo);
+              }
+              continue;
+            }
             for (std::size_t ox = 0; ox < out_w_; ++ox) {
               const std::ptrdiff_t ix =
                   static_cast<std::ptrdiff_t>(ox * stride_ + kx) -

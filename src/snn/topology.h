@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
+#include "simd/kernels.h"
 #include "tensor/tensor.h"
 
 namespace tsnn::snn {
@@ -125,11 +127,11 @@ class SynapseTopology {
   /// Spike count at which propagate() switches from per-spike scatter to
   /// the dense drive. Scatter costs O(spikes x fanout) while the dense pass
   /// costs O(in x fanout-ish) regardless of spike count, so the crossover
-  /// sits near full density; 3/4 of in_size() leaves margin for the
-  /// scatter's indexed-access overhead.
+  /// sits near full density. The actual fraction is the active dispatch
+  /// table's KernelPolicy knob (historically 3/4; tunable per ISA and via
+  /// TSNN_DENSE_CROSSOVER -- see simd/kernels.h).
   std::size_t dense_drive_threshold() const {
-    const std::size_t t = (in_size() * 3) / 4;
-    return t > 0 ? t : 1;
+    return simd::kernels().policy.dense_drive_threshold(in_size());
   }
 
   /// Dense reference: y += W x. Used by tests, the activation-transport
@@ -223,7 +225,7 @@ class DenseTopology : public SynapseTopology {
   WeightBlock weight_;
   mutable std::mutex cache_mutex_;
   mutable std::atomic<bool> cache_ready_{false};
-  mutable std::vector<float> weight_t_;  // {in, out}
+  mutable aligned_vector<float> weight_t_;  // {in, out}
 };
 
 /// Convolutional synapses; weight {out_ch, in_ch, k, k}, stride 1 semantics
@@ -265,22 +267,20 @@ class ConvTopology : public SynapseTopology {
   /// only the destination addresses differ (keeps the dense drive
   /// bit-compatible with the canonical path inside propagate_accum()).
   void apply_dense_transposed(const float* x, float* y) const;
-  /// One valid kernel tap of an input spatial position: which output
-  /// spatial cell it feeds and which {ky, kx} weight it goes through.
-  struct Tap {
-    std::uint32_t spatial;  // oy * out_w + ox
-    std::uint32_t wofs;     // ky * kernel + kx
-  };
+  /// One valid kernel tap of an input spatial position -- the shared
+  /// simd::ConvTap shape, so the tap tables feed the conv_taps kernel
+  /// without repacking.
+  using Tap = simd::ConvTap;
 
   /// Per-input-position tap tables plus a {ic, oc, k*k} transposed weight
   /// copy: propagate() walks precomputed (offset, weight-index) entries
   /// with zero div/mod and zero bounds branches in the inner loops.
   /// Lazily built (thread-safe), invalidated by weight mutation.
   struct PropagateCache {
-    std::vector<std::uint32_t> tap_offset;  // in_h*in_w + 1, CSR offsets
-    std::vector<Tap> taps;                  // <= k*k per spatial position
-    std::vector<float> weight_t;            // [(ic*out_ch + oc)*k*k + wofs]
-    std::vector<float> weight_acc;          // [(ic*k*k + wofs)*out_ch + oc]
+    aligned_vector<std::uint32_t> tap_offset;  // in_h*in_w + 1, CSR offsets
+    aligned_vector<Tap> taps;                  // <= k*k per spatial position
+    aligned_vector<float> weight_t;    // [(ic*out_ch + oc)*k*k + wofs]
+    aligned_vector<float> weight_acc;  // [(ic*k*k + wofs)*out_ch + oc]
   };
   const PropagateCache& cache() const;
   void invalidate_cache();

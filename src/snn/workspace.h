@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "snn/event_buffer.h"
 #include "snn/topology.h"
 
@@ -34,18 +35,30 @@ struct SimWorkspace {
   EventSortScratch sort;  ///< counting-sort / conversion scratch
   SpikeBatch batch;       ///< per-step propagation batch
 
-  std::vector<float> u;    ///< membrane potentials / logits accumulator
-  std::vector<float> acc;  ///< encoder charge accumulators
+  // The SIMD-streamed buffers (potentials, encoder charge, the firing
+  // scan's inputs/outputs) are aligned_vectors so the dispatch-table
+  // kernels (simd/kernels.h) never split cache lines.
+  aligned_vector<float> u;    ///< membrane potentials / logits accumulator
+  aligned_vector<float> acc;  ///< encoder charge accumulators
 
-  std::vector<std::uint32_t> k;         ///< burst escalation counters
-  std::vector<std::int64_t> isi_last;   ///< burst ISI decoder: last arrival
-  std::vector<std::uint32_t> isi_k;     ///< burst ISI decoder: run length
-  std::vector<std::uint32_t> umap;      ///< canonical neuron -> accumulator slot
+  std::vector<std::uint32_t> k;        ///< burst escalation counters
+  std::vector<std::int64_t> isi_last;  ///< burst ISI decoder: last arrival
+  std::vector<std::uint32_t> isi_k;    ///< burst ISI decoder: run length
+  aligned_vector<std::uint32_t> umap;  ///< canonical neuron -> accumulator slot
+  aligned_vector<std::uint32_t> fired;  ///< threshold_fire kernel output
 
   /// Zeroed potential array of length `n` (recycles capacity).
   float* potentials(std::size_t n) {
     u.assign(n, 0.0f);
     return u.data();
+  }
+
+  /// Uninitialized fired-index scratch of capacity `n` for the
+  /// threshold_fire kernel (recycles capacity; contents are overwritten by
+  /// the kernel up to its returned count).
+  std::uint32_t* fired_scratch(std::size_t n) {
+    fired.resize(n);
+    return fired.data();
   }
 
   /// Canonical-neuron -> accumulator-slot map for `syn` (see

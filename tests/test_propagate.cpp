@@ -3,12 +3,22 @@
 // accumulate() reference and with one apply_dense() pass over the gathered
 // batch, for dense, conv (stride/pad variants), and pooling topologies, on
 // both sides of the sparse<->dense-drive threshold.
+//
+// The whole suite then re-runs once per runnable SIMD dispatch table
+// (PropagateIsa/* below), and a cross-ISA matrix pins every vector variant
+// to the scalar reference on randomized shapes: bit-exact on the scatter
+// paths, <= 1e-5 on the reordered-summation dense drive. TSNN_CPUFLAGS
+// narrows which tables exist, so the CI scalar-forced leg runs the same
+// tests with only the reference table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "simd/kernels.h"
 #include "snn/topology.h"
 
 namespace tsnn::snn {
@@ -286,6 +296,114 @@ TEST(Propagate, RandomizedShapeSweep) {
     run_threshold_sweep(conv, 400 + static_cast<std::uint64_t>(trial) * 7);
   }
 }
+
+// --- Per-ISA equivalence matrix ------------------------------------------
+//
+// Every runnable dispatch table must satisfy the same propagate/accumulate/
+// apply_dense property as the default, and every vector variant must match
+// the scalar reference output for output: bit-exact where the kernel
+// contract promises it (per-spike scatter, conv taps, accum layouts),
+// within 1e-5 where summation order legitimately differs (dense drive /
+// matvec, FMA variants). Shapes are randomized with odd sizes so vector
+// tails and remainder lanes are always exercised.
+
+std::string isa_test_name(
+    const ::testing::TestParamInfo<const simd::KernelDispatch*>& info) {
+  std::string name = info.param->isa;
+  std::replace(name.begin(), name.end(), '+', '_');
+  return name;
+}
+
+class PropagateIsa
+    : public ::testing::TestWithParam<const simd::KernelDispatch*> {
+ protected:
+  simd::ScopedKernelOverride override_{*GetParam()};
+};
+
+TEST_P(PropagateIsa, DensePropertySweep) {
+  Rng shape_rng(70);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Deliberately odd sizes: 8k+tail fan-outs, partial last vector lane.
+    const std::size_t out = 3 + 2 * shape_rng.uniform_index(32);
+    const std::size_t in = 9 + 2 * shape_rng.uniform_index(48);
+    DenseTopology dense(random_tensor(
+        Shape{out, in}, 500 + static_cast<std::uint64_t>(trial)));
+    run_threshold_sweep(dense, 600 + static_cast<std::uint64_t>(trial) * 7);
+  }
+}
+
+TEST_P(PropagateIsa, ConvPropertySweep) {
+  Rng shape_rng(71);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t oc = 1 + shape_rng.uniform_index(5);
+    const std::size_t hw = 5 + 2 * shape_rng.uniform_index(4);  // odd sides
+    const std::size_t stride = 1 + shape_rng.uniform_index(2);
+    ConvTopology conv(random_tensor(Shape{oc, 2, 3, 3},
+                                    700 + static_cast<std::uint64_t>(trial)),
+                      hw, hw, stride, 1);
+    run_threshold_sweep(conv, 800 + static_cast<std::uint64_t>(trial) * 7);
+  }
+}
+
+TEST_P(PropagateIsa, SparseScatterBitExactVsScalar) {
+  // Below the dense-drive threshold the scatter kernels are bit-exact
+  // across every ISA: same per-slot contributions in the same order.
+  DenseTopology dense(random_tensor(Shape{37, 53}, 900));
+  ConvTopology conv(random_tensor(Shape{3, 2, 3, 3}, 901), 9, 9, 1, 1);
+  for (std::uint64_t seed = 910; seed < 914; ++seed) {
+    for (const SynapseTopology* syn :
+         {static_cast<const SynapseTopology*>(&dense),
+          static_cast<const SynapseTopology*>(&conv)}) {
+      const SpikeBatch batch = random_batch(
+          syn->in_size(), syn->dense_drive_threshold() - 1, seed);
+      std::vector<float> scalar_u(syn->out_size(), 0.0f);
+      std::vector<float> isa_u(syn->out_size(), 0.0f);
+      {
+        simd::ScopedKernelOverride scalar(simd::scalar_kernels());
+        syn->propagate(batch, scalar_u.data());
+      }
+      syn->propagate(batch, isa_u.data());
+      EXPECT_EQ(scalar_u, isa_u) << GetParam()->isa << " seed " << seed;
+
+      // propagate_accum shares the same exactness contract.
+      std::vector<float> scalar_acc(syn->out_size(), 0.0f);
+      std::vector<float> isa_acc(syn->out_size(), 0.0f);
+      {
+        simd::ScopedKernelOverride scalar(simd::scalar_kernels());
+        syn->propagate_accum(batch, scalar_acc.data());
+      }
+      syn->propagate_accum(batch, isa_acc.data());
+      EXPECT_EQ(scalar_acc, isa_acc) << GetParam()->isa << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(PropagateIsa, DenseDriveMatchesScalarWithinTolerance) {
+  // At/above the threshold the matvec path may reorder the dot-product
+  // reduction (and use FMA), so the contract is <= 1e-5 absolute plus a
+  // small relative term -- the same bound the kernel-level suite enforces.
+  DenseTopology dense(random_tensor(Shape{41, 67}, 920));
+  for (std::uint64_t seed = 930; seed < 933; ++seed) {
+    const SpikeBatch batch =
+        random_batch(dense.in_size(), dense.in_size(), seed);
+    std::vector<float> scalar_u(dense.out_size(), 0.0f);
+    std::vector<float> isa_u(dense.out_size(), 0.0f);
+    {
+      simd::ScopedKernelOverride scalar(simd::scalar_kernels());
+      dense.propagate(batch, scalar_u.data());
+    }
+    dense.propagate(batch, isa_u.data());
+    for (std::size_t j = 0; j < dense.out_size(); ++j) {
+      EXPECT_NEAR(scalar_u[j], isa_u[j],
+                  1e-5f + 1e-5f * std::fabs(scalar_u[j]))
+          << GetParam()->isa << " seed " << seed << " out " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryIsa, PropagateIsa,
+                         ::testing::ValuesIn(simd::runnable_tables()),
+                         isa_test_name);
 
 }  // namespace
 }  // namespace tsnn::snn

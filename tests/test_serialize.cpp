@@ -8,6 +8,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "dnn/activations.h"
 #include "dnn/dense.h"
@@ -310,6 +311,30 @@ TEST(SerializeArtifact, NoMmapFallbackMatchesMmap) {
   const SnnArtifact a = load_snn_artifact(path);
   const SnnArtifact b = load_snn_artifact(path, no_mmap);
   expect_artifacts_equal(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeArtifact, FallbackLoadAdoptsSimdAlignedWeights) {
+  // The read()+copy fallback (no mmap) lands the artifact in kSimdAlign
+  // aligned storage, so 64-byte payload offsets stay 64-byte addresses and
+  // zero-copy adoption still holds -- the SIMD kernels rely on this via the
+  // kPayloadAlign == kSimdAlign static assert in serialize.cpp.
+  const std::string path = temp_path("tsnz_fallback_align.tsnz");
+  save_snn_artifact(make_test_artifact(), path);
+  ArtifactLoadOptions no_mmap;
+  no_mmap.use_mmap = false;
+  const SnnArtifact loaded = load_snn_artifact(path, no_mmap);
+  for (std::size_t i = 0; i < loaded.model.num_stages(); ++i) {
+    const auto* dense = dynamic_cast<const snn::DenseTopology*>(
+        loaded.model.stage(i).synapse.get());
+    if (dense == nullptr) {
+      continue;
+    }
+    EXPECT_TRUE(dense->weight_block().borrowed())
+        << "stage " << loaded.model.stage(i).name;
+    EXPECT_TRUE(is_simd_aligned(dense->weight_block().data()))
+        << "stage " << loaded.model.stage(i).name;
+  }
   std::remove(path.c_str());
 }
 
