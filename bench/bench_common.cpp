@@ -231,6 +231,12 @@ std::vector<std::pair<std::string, double>>& metrics() {
   return m;
 }
 
+/// Early-exit provenance label recorded via record_early_exit().
+std::string& early_exit_label() {
+  static std::string label = "off";
+  return label;
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -252,12 +258,14 @@ std::string json_escape(const std::string& s) {
 }
 
 std::vector<std::string> sweep_csv_headers(const std::string& level_name) {
-  return {"method", level_name, "accuracy", "mean_spikes"};
+  return {"method", level_name, "accuracy", "mean_spikes",
+          "mean_decision_timesteps"};
 }
 
 std::vector<std::string> sweep_csv_cells(const core::SweepRow& r) {
   return {r.method, str::format_fixed(r.level, 2),
-          str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1)};
+          str::format_fixed(r.accuracy, 4), str::format_fixed(r.mean_spikes, 1),
+          str::format_fixed(r.mean_decision_timesteps, 2)};
 }
 
 std::string csv_output_path(const std::string& name) {
@@ -294,18 +302,21 @@ void write_json_results(const std::string& name, const std::string& level_name,
                "  \"images\": %zu,\n"
                "  \"seed\": %llu,\n"
                "  \"isa\": \"%s\",\n"
+               "  \"early_exit\": \"%s\",\n"
                "  \"rows\": [",
                json_escape(name).c_str(), json_escape(level_name).c_str(),
                bench_images(),
                static_cast<unsigned long long>(bench_seed()),
-               json_escape(simd::active_isa()).c_str());
+               json_escape(simd::active_isa()).c_str(),
+               json_escape(early_exit_label()).c_str());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const core::SweepRow& r = rows[i];
     std::fprintf(f,
                  "%s\n    {\"method\": \"%s\", \"level\": %.6g, "
-                 "\"accuracy\": %.8g, \"mean_spikes\": %.8g}",
+                 "\"accuracy\": %.8g, \"mean_spikes\": %.8g, "
+                 "\"mean_decision_timesteps\": %.8g}",
                  i == 0 ? "" : ",", json_escape(r.method).c_str(), r.level,
-                 r.accuracy, r.mean_spikes);
+                 r.accuracy, r.mean_spikes, r.mean_decision_timesteps);
   }
   std::fprintf(f, "\n  ]");
   if (!metrics().empty()) {
@@ -323,6 +334,10 @@ void write_json_results(const std::string& name, const std::string& level_name,
 }
 
 }  // namespace
+
+void record_early_exit(const std::string& label) {
+  early_exit_label() = label;
+}
 
 void record_metric(const std::string& name, double value) {
   for (auto& [key, val] : metrics()) {

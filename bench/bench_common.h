@@ -92,6 +92,12 @@ std::string bench_json();
 /// end-to-end simulation throughput across PRs.
 void record_metric(const std::string& name, double value);
 
+/// Sets the early-exit provenance label emitted alongside "isa" in the JSON
+/// document ("off" by default -- the bit-identical reference path). Pass
+/// snn::DecisionPolicy::describe() when a bench runs one fixed policy, or a
+/// free-form label like "margin:sweep" when the policy varies per row.
+void record_early_exit(const std::string& label);
+
 /// Streaming result sink for sweep benches. Construction opens
 /// TSNN_BENCH_OUT/<name>.csv (header written immediately; failure degrades
 /// to a warning and the bench runs CSV-less); options() yields
@@ -125,8 +131,9 @@ class SweepReport {
 std::string pct(double accuracy);
 
 /// Column headers of the sweep CSV documents ("method", level_name,
-/// "accuracy", "mean_spikes") -- shared by SweepReport and run_scenarios so
-/// scenario CSVs are byte-identical to the bench CSVs.
+/// "accuracy", "mean_spikes", "mean_decision_timesteps") -- shared by
+/// SweepReport and run_scenarios so scenario CSVs are byte-identical to the
+/// bench CSVs.
 std::vector<std::string> sweep_csv_headers(const std::string& level_name);
 
 /// One SweepRow formatted exactly as the sweep CSVs have always been.

@@ -114,6 +114,7 @@ void print_scenario(const core::ScenarioResult& result,
 }
 
 void write_suite_json(const std::string& suite_label,
+                      const std::vector<core::ScenarioSpec>& specs,
                       const std::vector<core::ScenarioResult>& results,
                       double seconds,
                       const core::ScenarioEngine::ZooPrepStats& zoo) {
@@ -148,20 +149,24 @@ void write_suite_json(const std::string& suite_label,
     const core::ScenarioResult& result = results[s];
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"level_name\": \"%s\", "
-                 "\"images_simulated\": %zu,\n     \"rows\": [",
+                 "\"images_simulated\": %zu, \"early_exit\": \"%s\",\n"
+                 "     \"rows\": [",
                  s == 0 ? "" : ",", bench::json_escape(result.name).c_str(),
                  bench::json_escape(result.level_name).c_str(),
-                 result.images_simulated);
+                 result.images_simulated,
+                 bench::json_escape(specs[s].early_exit.describe()).c_str());
     for (std::size_t i = 0; i < result.rows.size(); ++i) {
       const core::ScenarioRow& row = result.rows[i];
       std::fprintf(f,
                    "%s\n      {\"dataset\": \"%s\", \"method\": \"%s\", "
                    "\"level\": %.6g, \"noise\": \"%s\", \"accuracy\": %.8g, "
-                   "\"mean_spikes\": %.8g, \"ws_factor\": %.8g}",
+                   "\"mean_spikes\": %.8g, \"ws_factor\": %.8g, "
+                   "\"mean_decision_timesteps\": %.8g}",
                    i == 0 ? "" : ",", bench::json_escape(row.dataset).c_str(),
                    bench::json_escape(row.method).c_str(), row.level,
                    bench::json_escape(row.noise).c_str(), row.accuracy,
-                   row.mean_spikes, row.ws_factor);
+                   row.mean_spikes, row.ws_factor,
+                   row.mean_decision_timesteps);
     }
     std::fprintf(f, "\n     ]}");
   }
@@ -265,6 +270,7 @@ int main(int argc, char** argv) {
     flat.level = row.level;
     flat.accuracy = row.accuracy;
     flat.mean_spikes = row.mean_spikes;
+    flat.mean_decision_timesteps = row.mean_decision_timesteps;
     try {
       csvs[s].stream->add_row(bench::sweep_csv_cells(flat));
     } catch (const IoError& e) {
@@ -296,6 +302,6 @@ int main(int argc, char** argv) {
     std::printf("zoo prep: %.2fs for %zu dataset(s), %zu from artifact cache\n",
                 zoo.seconds, zoo.loads, zoo.artifact_hits);
   }
-  write_suite_json(suite_label, results, seconds, zoo);
+  write_suite_json(suite_label, specs, results, seconds, zoo);
   return 0;
 }

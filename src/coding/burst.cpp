@@ -63,70 +63,86 @@ void BurstScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
 }
 
 void BurstScheme::decode_arrivals(const EventBuffer& in, std::size_t t,
-                                  float base_in, SimWorkspace& ws) const {
+                                  float base_in, snn::StageState& st) const {
   // Burst magnitudes depend on each sender's ISI history, so the batch is
   // assembled spike by spike (unlike the uniform-magnitude schemes).
-  ws.batch.clear();
+  st.batch.clear();
   const EventBuffer::StepSpan span = in.step(t);
   for (std::size_t i = 0; i < span.count; ++i) {
     const std::uint32_t pre = span.ids[i];
     const std::size_t k = isi_on_arrival(static_cast<std::int64_t>(t),
-                                         ws.isi_last[pre], ws.isi_k[pre]);
-    ws.batch.add(pre, base_in * burst_gain(k));
+                                         st.isi_last[pre], st.isi_k[pre]);
+    st.batch.add(pre, base_in * burst_gain(k));
   }
 }
 
-void BurstScheme::run_layer_into(const EventBuffer& in,
-                                 const SynapseTopology& syn, LayerRole role,
-                                 SimWorkspace& ws, EventBuffer& out) const {
+void BurstScheme::begin_layer(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, snn::StageState& st,
+                              EventBuffer& out) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
+  const std::size_t out_n = syn.out_size();
+  out.reset(out_n, params_.window);
+  st.accum_map(syn);
+  st.potentials(out_n);
+  st.isi_last.assign(in.num_neurons(), -10);
+  st.isi_k.assign(in.num_neurons(), 0);
+  st.k.assign(out_n, 0);
+}
+
+void BurstScheme::step_layer(const EventBuffer& in, const SynapseTopology& syn,
+                             LayerRole role, std::size_t t, snn::StageState& st,
+                             EventBuffer& out) const {
   const std::size_t out_n = syn.out_size();
   const float theta = params_.threshold;
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  out.reset(out_n, params_.window);
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  ws.isi_last.assign(in.num_neurons(), -10);
-  ws.isi_k.assign(in.num_neurons(), 0);
-  ws.k.assign(out_n, 0);
-  std::uint32_t* k_out = ws.k.data();
-  for (std::size_t t = 0; t < params_.window; ++t) {
-    if (t < in.window()) {
-      decode_arrivals(in, t, base_in, ws);
-      syn.propagate_accum(ws.batch, u);
-    }
-    for (std::size_t j = 0; j < out_n; ++j) {
-      const float quantum = theta * burst_gain(k_out[j]);
-      float& uj = u[umap[j]];
-      if (uj >= quantum) {
-        uj -= quantum;
-        ++k_out[j];
-        out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
-      } else {
-        k_out[j] = 0;
-      }
-    }
-  }
-  out.finalize(ws.sort);
-}
-
-void BurstScheme::readout_into(const EventBuffer& in,
-                               const SynapseTopology& syn, LayerRole role,
-                               SimWorkspace& ws, float* logits) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
-  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  const std::size_t out_n = syn.out_size();
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  ws.isi_last.assign(in.num_neurons(), -10);
-  ws.isi_k.assign(in.num_neurons(), 0);
-  for (std::size_t t = 0; t < in.window(); ++t) {
-    decode_arrivals(in, t, base_in, ws);
-    syn.propagate_accum(ws.batch, u);
+  float* u = st.u.data();
+  const std::uint32_t* umap = st.umap.data();
+  std::uint32_t* k_out = st.k.data();
+  if (t < in.window()) {
+    decode_arrivals(in, t, base_in, st);
+    syn.propagate_accum(st.batch, u);
   }
   for (std::size_t j = 0; j < out_n; ++j) {
-    logits[j] = u[umap[j]];
+    const float quantum = theta * burst_gain(k_out[j]);
+    float& uj = u[umap[j]];
+    if (uj >= quantum) {
+      uj -= quantum;
+      ++k_out[j];
+      out.push(static_cast<std::int32_t>(t), static_cast<std::uint32_t>(j));
+    } else {
+      k_out[j] = 0;
+    }
   }
+}
+
+void BurstScheme::end_layer(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, snn::StageState& st,
+                            EventBuffer& out) const {
+  static_cast<void>(in);
+  static_cast<void>(syn);
+  static_cast<void>(role);
+  out.finalize(st.sort);
+}
+
+void BurstScheme::begin_readout(const EventBuffer& in,
+                                const SynapseTopology& syn, LayerRole role,
+                                snn::StageState& st) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
+  st.accum_map(syn);
+  st.potentials(syn.out_size());
+  st.isi_last.assign(in.num_neurons(), -10);
+  st.isi_k.assign(in.num_neurons(), 0);
+}
+
+void BurstScheme::step_readout(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               std::size_t t, snn::StageState& st) const {
+  const float base_in =
+      role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  decode_arrivals(in, t, base_in, st);
+  syn.propagate_accum(st.batch, st.u.data());
 }
 
 Tensor BurstScheme::decode(const snn::SpikeRaster& in) const {

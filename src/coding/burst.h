@@ -23,13 +23,28 @@ class BurstScheme : public snn::CodingScheme {
 
   void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
                    snn::EventBuffer& out) const override;
-  void run_layer_into(const snn::EventBuffer& in,
-                      const snn::SynapseTopology& syn, snn::LayerRole role,
-                      snn::SimWorkspace& ws,
-                      snn::EventBuffer& out) const override;
-  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
-                    snn::LayerRole role, snn::SimWorkspace& ws,
-                    float* logits) const override;
+
+  bool causal_step() const override { return true; }
+  std::size_t layer_steps(std::size_t in_window) const override {
+    static_cast<void>(in_window);
+    return params_.window;
+  }
+  void begin_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                   snn::LayerRole role, snn::StageState& st,
+                   snn::EventBuffer& out) const override;
+  void step_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                  snn::LayerRole role, std::size_t t, snn::StageState& st,
+                  snn::EventBuffer& out) const override;
+  void end_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                 snn::LayerRole role, snn::StageState& st,
+                 snn::EventBuffer& out) const override;
+  void begin_readout(const snn::EventBuffer& in,
+                     const snn::SynapseTopology& syn, snn::LayerRole role,
+                     snn::StageState& st) const override;
+  void step_readout(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, std::size_t t,
+                    snn::StageState& st) const override;
+
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Gain of the k-th consecutive spike, capped at burst_cap: g^min(k,cap).
@@ -38,9 +53,9 @@ class BurstScheme : public snn::CodingScheme {
  private:
   /// Assembles the ISI-decoded arrival batch of step `t`: each sender's
   /// escalation counter k is reconstructed from its arrival history in
-  /// ws.isi_last/ws.isi_k (sized to `in`, reset by the caller).
+  /// st.isi_last/st.isi_k (sized to `in`, reset by begin_layer/begin_readout).
   void decode_arrivals(const snn::EventBuffer& in, std::size_t t,
-                       float base_in, snn::SimWorkspace& ws) const;
+                       float base_in, snn::StageState& st) const;
 };
 
 }  // namespace tsnn::coding

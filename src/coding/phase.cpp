@@ -54,55 +54,69 @@ void PhaseScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
   out.finalize(ws.sort);
 }
 
-void PhaseScheme::run_layer_into(const EventBuffer& in,
-                                 const SynapseTopology& syn, LayerRole role,
-                                 SimWorkspace& ws, EventBuffer& out) const {
+void PhaseScheme::begin_layer(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, snn::StageState& st,
+                              EventBuffer& out) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
   const std::size_t out_n = syn.out_size();
+  out.reset(out_n, params_.window);
+  st.accum_map(syn);
+  st.potentials(out_n);
+  st.fired_scratch(out_n);
+}
+
+void PhaseScheme::step_layer(const EventBuffer& in, const SynapseTopology& syn,
+                             LayerRole role, std::size_t t, snn::StageState& st,
+                             EventBuffer& out) const {
   const float theta = params_.threshold;
   // Encoder spikes are worth pw(t); hidden spikes are worth theta*pw(t).
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  out.reset(out_n, params_.window);
-  const bool transposed = syn.accum_layout().transposed;
-  const std::uint32_t* umap = ws.accum_map(syn);
+  if (t < in.window()) {
+    snn::propagate_step(in, t, base_in * phase_weight(t), syn, st.batch,
+                        st.u.data());
+  }
   // Greedy weighted-spike emission: a neuron fires at phase t if its
   // potential covers the theta-scaled phase weight, draining that quantum
   // -- a subtract-mode threshold scan per phase.
   simd::ThresholdCtx fire;
-  fire.u = ws.potentials(out_n);
-  fire.umap = transposed ? umap : nullptr;
-  fire.n = out_n;
+  fire.u = st.u.data();
+  fire.umap = st.transposed ? st.umap.data() : nullptr;
+  fire.n = syn.out_size();
+  fire.threshold = theta * phase_weight(t);
   fire.subtract = true;
-  fire.fired = ws.fired_scratch(out_n);
-  const auto& kern = simd::kernels();
-  for (std::size_t t = 0; t < params_.window; ++t) {
-    if (t < in.window()) {
-      snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch,
-                          fire.u);
-    }
-    fire.threshold = theta * phase_weight(t);
-    const std::size_t nf = kern.threshold_fire(fire);
-    for (std::size_t f = 0; f < nf; ++f) {
-      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
-    }
+  fire.fired = st.fired.data();
+  const std::size_t nf = simd::kernels().threshold_fire(fire);
+  for (std::size_t f = 0; f < nf; ++f) {
+    out.push(static_cast<std::int32_t>(t), fire.fired[f]);
   }
-  out.finalize(ws.sort);
 }
 
-void PhaseScheme::readout_into(const EventBuffer& in,
-                               const SynapseTopology& syn, LayerRole role,
-                               SimWorkspace& ws, float* logits) const {
+void PhaseScheme::end_layer(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, snn::StageState& st,
+                            EventBuffer& out) const {
+  static_cast<void>(in);
+  static_cast<void>(syn);
+  static_cast<void>(role);
+  out.finalize(st.sort);
+}
+
+void PhaseScheme::begin_readout(const EventBuffer& in,
+                                const SynapseTopology& syn, LayerRole role,
+                                snn::StageState& st) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
-  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  const std::size_t out_n = syn.out_size();
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  for (std::size_t t = 0; t < in.window(); ++t) {
-    snn::propagate_step(in, t, base_in * phase_weight(t), syn, ws.batch, u);
-  }
-  for (std::size_t j = 0; j < out_n; ++j) {
-    logits[j] = u[umap[j]];
-  }
+  static_cast<void>(role);
+  st.accum_map(syn);
+  st.potentials(syn.out_size());
+}
+
+void PhaseScheme::step_readout(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               std::size_t t, snn::StageState& st) const {
+  const float base_in =
+      role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  snn::propagate_step(in, t, base_in * phase_weight(t), syn, st.batch,
+                      st.u.data());
 }
 
 Tensor PhaseScheme::decode(const snn::SpikeRaster& in) const {

@@ -21,13 +21,28 @@ class PhaseScheme : public snn::CodingScheme {
 
   void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
                    snn::EventBuffer& out) const override;
-  void run_layer_into(const snn::EventBuffer& in,
-                      const snn::SynapseTopology& syn, snn::LayerRole role,
-                      snn::SimWorkspace& ws,
-                      snn::EventBuffer& out) const override;
-  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
-                    snn::LayerRole role, snn::SimWorkspace& ws,
-                    float* logits) const override;
+
+  bool causal_step() const override { return true; }
+  std::size_t layer_steps(std::size_t in_window) const override {
+    static_cast<void>(in_window);
+    return params_.window;
+  }
+  void begin_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                   snn::LayerRole role, snn::StageState& st,
+                   snn::EventBuffer& out) const override;
+  void step_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                  snn::LayerRole role, std::size_t t, snn::StageState& st,
+                  snn::EventBuffer& out) const override;
+  void end_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                 snn::LayerRole role, snn::StageState& st,
+                 snn::EventBuffer& out) const override;
+  void begin_readout(const snn::EventBuffer& in,
+                     const snn::SynapseTopology& syn, snn::LayerRole role,
+                     snn::StageState& st) const override;
+  void step_readout(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, std::size_t t,
+                    snn::StageState& st) const override;
+
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Binary phase weight of timestep `t`: 2^-(1 + t mod K).

@@ -43,57 +43,67 @@ void RateScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
   out.finalize(ws.sort);
 }
 
-void RateScheme::run_layer_into(const EventBuffer& in,
-                                const SynapseTopology& syn, LayerRole role,
-                                SimWorkspace& ws, EventBuffer& out) const {
+void RateScheme::begin_layer(const EventBuffer& in, const SynapseTopology& syn,
+                             LayerRole role, snn::StageState& st,
+                             EventBuffer& out) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
   const std::size_t out_n = syn.out_size();
-  const float theta = params_.threshold;
+  out.reset(out_n, params_.window);
+  st.accum_map(syn);
+  st.potentials(out_n);
+  st.fired_scratch(out_n);
+}
+
+void RateScheme::step_layer(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, std::size_t t, snn::StageState& st,
+                            EventBuffer& out) const {
   // Rate invariant: a spike train firing at rate r represents activation r.
   // Arrivals carry theta and the fire threshold is theta, so the output rate
   // equals the weighted input rate regardless of the role -- theta is a pure
   // gauge for rate coding (it matters for phase/burst/TTFS capacity).
-  const float m_in = theta;
+  const float theta = params_.threshold;
   static_cast<void>(role);
-  out.reset(out_n, params_.window);
-  const bool transposed = syn.accum_layout().transposed;
-  const std::uint32_t* umap = ws.accum_map(syn);
+  snn::propagate_step(in, t, theta, syn, st.batch, st.u.data());
   // Subtract-mode threshold scan: fire where u >= theta and soft-reset by
   // draining theta (residual preserved, RMP-SNN). Identity layouts skip
   // the umap indirection inside the kernel.
   simd::ThresholdCtx fire;
-  fire.u = ws.potentials(out_n);
-  fire.umap = transposed ? umap : nullptr;
-  fire.n = out_n;
+  fire.u = st.u.data();
+  fire.umap = st.transposed ? st.umap.data() : nullptr;
+  fire.n = syn.out_size();
   fire.threshold = theta;
   fire.subtract = true;
-  fire.fired = ws.fired_scratch(out_n);
-  const auto& kern = simd::kernels();
-  for (std::size_t t = 0; t < in.window() && t < params_.window; ++t) {
-    snn::propagate_step(in, t, m_in, syn, ws.batch, fire.u);
-    const std::size_t nf = kern.threshold_fire(fire);
-    for (std::size_t f = 0; f < nf; ++f) {
-      out.push(static_cast<std::int32_t>(t), fire.fired[f]);
-    }
+  fire.fired = st.fired.data();
+  const std::size_t nf = simd::kernels().threshold_fire(fire);
+  for (std::size_t f = 0; f < nf; ++f) {
+    out.push(static_cast<std::int32_t>(t), fire.fired[f]);
   }
-  out.finalize(ws.sort);
 }
 
-void RateScheme::readout_into(const EventBuffer& in, const SynapseTopology& syn,
-                              LayerRole role, SimWorkspace& ws,
-                              float* logits) const {
+void RateScheme::end_layer(const EventBuffer& in, const SynapseTopology& syn,
+                           LayerRole role, snn::StageState& st,
+                           EventBuffer& out) const {
+  static_cast<void>(in);
+  static_cast<void>(syn);
+  static_cast<void>(role);
+  out.finalize(st.sort);
+}
+
+void RateScheme::begin_readout(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               snn::StageState& st) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
   static_cast<void>(role);
-  const float m_in = params_.threshold;
-  const std::size_t out_n = syn.out_size();
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  for (std::size_t t = 0; t < in.window(); ++t) {
-    snn::propagate_step(in, t, m_in, syn, ws.batch, u);
-  }
-  for (std::size_t j = 0; j < out_n; ++j) {
-    logits[j] = u[umap[j]];
-  }
+  st.accum_map(syn);
+  st.potentials(syn.out_size());
+}
+
+void RateScheme::step_readout(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, std::size_t t,
+                              snn::StageState& st) const {
+  static_cast<void>(role);
+  snn::propagate_step(in, t, params_.threshold, syn, st.batch, st.u.data());
 }
 
 Tensor RateScheme::decode(const snn::SpikeRaster& in) const {

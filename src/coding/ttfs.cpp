@@ -71,30 +71,38 @@ void TtfsScheme::encode_into(const Tensor& activations, SimWorkspace& ws,
   out.finalize(ws.sort);
 }
 
-void TtfsScheme::charge(const EventBuffer& in, const SynapseTopology& syn,
-                        float base_in, snn::SpikeBatch& batch, float* u) const {
-  // Arrival order is irrelevant in the layered-window regime: the charge
-  // phase integrates the whole input window before any firing decision.
-  // Serves TTFS and TTAS alike (TTAS only widens the encode/fire bursts).
-  const float scale = base_in * kernel_sum_scale_;
-  for (std::size_t t = 0; t < in.window(); ++t) {
-    const float m = scale * kernel(static_cast<std::int64_t>(t));
-    snn::propagate_step(in, t, m, syn, batch, u);
-  }
+void TtfsScheme::begin_layer(const EventBuffer& in, const SynapseTopology& syn,
+                             LayerRole role, snn::StageState& st,
+                             EventBuffer& out) const {
+  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
+  st.accum_map(syn);
+  st.potentials(syn.out_size());
+  out.reset(syn.out_size(), raster_window());
 }
 
-void TtfsScheme::run_layer_into(const EventBuffer& in,
-                                const SynapseTopology& syn, LayerRole role,
-                                SimWorkspace& ws, EventBuffer& out) const {
-  TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+void TtfsScheme::step_layer(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, std::size_t t, snn::StageState& st,
+                            EventBuffer& out) const {
+  // Charge phase: arrival order is irrelevant in the layered-window regime
+  // -- the full input window is integrated before any firing decision
+  // (end_layer). Serves TTFS and TTAS alike (TTAS only widens the bursts).
+  static_cast<void>(out);
+  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
+  const float m =
+      base_in * kernel_sum_scale_ * kernel(static_cast<std::int64_t>(t));
+  snn::propagate_step(in, t, m, syn, st.batch, st.u.data());
+}
+
+void TtfsScheme::end_layer(const EventBuffer& in, const SynapseTopology& syn,
+                           LayerRole role, snn::StageState& st,
+                           EventBuffer& out) const {
+  static_cast<void>(in);
+  static_cast<void>(role);
   const std::size_t out_n = syn.out_size();
   const float theta = params_.threshold;
-  const float base_in = role == LayerRole::kFirstHidden ? 1.0f : theta;
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  charge(in, syn, base_in, ws.batch, u);
-
-  out.reset(out_n, raster_window());
+  float* u = st.u.data();
+  const std::uint32_t* umap = st.umap.data();
   const auto window = static_cast<std::int64_t>(params_.window);
   // Fire phase: u >= theta*exp(-t/tau)  <=>  t >= tau*ln(theta/u). The
   // dynamic threshold floor is theta*exp(-(T-1)/tau); below it (including
@@ -105,11 +113,11 @@ void TtfsScheme::run_layer_into(const EventBuffer& in,
   const float floor = theta * kernel(window - 1);
   simd::ThresholdCtx scan;
   scan.u = u;
-  scan.umap = syn.accum_layout().transposed ? umap : nullptr;
+  scan.umap = st.transposed ? umap : nullptr;
   scan.n = out_n;
   scan.threshold = floor;
   scan.subtract = false;
-  scan.fired = ws.fired_scratch(out_n);
+  scan.fired = st.fired_scratch(out_n);
   const std::size_t nf = simd::kernels().threshold_fire(scan);
   for (std::size_t f = 0; f < nf; ++f) {
     const std::uint32_t j = scan.fired[f];
@@ -128,21 +136,25 @@ void TtfsScheme::run_layer_into(const EventBuffer& in,
       out.push(static_cast<std::int32_t>(t1 + static_cast<std::int64_t>(b)), j);
     }
   }
-  out.finalize(ws.sort);
+  out.finalize(st.sort);
 }
 
-void TtfsScheme::readout_into(const EventBuffer& in, const SynapseTopology& syn,
-                              LayerRole role, SimWorkspace& ws,
-                              float* logits) const {
+void TtfsScheme::begin_readout(const EventBuffer& in,
+                               const SynapseTopology& syn, LayerRole role,
+                               snn::StageState& st) const {
   TSNN_CHECK_MSG(in.num_neurons() == syn.in_size(), "train/synapse size mismatch");
+  static_cast<void>(role);
+  st.accum_map(syn);
+  st.potentials(syn.out_size());
+}
+
+void TtfsScheme::step_readout(const EventBuffer& in, const SynapseTopology& syn,
+                              LayerRole role, std::size_t t,
+                              snn::StageState& st) const {
   const float base_in = role == LayerRole::kFirstHidden ? 1.0f : params_.threshold;
-  const std::size_t out_n = syn.out_size();
-  const std::uint32_t* umap = ws.accum_map(syn);
-  float* u = ws.potentials(out_n);
-  charge(in, syn, base_in, ws.batch, u);
-  for (std::size_t j = 0; j < out_n; ++j) {
-    logits[j] = u[umap[j]];
-  }
+  const float m =
+      base_in * kernel_sum_scale_ * kernel(static_cast<std::int64_t>(t));
+  snn::propagate_step(in, t, m, syn, st.batch, st.u.data());
 }
 
 Tensor TtfsScheme::decode(const snn::SpikeRaster& in) const {

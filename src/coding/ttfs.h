@@ -38,13 +38,30 @@ class TtfsScheme : public snn::CodingScheme {
 
   void encode_into(const Tensor& activations, snn::SimWorkspace& ws,
                    snn::EventBuffer& out) const override;
-  void run_layer_into(const snn::EventBuffer& in,
-                      const snn::SynapseTopology& syn, snn::LayerRole role,
-                      snn::SimWorkspace& ws,
-                      snn::EventBuffer& out) const override;
-  void readout_into(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
-                    snn::LayerRole role, snn::SimWorkspace& ws,
-                    float* logits) const override;
+
+  /// Layered-window regime: the charge phase integrates the full input
+  /// window before any firing decision (end_layer), so TTFS/TTAS hidden
+  /// layers are barrier stages in the stepped core.
+  bool causal_step() const override { return false; }
+  std::size_t layer_steps(std::size_t in_window) const override {
+    return in_window;
+  }
+  void begin_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                   snn::LayerRole role, snn::StageState& st,
+                   snn::EventBuffer& out) const override;
+  void step_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                  snn::LayerRole role, std::size_t t, snn::StageState& st,
+                  snn::EventBuffer& out) const override;
+  void end_layer(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                 snn::LayerRole role, snn::StageState& st,
+                 snn::EventBuffer& out) const override;
+  void begin_readout(const snn::EventBuffer& in,
+                     const snn::SynapseTopology& syn, snn::LayerRole role,
+                     snn::StageState& st) const override;
+  void step_readout(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
+                    snn::LayerRole role, std::size_t t,
+                    snn::StageState& st) const override;
+
   Tensor decode(const snn::SpikeRaster& in) const override;
 
   /// Exponential PSC kernel value exp(-t/tau).
@@ -62,12 +79,6 @@ class TtfsScheme : public snn::CodingScheme {
   float min_activation() const { return kernel(static_cast<std::int64_t>(params_.window) - 1); }
 
  private:
-  /// Accumulates all arrivals of `in` into `u` (length syn.out_size())
-  /// via per-step SpikeBatch propagation -- the shared hot path of both
-  /// run_layer_into() and readout_into(), for TTFS and TTAS alike.
-  void charge(const snn::EventBuffer& in, const snn::SynapseTopology& syn,
-              float base_in, snn::SpikeBatch& batch, float* u) const;
-
   float kernel_sum_scale_ = 1.0f;
 };
 

@@ -66,7 +66,8 @@ namespace {
 /// The workspace is thread_local: warm across cells, sweeps, and (on a
 /// persistent pool) whole benches.
 void eval_cell_image(const EvalCell& cell, std::size_t i,
-                     std::uint8_t* correct, std::size_t* spikes) {
+                     std::uint8_t* correct, std::size_t* spikes,
+                     std::size_t* decisions) {
   thread_local snn::SimWorkspace ws;
   thread_local snn::SimResult r;
   thread_local Tensor corrupted;  ///< input-noise scratch, grow-only
@@ -76,10 +77,13 @@ void eval_cell_image(const EvalCell& cell, std::size_t i,
     cell.input_noise->apply_into(*image, corrupted, rng);
     image = &corrupted;
   }
-  snn::simulate_into(*cell.model, *cell.scheme, *image, cell.noise, &rng, ws,
-                     r);
+  snn::simulate_into(
+      snn::SimRequest{cell.model, cell.scheme, cell.noise, &rng, &ws,
+                      cell.policy},
+      *image, r);
   *correct = r.predicted_class == (*cell.labels)[i] ? 1 : 0;
   *spikes = r.total_spikes;
+  *decisions = r.decision_timestep;
 }
 
 void check_cells(const std::vector<EvalCell>& cells) {
@@ -96,18 +100,22 @@ void check_cells(const std::vector<EvalCell>& cells) {
 /// Reduces one completed cell in image-index order (the serial reduction
 /// order, so results are bit-identical at any thread count).
 EvalCellResult reduce_cell(const std::uint8_t* correct,
-                           const std::size_t* spikes, std::size_t n) {
+                           const std::size_t* spikes,
+                           const std::size_t* decisions, std::size_t n) {
   std::size_t num_correct = 0;
   double spike_acc = 0.0;
+  double decision_acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     num_correct += correct[i];
     spike_acc += static_cast<double>(spikes[i]);
+    decision_acc += static_cast<double>(decisions[i]);
   }
   EvalCellResult result;
   if (n > 0) {
     result.accuracy =
         static_cast<double>(num_correct) / static_cast<double>(n);
     result.mean_spikes = spike_acc / static_cast<double>(n);
+    result.mean_decision_timesteps = decision_acc / static_cast<double>(n);
   }
   return result;
 }
@@ -120,6 +128,7 @@ struct GridState {
   std::vector<std::size_t> offsets;   ///< per-cell prefix sums, cells+1 long
   std::vector<std::uint8_t> correct;  ///< task-indexed (cell-major)
   std::vector<std::size_t> spikes;    ///< task-indexed (cell-major)
+  std::vector<std::size_t> decisions; ///< task-indexed (cell-major)
   std::unique_ptr<std::atomic<std::size_t>[]> remaining;  ///< images left per cell
   std::mutex mutex;
   std::condition_variable cell_done;
@@ -139,7 +148,7 @@ struct GridState {
     const std::size_t c = cell_of(t);
     const std::size_t i = t - offsets[c];
     try {
-      eval_cell_image((*cells)[c], i, &correct[t], &spikes[t]);
+      eval_cell_image((*cells)[c], i, &correct[t], &spikes[t], &decisions[t]);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex);
       if (!error) {
@@ -194,14 +203,17 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
     // Serial grid walk on the calling thread, cell by cell in index order.
     std::vector<std::uint8_t> correct;
     std::vector<std::size_t> spikes;
+    std::vector<std::size_t> decisions;
     for (std::size_t c = 0; c < cells.size(); ++c) {
       const std::size_t n = cells[c].images->size();
       correct.resize(n);
       spikes.resize(n);
+      decisions.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        eval_cell_image(cells[c], i, &correct[i], &spikes[i]);
+        eval_cell_image(cells[c], i, &correct[i], &spikes[i], &decisions[i]);
       }
-      emit_cell(results, c, reduce_cell(correct.data(), spikes.data(), n),
+      emit_cell(results, c,
+                reduce_cell(correct.data(), spikes.data(), decisions.data(), n),
                 options);
     }
     return results;
@@ -225,6 +237,7 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
   }
   state.correct.assign(total_tasks, 0);
   state.spikes.assign(total_tasks, 0);
+  state.decisions.assign(total_tasks, 0);
   state.remaining = std::make_unique<std::atomic<std::size_t>[]>(cells.size());
   state.done.assign(cells.size(), 0);
   for (std::size_t c = 0; c < cells.size(); ++c) {
@@ -258,7 +271,8 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
       const std::size_t n = cells[c].images->size();
       emit_cell(results, c,
                 reduce_cell(&state.correct[state.offsets[c]],
-                            &state.spikes[state.offsets[c]], n),
+                            &state.spikes[state.offsets[c]],
+                            &state.decisions[state.offsets[c]], n),
                 options);
     }
   } catch (...) {
@@ -351,6 +365,7 @@ std::vector<SweepRow> sweep(const SweepInputs& in,
     row.accuracy = result.accuracy;
     row.mean_spikes = result.mean_spikes;
     row.ws_factor = static_cast<double>(meta[c].ws_factor);
+    row.mean_decision_timesteps = result.mean_decision_timesteps;
     rows.push_back(std::move(row));
     const SweepRow& r = rows.back();
     if (options.on_row) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "snn/coding_base.h"
+#include "snn/simulator.h"
 #include "snn/snn_model.h"
 
 namespace tsnn {
@@ -79,6 +80,9 @@ struct SweepRow {
   double accuracy = 0.0;    ///< fraction in [0,1]
   double mean_spikes = 0.0; ///< spikes per image across the whole network
   double ws_factor = 1.0;   ///< weight scaling actually applied (1 = none)
+  /// Mean readout timesteps to decision; the full window unless an
+  /// early-exit DecisionPolicy is active (anytime inference).
+  double mean_decision_timesteps = 0.0;
 };
 
 /// Evaluation inputs shared by the sweeps.
@@ -147,6 +151,9 @@ struct EvalCell {
   const std::vector<Tensor>* images = nullptr;
   const std::vector<std::size_t>* labels = nullptr;
   std::uint64_t seed = 0;  ///< image i draws from Rng::for_stream(seed, i)
+  /// Anytime-inference policy for every image of this cell (off = the
+  /// bit-identical full-window reference path).
+  snn::DecisionPolicy policy;
 };
 
 /// Reduction of one completed cell (image-index order, so results are
@@ -154,6 +161,7 @@ struct EvalCell {
 struct EvalCellResult {
   double accuracy = 0.0;
   double mean_spikes = 0.0;
+  double mean_decision_timesteps = 0.0;
 };
 
 /// How run_grid schedules its cells; same guarantees as SweepOptions

@@ -38,7 +38,9 @@ snn::SimResult NoiseRobustPipeline::run(const Tensor& image,
                                         std::uint64_t stream) {
   Rng rng = Rng::for_stream(config_.noise_seed, stream);
   snn::SimResult result;
-  snn::simulate_into(model_, *scheme_, image, noise, &rng, workspace_, result);
+  snn::simulate_into(
+      snn::SimRequest{&model_, scheme_.get(), noise, &rng, &workspace_}, image,
+      result);
   return result;
 }
 

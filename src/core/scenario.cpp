@@ -131,6 +131,50 @@ NoiseLayerSpec parse_layer(const std::string& token, std::size_t line) {
   return layer;
 }
 
+/// Parses the early_exit value: "off" or a comma list of margin:M, min:N,
+/// deadline:D tokens -- the format snn::DecisionPolicy::describe() emits,
+/// so specs round-trip through to_text().
+snn::DecisionPolicy parse_early_exit(const std::string& value,
+                                     std::size_t line) {
+  snn::DecisionPolicy policy;
+  if (str::trim(value) == "off") {
+    return policy;
+  }
+  for (const std::string& token : split_list(value)) {
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      parse_error(line, "early_exit token '" + token +
+                            "' needs kind:value (e.g. margin:0.2)");
+    }
+    const std::string kind = str::trim(token.substr(0, colon));
+    const std::string val = str::trim(token.substr(colon + 1));
+    if (kind == "margin") {
+      policy.mode = snn::DecisionPolicy::Mode::kMargin;
+      policy.margin =
+          static_cast<float>(parse_double(val, line, "early_exit margin"));
+      if (policy.margin < 0.0f) {
+        parse_error(line, "early_exit margin must be >= 0");
+      }
+    } else if (kind == "min") {
+      policy.min_timesteps = static_cast<std::size_t>(
+          parse_uint(val, line, "early_exit min"));
+    } else if (kind == "deadline") {
+      policy.deadline = static_cast<std::size_t>(
+          parse_uint(val, line, "early_exit deadline"));
+      if (policy.deadline == 0) {
+        parse_error(line, "early_exit deadline must be >= 1");
+      }
+    } else {
+      parse_error(line, "unknown early_exit token kind '" + kind + "'");
+    }
+  }
+  if (!policy.enabled()) {
+    parse_error(line,
+                "early_exit needs margin: or deadline: (or the value 'off')");
+  }
+  return policy;
+}
+
 /// Validates the cross-field constraints a fully parsed spec must satisfy.
 void validate_spec(const ScenarioSpec& spec, std::size_t line) {
   if (spec.name.empty()) {
@@ -228,6 +272,8 @@ ScenarioSpec parse_section(
     } else if (key == "seed") {
       spec.seed = parse_uint(value, line, "seed");
       spec.has_seed = true;
+    } else if (key == "early_exit") {
+      spec.early_exit = parse_early_exit(value, line);
     } else {
       parse_error(line, "unknown key '" + key + "'");
     }
@@ -335,6 +381,9 @@ std::string ScenarioSpec::to_text() const {
   }
   if (has_seed) {
     out += "seed = " + std::to_string(seed) + "\n";
+  }
+  if (early_exit.enabled()) {
+    out += "early_exit = " + early_exit.describe() + "\n";
   }
   return out;
 }
@@ -457,6 +506,13 @@ name = devices
 datasets = s-mnist, s-cifar10, s-cifar20
 methods = rate+WS, ttfs, ttfs+WS, ttas(5)+WS
 noise = device:sweep
+
+[scenario]
+name = devices_anytime
+datasets = s-mnist
+methods = ttfs, ttas(5)
+noise = device:sweep
+early_exit = margin:0.1, min:2
 )";
 
 /// Mixed stacks the paper never ran: deletion and jitter together, and
@@ -482,6 +538,14 @@ datasets = s-mnist
 methods = rate+WS, ttfs+WS, ttas(5)+WS
 noise = input:0.05, deletion:sweep, jitter:0.5
 levels = 0, 0.1, 0.3, 0.5, 0.7
+
+[scenario]
+name = stress_anytime_deletion
+datasets = s-mnist
+methods = rate, ttfs, ttas(5)
+noise = deletion:sweep
+levels = 0, 0.2, 0.4
+early_exit = margin:0.1, min:2
 )";
 
 }  // namespace
@@ -786,6 +850,7 @@ std::vector<ScenarioResult> ScenarioEngine::run(
           cell.images = w.images;
           cell.labels = w.labels;
           cell.seed = seed;
+          cell.policy = spec.early_exit;
           cells.push_back(cell);
 
           CellMeta cm;
@@ -808,6 +873,7 @@ std::vector<ScenarioResult> ScenarioEngine::run(
     CellMeta& cm = meta[c];
     cm.row.accuracy = cell_result.accuracy;
     cm.row.mean_spikes = cell_result.mean_spikes;
+    cm.row.mean_decision_timesteps = cell_result.mean_decision_timesteps;
     ScenarioResult& result = results[cm.scenario];
     result.rows.push_back(cm.row);
     result.images_simulated += cells[c].images->size();

@@ -22,6 +22,9 @@
 //   levels = 0, 0.1, 0.3, 0.5, 0.7      # grid of the "sweep" layer
 //   images = 40                          # optional; engine default if absent
 //   seed = 48879                         # optional; engine default if absent
+//   early_exit = margin:0.2, min:4       # optional anytime policy (any of
+//                                        # margin:M, min:N, deadline:D, or
+//                                        # "off"); default off
 //
 // The noise stack is an *ordered* list (CompositeNoise's ordering contract,
 // noise/noise.h): layers apply left to right. Layer kinds:
@@ -82,6 +85,11 @@ struct ScenarioSpec {
   std::size_t images = 0;             ///< 0 = engine default
   std::uint64_t seed = 0;             ///< meaningful iff has_seed
   bool has_seed = false;
+  /// Anytime-inference policy applied to every cell of the scenario. Text
+  /// key `early_exit = margin:0.2, min:4, deadline:32` (any subset; or
+  /// `off`) -- DecisionPolicy::describe()'s format, so specs round-trip.
+  /// Off by default: results stay bit-identical to the reference core.
+  snn::DecisionPolicy early_exit;
 
   /// Parses exactly one scenario (with or without a leading [scenario]
   /// header); throws InvalidArgument with a line diagnostic on any error.
@@ -146,6 +154,9 @@ struct ScenarioRow {
   double accuracy = 0.0;
   double mean_spikes = 0.0;
   double ws_factor = 1.0;  ///< weight scaling actually applied (1 = none)
+  /// Mean readout timesteps to decision -- the full window unless the
+  /// scenario's early_exit policy is active.
+  double mean_decision_timesteps = 0.0;
 };
 
 /// All rows of one scenario, in grid order (dataset-major, then method,

@@ -92,17 +92,63 @@ class CodingScheme {
 
   /// Simulates one hidden spiking layer fed by `in` through `syn`:
   /// integrates PSCs (weighing arrivals per `role`), applies the scheme's
-  /// firing rule, emits the output spike train into `out`.
-  virtual void run_layer_into(const EventBuffer& in, const SynapseTopology& syn,
-                              LayerRole role, SimWorkspace& ws,
-                              EventBuffer& out) const = 0;
+  /// firing rule, emits the output spike train into `out`. Non-virtual: a
+  /// loop over the stepped hooks below, leasing `ws.seq`, so the
+  /// layer-sequential reference and the time-major SteppedRunner share one
+  /// arithmetic definition per scheme (bit-identity by construction).
+  void run_layer_into(const EventBuffer& in, const SynapseTopology& syn,
+                      LayerRole role, SimWorkspace& ws,
+                      EventBuffer& out) const;
 
   /// Accumulates the non-firing readout layer into `logits` (length
   /// syn.out_size(), overwritten): total PSC per output neuron over the
-  /// window (the "membrane potential" logits).
-  virtual void readout_into(const EventBuffer& in, const SynapseTopology& syn,
-                            LayerRole role, SimWorkspace& ws,
-                            float* logits) const = 0;
+  /// window (the "membrane potential" logits). Non-virtual loop over the
+  /// stepped readout hooks, like run_layer_into().
+  void readout_into(const EventBuffer& in, const SynapseTopology& syn,
+                    LayerRole role, SimWorkspace& ws, float* logits) const;
+
+  // Stepped (time-major) interface ----------------------------------------
+  // One layer run decomposes into begin_layer, layer_steps(in.window())
+  // step_layer calls at t = 0..steps-1, then end_layer (which must leave
+  // `out` finalized); a readout run into begin_readout, in.window()
+  // step_readout calls, then finish_readout. All state lives in the leased
+  // StageState, so snn::SteppedRunner can hold every stage of the network
+  // in flight at once and interleave their timesteps in wavefront order.
+
+  /// True when step_layer(t) reads only input steps <= t, so a time-major
+  /// runner may consume the producing stage's steps as they close.
+  /// TTFS/TTAS hidden layers integrate the full input window before the
+  /// analytic fire phase in end_layer, so they are barrier stages (false).
+  /// Readouts are per-step causal for every scheme.
+  virtual bool causal_step() const = 0;
+
+  /// Number of step_layer() calls a layer run performs on an input train
+  /// of window `in_window`.
+  virtual std::size_t layer_steps(std::size_t in_window) const = 0;
+
+  virtual void begin_layer(const EventBuffer& in, const SynapseTopology& syn,
+                           LayerRole role, StageState& st,
+                           EventBuffer& out) const = 0;
+  virtual void step_layer(const EventBuffer& in, const SynapseTopology& syn,
+                          LayerRole role, std::size_t t, StageState& st,
+                          EventBuffer& out) const = 0;
+  /// Completes the layer (e.g. the TTFS/TTAS analytic fire phase) and
+  /// finalizes `out`.
+  virtual void end_layer(const EventBuffer& in, const SynapseTopology& syn,
+                         LayerRole role, StageState& st,
+                         EventBuffer& out) const = 0;
+
+  virtual void begin_readout(const EventBuffer& in, const SynapseTopology& syn,
+                             LayerRole role, StageState& st) const = 0;
+  /// Accumulates input step `t` into the readout potentials.
+  virtual void step_readout(const EventBuffer& in, const SynapseTopology& syn,
+                            LayerRole role, std::size_t t,
+                            StageState& st) const = 0;
+  /// Copies the accumulated potentials into `logits` (length
+  /// syn.out_size()). Pure copy through the accumulator map -- callable
+  /// after any prefix of the readout steps (the anytime-inference hook).
+  virtual void finish_readout(const SynapseTopology& syn, StageState& st,
+                              float* logits) const;
 
   /// Decodes an encoder-convention spike train back to activation estimates
   /// (per neuron). Exercised by round-trip property tests and analyses.

@@ -13,6 +13,7 @@ void EventBuffer::reset(std::size_t num_neurons, std::size_t window) {
   window_ = window;
   times_.clear();
   neurons_.clear();
+  closed_ = 0;
   sorted_ = true;
   finalized_ = false;
 }
@@ -45,6 +46,7 @@ void EventBuffer::finalize(EventSortScratch& scratch) {
     neurons_.swap(scratch.neurons);
     sorted_ = true;
   }
+  closed_ = 0;  // incremental closes are subsumed by the full offset table
   finalized_ = true;
 }
 

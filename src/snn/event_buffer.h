@@ -66,6 +66,9 @@ class EventBuffer {
   void push(std::int32_t t, std::uint32_t neuron) {
     TSNN_CHECK_MSG(t >= 0 && static_cast<std::size_t>(t) < window_,
                    "event time " << t << " outside window " << window_);
+    TSNN_CHECK_MSG(static_cast<std::size_t>(t) >= closed_,
+                   "event time " << t << " in already-closed step (closed "
+                                 << closed_ << ")");
     TSNN_CHECK_MSG(neuron < num_neurons_,
                    "neuron " << neuron << " out of range " << num_neurons_);
     sorted_ = sorted_ && (times_.empty() || t >= times_.back());
@@ -79,25 +82,48 @@ class EventBuffer {
   void finalize(EventSortScratch& scratch);
   bool finalized() const { return finalized_; }
 
+  /// Incremental production for the time-major stepped core: declares step
+  /// `steps_closed()` complete, making it readable via step()/step_begin/
+  /// step_count before the train is finalized. Requires time-ordered pushes
+  /// (every scheme's layer loop emits timestep-major, so this holds by
+  /// construction); once a step is closed, push() rejects events landing in
+  /// it. finalize() still rebuilds the whole offset table, so a partially
+  /// closed buffer finalizes to the exact same state as a batch-produced one.
+  void close_step() {
+    TSNN_CHECK_MSG(sorted_ && !finalized_,
+                   "close_step requires time-ordered, unfinalized pushes");
+    TSNN_CHECK_MSG(closed_ < window_, "all steps already closed");
+    if (closed_ == 0) {
+      offsets_.resize(window_ + 1);
+      offsets_[0] = 0;
+    }
+    offsets_[closed_ + 1] = static_cast<std::uint32_t>(times_.size());
+    ++closed_;
+  }
+  /// Number of leading steps readable on an unfinalized buffer.
+  std::size_t steps_closed() const { return closed_; }
+
   /// One step's events as a pointer span.
   struct StepSpan {
     const std::uint32_t* ids;
     std::size_t count;
   };
 
-  /// Events of step `t`, in emission order (finalized buffers only). The
-  /// span form does the finalized check once per step -- the hot loops'
-  /// shape; step_begin/step_count are the piecemeal equivalents.
+  /// Events of step `t`, in emission order. Readable once the buffer is
+  /// finalized, or -- for the stepped core's wavefront consumers -- as soon
+  /// as the producing loop has close_step()ed past `t`. The span form does
+  /// the readable check once per step -- the hot loops' shape;
+  /// step_begin/step_count are the piecemeal equivalents.
   StepSpan step(std::size_t t) const {
-    check_finalized();
+    check_step_readable(t);
     return {neurons_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
   }
   const std::uint32_t* step_begin(std::size_t t) const {
-    check_finalized();
+    check_step_readable(t);
     return neurons_.data() + offsets_[t];
   }
   std::size_t step_count(std::size_t t) const {
-    check_finalized();
+    check_step_readable(t);
     return offsets_[t + 1] - offsets_[t];
   }
 
@@ -166,9 +192,14 @@ class EventBuffer {
   void check_finalized() const {
     TSNN_CHECK_MSG(finalized_, "EventBuffer not finalized");
   }
+  void check_step_readable(std::size_t t) const {
+    TSNN_CHECK_MSG(finalized_ || t < closed_,
+                   "EventBuffer step " << t << " not finalized or closed");
+  }
 
   std::size_t num_neurons_ = 0;
   std::size_t window_ = 0;
+  std::size_t closed_ = 0;  ///< leading steps closed by close_step()
   bool sorted_ = true;     ///< pushes so far are non-decreasing in time
   bool finalized_ = false;
   // Aligned so the propagation and compaction kernels stream whole cache

@@ -1,22 +1,89 @@
 #include "snn/simulator.h"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <utility>
 
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace tsnn::snn {
 
-void simulate_into(const SimRequest& req, const Tensor& image,
-                   SimResult& out) {
+std::string DecisionPolicy::describe() const {
+  if (!enabled()) {
+    return "off";
+  }
+  std::string s;
+  if (mode == Mode::kMargin) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), margin);
+    s += "margin:";
+    s.append(buf, res.ptr);
+  }
+  if (min_timesteps > 0) {
+    if (!s.empty()) {
+      s += ",";
+    }
+    s += "min:" + std::to_string(min_timesteps);
+  }
+  if (deadline > 0) {
+    if (!s.empty()) {
+      s += ",";
+    }
+    s += "deadline:" + std::to_string(deadline);
+  }
+  return s;
+}
+
+float logit_margin(const float* logits, std::size_t n) {
+  if (n < 2) {
+    return 0.0f;
+  }
+  float top1 = std::numeric_limits<float>::lowest();
+  float top2 = std::numeric_limits<float>::lowest();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = logits[i];
+    if (v > top1) {
+      top2 = top1;
+      top1 = v;
+    } else if (v > top2) {
+      top2 = v;
+    }
+  }
+  return top1 - top2;
+}
+
+bool stepped_forced() {
+  static const bool forced = env::get_bool("TSNN_STEPPED", false);
+  return forced;
+}
+
+namespace {
+
+/// Shared entry validation of both execution cores.
+void check_request(const SimRequest& req, const Tensor& image) {
   TSNN_CHECK_MSG(req.model != nullptr && req.scheme != nullptr,
                  "SimRequest needs a model and a scheme");
+  TSNN_CHECK_MSG(req.noise == nullptr || req.rng != nullptr,
+                 "noise model requires an rng");
+  TSNN_CHECK_MSG(req.model->num_stages() > 0, "empty SNN model");
+  TSNN_CHECK_SHAPE(image.shape() == req.model->input_shape(),
+                   "image " << shape_to_string(image.shape()) << " expected "
+                            << shape_to_string(req.model->input_shape()));
+}
+
+}  // namespace
+
+void simulate_sequential_into(const SimRequest& req, const Tensor& image,
+                              SimResult& out) {
+  check_request(req, image);
   if (req.workspace == nullptr) {
     SimRequest with_ws = req;
     SimWorkspace ws;
     with_ws.workspace = &ws;
-    simulate_into(with_ws, image, out);
+    simulate_sequential_into(with_ws, image, out);
     return;
   }
   const SnnModel& model = *req.model;
@@ -24,12 +91,6 @@ void simulate_into(const SimRequest& req, const Tensor& image,
   const NoiseModel* noise = req.noise;
   Rng* rng = req.rng;
   SimWorkspace& ws = *req.workspace;
-  TSNN_CHECK_MSG(noise == nullptr || rng != nullptr,
-                 "noise model requires an rng");
-  TSNN_CHECK_MSG(model.num_stages() > 0, "empty SNN model");
-  TSNN_CHECK_SHAPE(image.shape() == model.input_shape(),
-                   "image " << shape_to_string(image.shape()) << " expected "
-                            << shape_to_string(model.input_shape()));
 
   out.layer_spikes.clear();
   out.total_spikes = 0;
@@ -61,32 +122,177 @@ void simulate_into(const SimRequest& req, const Tensor& image,
   }
   scheme.readout_into(ws.cur, readout_syn, role, ws, out.logits.data());
 
+  // The reference never exits early: the decision consumes the readout
+  // input's full window. Recorded anyway so results stay field-for-field
+  // comparable with the stepped core.
+  out.decision_timestep = ws.cur.window();
+  out.margin = logit_margin(out.logits.data(), num_classes);
+
   for (const std::size_t n : out.layer_spikes) {
     out.total_spikes += n;
   }
   out.predicted_class = ops::argmax(out.logits);
 }
 
+void SteppedRunner::run_into(const SimRequest& req, const Tensor& image,
+                             SimResult& out) {
+  check_request(req, image);
+  if (req.workspace == nullptr) {
+    SimRequest with_ws = req;
+    SimWorkspace ws;
+    with_ws.workspace = &ws;
+    run_into(with_ws, image, out);
+    return;
+  }
+  const SnnModel& model = *req.model;
+  const CodingScheme& scheme = *req.scheme;
+  const NoiseModel* noise = req.noise;
+  Rng* rng = req.rng;
+  SimWorkspace& ws = *req.workspace;
+  const DecisionPolicy& policy = req.policy;
+
+  out.layer_spikes.clear();
+  out.total_spikes = 0;
+
+  scheme.encode_into(image, ws, ws.cur);
+  if (noise != nullptr) {
+    noise->apply_inplace(ws.cur, ws.sort, *rng);
+  }
+  out.layer_spikes.push_back(ws.cur.size());
+
+  const std::size_t num_stages = model.num_stages();
+  const std::size_t hidden = num_stages - 1;
+  const SynapseTopology& readout_syn = *model.stage(num_stages - 1).synapse;
+  const std::size_t num_classes = readout_syn.out_size();
+  if (out.logits.rank() != 1 || out.logits.dim(0) != num_classes) {
+    out.logits = Tensor{Shape{num_classes}};  // first use only
+  }
+  float* const logits = out.logits.data();
+  StageState& rst = ws.stage_state(num_stages - 1);
+
+  // Per-readout-step policy evaluation, shared by both regimes. Consuming
+  // step t may finish the decision: on a margin check (not before
+  // min_timesteps) or a deadline hit the current potentials are copied out
+  // and the margin measured -- finish_readout is a pure copy, so peeking
+  // is free of side effects on the accumulation.
+  const bool margin_mode = policy.mode == DecisionPolicy::Mode::kMargin;
+  std::size_t consumed = 0;
+  bool exited = false;
+  const auto consume_readout_step = [&](const EventBuffer& rin,
+                                        LayerRole rrole, std::size_t t) {
+    scheme.step_readout(rin, readout_syn, rrole, t, rst);
+    consumed = t + 1;
+    const bool deadline_hit = policy.deadline > 0 && consumed >= policy.deadline;
+    const bool margin_check = margin_mode && consumed >= policy.min_timesteps;
+    if (margin_check || deadline_hit) {
+      scheme.finish_readout(readout_syn, rst, logits);
+      out.margin = logit_margin(logits, num_classes);
+      if (deadline_hit || out.margin >= policy.margin) {
+        exited = true;
+      }
+    }
+    return exited;
+  };
+
+  // Wavefront order needs every hidden stage to be per-step causal, and
+  // noise models corrupt *complete* trains in stage order from one Rng
+  // stream (the draw-order contract) -- with either obstacle the hidden
+  // stages run to completion stage by stage (arithmetic identical to the
+  // reference) and only the readout is stepped under the policy.
+  const bool wavefront = hidden > 0 && scheme.causal_step() && noise == nullptr;
+
+  if (!wavefront) {
+    LayerRole role = LayerRole::kFirstHidden;
+    for (std::size_t s = 0; s + 1 < num_stages; ++s) {
+      scheme.run_layer_into(ws.cur, *model.stage(s).synapse, role, ws, ws.next);
+      std::swap(ws.cur, ws.next);
+      role = LayerRole::kHidden;
+      if (noise != nullptr) {
+        noise->apply_inplace(ws.cur, ws.sort, *rng);
+      }
+      out.layer_spikes.push_back(ws.cur.size());
+    }
+    scheme.begin_readout(ws.cur, readout_syn, role, rst);
+    const std::size_t steps = ws.cur.window();
+    for (std::size_t t = 0; t < steps; ++t) {
+      if (consume_readout_step(ws.cur, role, t)) {
+        break;
+      }
+    }
+  } else {
+    // Lockstep wavefront: in round t, stage s consumes step t of its input
+    // (closed earlier the same round by stage s-1) and closes its own step
+    // t; then the readout consumes step t and the policy is consulted. An
+    // early exit truncates the remaining timesteps of every stage.
+    const auto stage_input = [&](std::size_t s) -> const EventBuffer& {
+      return s == 0 ? ws.cur : ws.stage_state(s - 1).out;
+    };
+    const auto stage_role = [](std::size_t s) {
+      return s == 0 ? LayerRole::kFirstHidden : LayerRole::kHidden;
+    };
+    for (std::size_t s = 0; s < hidden; ++s) {
+      StageState& st = ws.stage_state(s);
+      scheme.begin_layer(stage_input(s), *model.stage(s).synapse,
+                         stage_role(s), st, st.out);
+    }
+    const EventBuffer& rin = ws.stage_state(hidden - 1).out;
+    const LayerRole rrole = LayerRole::kHidden;
+    scheme.begin_readout(rin, readout_syn, rrole, rst);
+    const std::size_t readout_steps = rin.window();
+    for (std::size_t t = 0; t < readout_steps; ++t) {
+      for (std::size_t s = 0; s < hidden; ++s) {
+        StageState& st = ws.stage_state(s);
+        const EventBuffer& sin = stage_input(s);
+        const SynapseTopology& syn = *model.stage(s).synapse;
+        const std::size_t steps_s = scheme.layer_steps(sin.window());
+        if (t < steps_s) {
+          scheme.step_layer(sin, syn, stage_role(s), t, st, st.out);
+          st.out.close_step();
+          if (t + 1 == steps_s) {
+            scheme.end_layer(sin, syn, stage_role(s), st, st.out);
+          }
+        }
+      }
+      if (consume_readout_step(rin, rrole, t)) {
+        break;
+      }
+    }
+    for (std::size_t s = 0; s < hidden; ++s) {
+      out.layer_spikes.push_back(ws.stage_state(s).out.size());
+    }
+  }
+
+  if (!exited) {
+    scheme.finish_readout(readout_syn, rst, logits);
+    out.margin = logit_margin(logits, num_classes);
+  }
+  out.decision_timestep = consumed;
+
+  for (const std::size_t n : out.layer_spikes) {
+    out.total_spikes += n;
+  }
+  out.predicted_class = ops::argmax(out.logits);
+}
+
+void simulate_stepped_into(const SimRequest& req, const Tensor& image,
+                           SimResult& out) {
+  SteppedRunner runner;
+  runner.run_into(req, image, out);
+}
+
+void simulate_into(const SimRequest& req, const Tensor& image,
+                   SimResult& out) {
+  if (req.policy.enabled() || stepped_forced()) {
+    simulate_stepped_into(req, image, out);
+  } else {
+    simulate_sequential_into(req, image, out);
+  }
+}
+
 SimResult simulate(const SimRequest& req, const Tensor& image) {
   SimResult out;
   simulate_into(req, image, out);
   return out;
-}
-
-void simulate_into(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng* rng,
-                   SimWorkspace& ws, SimResult& out) {
-  simulate_into(SimRequest{&model, &scheme, noise, rng, &ws}, image, out);
-}
-
-SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng& rng) {
-  return simulate(SimRequest{&model, &scheme, noise, &rng, nullptr}, image);
-}
-
-SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image) {
-  return simulate(SimRequest{&model, &scheme}, image);
 }
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
@@ -110,15 +316,20 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   // to each worker's own (empty) instance instead.
   thread_local std::vector<std::uint8_t> correct_slots;
   thread_local std::vector<std::size_t> spike_slots;
+  thread_local std::vector<std::size_t> decision_slots;
   correct_slots.assign(n, 0);
   spike_slots.assign(n, 0);
+  decision_slots.assign(n, 0);
   std::uint8_t* const correct = correct_slots.data();
   std::size_t* const spikes = spike_slots.data();
+  std::size_t* const decisions = decision_slots.data();
   const auto eval_one = [&](std::size_t i, SimWorkspace& ws, SimResult& r) {
     Rng rng = Rng::for_stream(options.base_seed, i);
-    simulate_into(SimRequest{&model, &scheme, noise, &rng, &ws}, images[i], r);
+    simulate_into(SimRequest{&model, &scheme, noise, &rng, &ws, options.policy},
+                  images[i], r);
     correct[i] = r.predicted_class == labels[i] ? 1 : 0;
     spikes[i] = r.total_spikes;
+    decisions[i] = r.decision_timestep;
   };
   const auto eval_worker = [&](std::size_t i) {
     // One workspace per worker thread, reused across that thread's images
@@ -148,13 +359,16 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   }
 
   double spike_acc = 0.0;
+  double decision_acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     out.num_correct += correct[i];
     spike_acc += static_cast<double>(spikes[i]);
+    decision_acc += static_cast<double>(decisions[i]);
   }
   out.accuracy =
       static_cast<double>(out.num_correct) / static_cast<double>(n);
   out.mean_spikes_per_image = spike_acc / static_cast<double>(n);
+  out.mean_decision_timesteps = decision_acc / static_cast<double>(n);
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Layer-sequential SNN simulator.
+// SNN simulator: layer-sequential reference + time-major stepped core.
 //
 // Runs one image through a converted SnnModel under a coding scheme, with an
 // optional noise model corrupting every spike train (input encoding and all
@@ -7,19 +7,27 @@
 // accumulated membrane potential is the logit vector.
 //
 // The single entry point is a SimRequest: one options struct naming the
-// model, scheme, and optional noise/rng/workspace, so callers (and the
-// future serve mode) batch against one stable signature instead of an
-// overload family. The hot path is simulate_into(request, image, out):
-// spike trains live in the request's SimWorkspace as flat EventBuffers
-// ping-ponged between stages, noise is applied in place, and the
+// model, scheme, and optional noise/rng/workspace/decision policy, so
+// callers (and the future serve mode) batch against one stable signature
+// instead of an overload family. The hot path is
+// simulate_into(request, image, out): spike trains live in the request's
+// SimWorkspace as flat EventBuffers, noise is applied in place, and the
 // SimResult's storage is recycled -- once the workspace is warm,
 // simulating an image performs zero heap allocations (see
 // docs/ARCHITECTURE.md, "Event buffers & the zero-allocation workspace").
-// The legacy positional simulate()/simulate_into() signatures remain as
-// thin wrappers.
+//
+// Two execution cores share the schemes' stepped hooks (coding_base.h):
+// simulate_sequential_into() runs stages to completion one after another
+// (the reference), SteppedRunner advances all stages in lockstep wavefront
+// order, watching the readout margin after every consumed timestep and
+// terminating early when the SimRequest's DecisionPolicy says the decision
+// is stable (anytime inference, ROADMAP item 2). With the policy off the
+// two are bit-identical; simulate_into() routes to the stepped core when a
+// policy is enabled or TSNN_STEPPED=1 forces it.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,12 +42,45 @@ class ThreadPool;
 
 namespace tsnn::snn {
 
+/// When may the simulator stop consuming readout timesteps early? Off by
+/// default: the full window runs and results match the reference bit for
+/// bit. kMargin terminates once the top-1/top-2 logit gap reaches `margin`
+/// (checked after every consumed readout timestep, but not before
+/// `min_timesteps` of them); an optional hard `deadline` caps the consumed
+/// timesteps regardless of mode. Early exit is an opt-in semantic change:
+/// golden pins only hold with the policy off.
+struct DecisionPolicy {
+  enum class Mode {
+    kOff,     ///< never exit early (bit-identical to the reference)
+    kMargin,  ///< exit when top1 - top2 logit gap >= margin
+  };
+  Mode mode = Mode::kOff;
+  float margin = 0.0f;          ///< required top-2 logit gap (kMargin)
+  std::size_t min_timesteps = 0;  ///< never exit before this many readout steps
+  std::size_t deadline = 0;       ///< hard cap on readout steps; 0 = none
+
+  /// True when the policy can terminate an image early.
+  bool enabled() const { return mode != Mode::kOff || deadline > 0; }
+
+  /// Human-readable provenance string: "off" or e.g.
+  /// "margin:0.2,min:4,deadline:32" (omitting unset fields) -- the format
+  /// ScenarioSpec's `early_exit` key parses.
+  std::string describe() const;
+
+  bool operator==(const DecisionPolicy&) const = default;
+};
+
 /// Outcome of simulating one image.
 struct SimResult {
   Tensor logits;                            ///< readout potentials, one per class
   std::size_t predicted_class = 0;
   std::size_t total_spikes = 0;             ///< spikes across all spiking layers
   std::vector<std::size_t> layer_spikes;    ///< per spike-train (encoder + hidden)
+  /// Readout timesteps consumed before the decision. With the policy off
+  /// (or never firing) this is the readout input's full window -- the
+  /// no-anytime latency; both cores fill it identically.
+  std::size_t decision_timestep = 0;
+  float margin = 0.0f;  ///< top-1/top-2 logit gap at the decision
 };
 
 /// Everything one simulation needs besides the image: the model and coding
@@ -61,29 +102,58 @@ struct SimRequest {
   const NoiseModel* noise = nullptr;
   Rng* rng = nullptr;
   SimWorkspace* workspace = nullptr;
+  DecisionPolicy policy;  ///< anytime-inference policy; off by default
 };
 
-/// Zero-allocation core: simulates `image` per `req` into `out`, reusing
-/// the request's workspace (when set) and `out`'s storage.
+/// Zero-allocation entry point: simulates `image` per `req` into `out`,
+/// reusing the request's workspace (when set) and `out`'s storage. Routes
+/// to the stepped core when req.policy is enabled (or TSNN_STEPPED=1),
+/// otherwise to the layer-sequential reference -- indistinguishable with
+/// the policy off.
 void simulate_into(const SimRequest& req, const Tensor& image, SimResult& out);
 
 /// Convenience wrapper allocating a fresh SimResult per call.
 SimResult simulate(const SimRequest& req, const Tensor& image);
 
-/// Legacy positional wrapper over simulate_into(SimRequest, ...).
-void simulate_into(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng* rng,
-                   SimWorkspace& ws, SimResult& out);
+/// The layer-sequential reference core: each stage runs its full window
+/// before the next starts. Ignores req.policy (never exits early).
+void simulate_sequential_into(const SimRequest& req, const Tensor& image,
+                              SimResult& out);
 
-/// Legacy positional wrapper; `noise` (may be null) corrupts every spike
-/// train using `rng`.
-SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image, const NoiseModel* noise, Rng& rng);
+/// The time-major stepped core (always consulted policy): see SteppedRunner.
+void simulate_stepped_into(const SimRequest& req, const Tensor& image,
+                           SimResult& out);
 
-/// Legacy noise-free wrapper; draws no randomness (no Rng is constructed),
-/// so the result is a pure function of (model, scheme, image).
-SimResult simulate(const SnnModel& model, const CodingScheme& scheme,
-                   const Tensor& image);
+/// True when TSNN_STEPPED=1 forces simulate_into() through the stepped core
+/// even with the policy off (read once; used by CI to run the golden pins
+/// over the stepped core, which must be bit-identical).
+bool stepped_forced();
+
+/// Time-major stepped execution core.
+///
+/// For per-step-causal schemes (rate/phase/burst) on clean inputs, all
+/// hidden stages and the readout advance in lockstep wavefront order: in
+/// round t, stage s consumes step t of stage s-1's train (closed earlier
+/// the same round) and closes its own step t, then the readout consumes
+/// step t and the DecisionPolicy is consulted -- an early exit truncates
+/// the remaining timesteps of *every* stage.
+///
+/// TTFS/TTAS hidden layers are barrier stages (causal_step() == false: the
+/// analytic fire phase needs the whole input window), and noise models
+/// corrupt complete trains in stage order from one Rng stream (the draw-
+/// order contract). In either case the runner falls back to running hidden
+/// stages to completion stage by stage -- arithmetic identical to the
+/// reference -- and steps only the readout, where the policy still applies:
+/// decision_timestep then measures readout timesteps consumed, the
+/// on-hardware latency metric for temporal codings.
+class SteppedRunner {
+ public:
+  void run_into(const SimRequest& req, const Tensor& image, SimResult& out);
+};
+
+/// Top-1 minus top-2 of `logits` (0 when fewer than 2 entries) -- the
+/// decision margin both cores record.
+float logit_margin(const float* logits, std::size_t n);
 
 /// Batch evaluation: accuracy and mean spike count over a labeled set.
 struct BatchResult {
@@ -91,6 +161,9 @@ struct BatchResult {
   double mean_spikes_per_image = 0.0;
   std::size_t num_images = 0;
   std::size_t num_correct = 0;
+  /// Mean SimResult::decision_timestep -- with an early-exit policy, the
+  /// measured anytime latency; otherwise the full readout window.
+  double mean_decision_timesteps = 0.0;
 };
 
 /// How evaluate() runs the batch. Image i draws its noise from the private
@@ -110,6 +183,7 @@ struct EvalOptions {
   std::uint64_t base_seed = 0;  ///< seed of the per-image noise streams
   std::size_t num_threads = 1;  ///< worker count; 0 = hardware concurrency
   ThreadPool* pool = nullptr;   ///< external persistent pool (optional)
+  DecisionPolicy policy;        ///< per-image anytime policy; off by default
 };
 
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/aligned.h"
@@ -23,6 +24,71 @@
 #include "snn/topology.h"
 
 namespace tsnn::snn {
+
+/// Builds the canonical-neuron -> accumulator-slot map for `syn` (see
+/// SynapseTopology::accum_layout) into `umap`. Firing/readout loops index
+/// the potentials as u[map[j]]; identity layouts get the identity map, so
+/// scheme code has a single path.
+inline const std::uint32_t* build_accum_map(const SynapseTopology& syn,
+                                            aligned_vector<std::uint32_t>& umap) {
+  const AccumLayout l = syn.accum_layout();
+  const std::size_t n = syn.out_size();
+  umap.resize(n);
+  if (!l.transposed) {
+    for (std::size_t j = 0; j < n; ++j) {
+      umap[j] = static_cast<std::uint32_t>(j);
+    }
+  } else {
+    std::size_t j = 0;
+    for (std::size_t r = 0; r < l.rows; ++r) {
+      for (std::size_t c = 0; c < l.cols; ++c) {
+        umap[j++] = static_cast<std::uint32_t>(c * l.rows + r);
+      }
+    }
+  }
+  return umap.data();
+}
+
+/// Per-stage mutable state of one in-flight layer (or readout) run under
+/// the stepped CodingScheme interface (begin_layer/step_layer/end_layer).
+/// The layer-sequential loops lease SimWorkspace::seq; the time-major
+/// SteppedRunner leases one StageState per stage (SimWorkspace::stage_state)
+/// so every stage of the wavefront holds its own potentials, scratch, and
+/// output train concurrently. Grow-only, like the workspace itself.
+struct StageState {
+  EventSortScratch sort;  ///< counting-sort scratch for out.finalize()
+  SpikeBatch batch;       ///< per-step propagation batch
+  EventBuffer out;        ///< stage output train (SteppedRunner only; the
+                          ///< sequential loops emit into a caller buffer)
+
+  aligned_vector<float> u;             ///< membrane potentials accumulator
+  std::vector<std::uint32_t> k;        ///< burst escalation counters
+  std::vector<std::int64_t> isi_last;  ///< burst ISI decoder: last arrival
+  std::vector<std::uint32_t> isi_k;    ///< burst ISI decoder: run length
+  aligned_vector<std::uint32_t> umap;  ///< neuron -> accumulator slot
+  aligned_vector<std::uint32_t> fired;  ///< threshold_fire kernel output
+  bool transposed = false;  ///< cached syn.accum_layout().transposed
+
+  /// Zeroed potential array of length `n` (recycles capacity).
+  float* potentials(std::size_t n) {
+    u.assign(n, 0.0f);
+    return u.data();
+  }
+
+  /// Uninitialized fired-index scratch of capacity `n` for the
+  /// threshold_fire kernel (recycles capacity).
+  std::uint32_t* fired_scratch(std::size_t n) {
+    fired.resize(n);
+    return fired.data();
+  }
+
+  /// Rebuilds umap for `syn` and caches the layout kind. Valid until the
+  /// next accum_map() call on this state.
+  const std::uint32_t* accum_map(const SynapseTopology& syn) {
+    transposed = syn.accum_layout().transposed;
+    return build_accum_map(syn, umap);
+  }
+};
 
 /// Reusable scratch of one simulation thread. Members are public: the
 /// workspace is a bag of buffers with a single owner at a time, not an
@@ -62,26 +128,26 @@ struct SimWorkspace {
   }
 
   /// Canonical-neuron -> accumulator-slot map for `syn` (see
-  /// SynapseTopology::accum_layout). Firing/readout loops index the
-  /// potentials as u[map[j]]; identity layouts get the identity map, so
-  /// scheme code has a single path. Valid until the next accum_map() call.
+  /// build_accum_map). Valid until the next accum_map() call.
   const std::uint32_t* accum_map(const SynapseTopology& syn) {
-    const AccumLayout l = syn.accum_layout();
-    const std::size_t n = syn.out_size();
-    umap.resize(n);
-    if (!l.transposed) {
-      for (std::size_t j = 0; j < n; ++j) {
-        umap[j] = static_cast<std::uint32_t>(j);
-      }
-    } else {
-      std::size_t j = 0;
-      for (std::size_t r = 0; r < l.rows; ++r) {
-        for (std::size_t c = 0; c < l.cols; ++c) {
-          umap[j++] = static_cast<std::uint32_t>(c * l.rows + r);
-        }
-      }
+    return build_accum_map(syn, umap);
+  }
+
+  /// Stage state leased by the layer-sequential run_layer_into/readout_into
+  /// loops (strictly one stage in flight at a time, so one state suffices).
+  StageState seq;
+
+  /// Per-stage states for the time-major SteppedRunner (index = stage).
+  /// unique_ptr for pointer/reference stability across pool growth; the
+  /// pool only grows at a new high-water stage count, preserving the
+  /// zero-allocation steady state.
+  std::vector<std::unique_ptr<StageState>> stages;
+
+  StageState& stage_state(std::size_t s) {
+    while (stages.size() <= s) {
+      stages.push_back(std::make_unique<StageState>());
     }
-    return umap.data();
+    return *stages[s];
   }
 };
 

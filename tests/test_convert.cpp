@@ -152,7 +152,8 @@ TEST(Converter, SnnMatchesDnnPredictionsOnCleanInput) {
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t dnn_pred =
         ops::argmax(f.net.forward(f.images[i], /*training=*/false));
-    const snn::SimResult r = snn::simulate(conv.model, *scheme, f.images[i]);
+    const snn::SimResult r =
+        snn::simulate(snn::SimRequest{&conv.model, scheme.get()}, f.images[i]);
     agree += dnn_pred == r.predicted_class ? 1 : 0;
   }
   EXPECT_GE(static_cast<double>(agree) / n, 0.9);

@@ -280,7 +280,7 @@ TEST(SimulatorGolden, LogitsMatchPreRewriteCapture) {
   for (const SchemeGolden& g : goldens) {
     const auto scheme = g.coding == Coding::kTtas ? core::make_ttas(5)
                                                   : coding::make_scheme(g.coding);
-    const SimResult clean = simulate(model, *scheme, img);
+    const SimResult clean = simulate(SimRequest{&model, scheme.get()}, img);
     ASSERT_EQ(clean.logits.numel(), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
       EXPECT_NEAR(clean.logits[i], g.clean[i], 1e-5 * std::abs(g.clean[i]))
@@ -290,7 +290,8 @@ TEST(SimulatorGolden, LogitsMatchPreRewriteCapture) {
 
     Rng rng = Rng::for_stream(777, 3);
     const auto noise = noise::make_deletion_jitter(0.25, 1.0);
-    const SimResult noisy = simulate(model, *scheme, img, noise.get(), rng);
+    const SimResult noisy =
+        simulate(SimRequest{&model, scheme.get(), noise.get(), &rng}, img);
     for (std::size_t i = 0; i < 3; ++i) {
       EXPECT_NEAR(noisy.logits[i], g.noisy[i], 1e-5 * std::abs(g.noisy[i]))
           << coding_name(g.coding) << " noisy logit " << i;
@@ -315,9 +316,11 @@ TEST(SimulatorWorkspace, ReuseIsBitIdenticalToFresh) {
         c == Coding::kTtas ? core::make_ttas(5) : coding::make_scheme(c);
     for (std::uint64_t stream = 0; stream < 4; ++stream) {
       Rng rng1 = Rng::for_stream(31337, stream);
-      simulate_into(model, *scheme, img, noise.get(), &rng1, ws, reused);
+      simulate_into(SimRequest{&model, scheme.get(), noise.get(), &rng1, &ws},
+                    img, reused);
       Rng rng2 = Rng::for_stream(31337, stream);
-      const SimResult fresh = simulate(model, *scheme, img, noise.get(), rng2);
+      const SimResult fresh =
+          simulate(SimRequest{&model, scheme.get(), noise.get(), &rng2}, img);
       EXPECT_EQ(reused.logits, fresh.logits)
           << coding_name(c) << " stream " << stream;
       EXPECT_EQ(reused.total_spikes, fresh.total_spikes);

@@ -243,11 +243,13 @@ Measured measure(const ZooWorkload& w, const std::string& method,
   // not just the argmax.
   snn::SimResult r;
   if (noise == nullptr) {
-    r = snn::simulate(w.conversion.model, *scheme, w.test_images[0]);
+    r = snn::simulate(snn::SimRequest{&w.conversion.model, scheme.get()},
+                      w.test_images[0]);
   } else {
     Rng rng = Rng::for_stream(kSeed, 0);
-    r = snn::simulate(w.conversion.model, *scheme, w.test_images[0],
-                      noise.get(), rng);
+    r = snn::simulate(
+        snn::SimRequest{&w.conversion.model, scheme.get(), noise.get(), &rng},
+        w.test_images[0]);
   }
   m.logit0 = r.logits[0];
   m.logit1 = r.logits[1];
@@ -374,10 +376,10 @@ TEST(GoldenZoo, CacheHitMatchesFreshConvert) {
     EXPECT_EQ(from_cache.mean_spikes_per_image,
               from_fresh.mean_spikes_per_image);
 
-    const snn::SimResult rc =
-        snn::simulate(cached.conversion.model, *scheme, images[0]);
-    const snn::SimResult rf =
-        snn::simulate(fresh.conversion.model, *scheme, images[0]);
+    const snn::SimResult rc = snn::simulate(
+        snn::SimRequest{&cached.conversion.model, scheme.get()}, images[0]);
+    const snn::SimResult rf = snn::simulate(
+        snn::SimRequest{&fresh.conversion.model, scheme.get()}, images[0]);
     EXPECT_EQ(rc.total_spikes, rf.total_spikes);
     ASSERT_EQ(rc.logits.numel(), rf.logits.numel());
     for (std::size_t i = 0; i < rf.logits.numel(); ++i) {

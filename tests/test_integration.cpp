@@ -271,8 +271,8 @@ TEST(Integration, SpikeCountOrderingMatchesPaper) {
 TEST(Integration, SimulatorReportsPerLayerSpikes) {
   auto& f = fixture();
   const auto scheme = coding::make_scheme(Coding::kRate);
-  const snn::SimResult r =
-      snn::simulate(f.conversion.model, *scheme, f.test_images[0]);
+  const snn::SimResult r = snn::simulate(
+      snn::SimRequest{&f.conversion.model, scheme.get()}, f.test_images[0]);
   // Encoder + one train per hidden stage (all but the readout stage).
   EXPECT_EQ(r.layer_spikes.size(), f.conversion.model.num_stages());
   std::size_t sum = 0;

@@ -133,7 +133,9 @@ TEST(ParallelEval, MatchesPerImageStreamReference) {
   std::size_t spikes = 0;
   for (std::size_t i = 0; i < f.images.size(); ++i) {
     Rng rng = Rng::for_stream(0xBEEF, i);
-    const auto r = snn::simulate(f.model, *scheme, f.images[i], noise.get(), rng);
+    const auto r = snn::simulate(
+        snn::SimRequest{&f.model, scheme.get(), noise.get(), &rng},
+        f.images[i]);
     correct += r.predicted_class == f.labels[i] ? 1 : 0;
     spikes += r.total_spikes;
   }
@@ -159,7 +161,9 @@ TEST(ParallelEval, ResultIndependentOfBatchContext) {
   std::size_t full_prefix_correct = 0;
   for (std::size_t i = 0; i < 8; ++i) {
     Rng rng = Rng::for_stream(0xBEEF, i);
-    const auto r = snn::simulate(f.model, *scheme, f.images[i], noise.get(), rng);
+    const auto r = snn::simulate(
+        snn::SimRequest{&f.model, scheme.get(), noise.get(), &rng},
+        f.images[i]);
     full_prefix_correct += r.predicted_class == f.labels[i] ? 1 : 0;
   }
   const auto sub = eval_with_threads(prefix, noise.get(), 3);

@@ -123,8 +123,8 @@ TEST(Pipeline, RunIsPureFunctionOfStream) {
   // run(stream = i) matches evaluate()'s image-i corruption contract:
   // both derive from Rng::for_stream(noise_seed, i).
   Rng rng = Rng::for_stream(cfg.noise_seed, 0);
-  const auto direct = snn::simulate(pipe.model(), pipe.scheme(), img,
-                                    noise.get(), rng);
+  const auto direct = snn::simulate(
+      snn::SimRequest{&pipe.model(), &pipe.scheme(), noise.get(), &rng}, img);
   EXPECT_EQ(direct.logits, a.logits);
 }
 

@@ -84,7 +84,8 @@ TEST_P(ZeroAllocSweep, SteadyStateSimulationAllocatesNothing) {
   const auto run_batch = [&] {
     for (std::uint64_t stream = 0; stream < 8; ++stream) {
       Rng rng = Rng::for_stream(4242, stream);
-      simulate_into(model, *scheme, img, noise.get(), &rng, ws, result);
+      simulate_into(SimRequest{&model, scheme.get(), noise.get(), &rng, &ws},
+                    img, result);
     }
   };
 
@@ -177,10 +178,11 @@ TEST(ZeroAlloc, CleanPathAlsoAllocationFree) {
   const auto scheme = coding::make_scheme(Coding::kRate);
   SimWorkspace ws;
   SimResult result;
-  simulate_into(model, *scheme, img, nullptr, nullptr, ws, result);
+  const SimRequest req{&model, scheme.get(), nullptr, nullptr, &ws};
+  simulate_into(req, img, result);
   const std::size_t before = g_allocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 5; ++i) {
-    simulate_into(model, *scheme, img, nullptr, nullptr, ws, result);
+    simulate_into(req, img, result);
   }
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
 }
