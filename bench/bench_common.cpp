@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -392,6 +394,46 @@ void SweepReport::finish() {
 
 std::string pct(double accuracy) {
   return str::format_fixed(accuracy * 100.0, 2);
+}
+
+LatencyStats::Summary LatencyStats::summarize() const {
+  Summary s;
+  s.count = samples_.size();
+  if (samples_.empty()) {
+    return s;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double v : sorted) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(sorted.size());
+  // Nearest-rank: pK = the ceil(K/100 * n)-th smallest (1-based), so p50
+  // of one sample is that sample and p99 of 100 samples is the 99th.
+  const auto rank = [&](double pct_rank) {
+    const double n = static_cast<double>(sorted.size());
+    std::size_t r = static_cast<std::size_t>(std::ceil(pct_rank / 100.0 * n));
+    r = std::max<std::size_t>(r, 1);
+    return sorted[std::min(r, sorted.size()) - 1];
+  };
+  s.p50 = rank(50.0);
+  s.p95 = rank(95.0);
+  s.p99 = rank(99.0);
+  s.max = sorted.back();
+  return s;
+}
+
+std::string LatencyStats::json(const Summary& s) {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(s.count);
+  out += ",\"mean_us\":" + str::format_fixed(s.mean, 1);
+  out += ",\"p50_us\":" + str::format_fixed(s.p50, 1);
+  out += ",\"p95_us\":" + str::format_fixed(s.p95, 1);
+  out += ",\"p99_us\":" + str::format_fixed(s.p99, 1);
+  out += ",\"max_us\":" + str::format_fixed(s.max, 1);
+  out += "}";
+  return out;
 }
 
 }  // namespace tsnn::bench

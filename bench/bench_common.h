@@ -146,4 +146,37 @@ std::string csv_output_path(const std::string& name);
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);
 
+/// Latency accumulator for the serve benches: record per-request latencies
+/// in microseconds, then summarize() the tail (nearest-rank percentiles
+/// over a sorted copy -- recording stays O(1) per sample on the hot path).
+/// Single-threaded: callers aggregate from one thread (serve_loadgen's
+/// response reader) or merge per-thread instances themselves.
+class LatencyStats {
+ public:
+  void record(double micros) { samples_.push_back(micros); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+
+  /// Percentile summary of everything recorded so far (all zeros when
+  /// empty). Nearest-rank: pK = the ceil(K/100 * n)-th smallest sample.
+  Summary summarize() const;
+
+  /// The Summary as a JSON object string, e.g.
+  /// {"count":100,"mean_us":12.0,"p50_us":11.0,...} -- the BENCH_serve.json
+  /// building block.
+  static std::string json(const Summary& s);
+
+ private:
+  std::vector<double> samples_;
+};
+
 }  // namespace tsnn::bench

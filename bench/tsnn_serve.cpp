@@ -1,0 +1,268 @@
+// tsnn_serve: long-running inference server over a stdin/stdout line
+// protocol (zero new dependencies -- pipes are the transport).
+//
+// Startup loads and converts the requested zoo models (through the TSNZ
+// artifact cache), spins up a core::InferenceServer, and prints:
+//
+//   model <name> <num_images>        (one per loaded model)
+//   ready <num_models>
+//
+// then serves one request per stdin line until EOF or "quit":
+//
+//   <id> <model> <coding> <image_index> <seed>
+//
+// e.g. "17 s-mnist ttas(5) 3 42". Each completion prints exactly one line:
+//
+//   ok <id> <predicted> <decision_ts> <spikes> <queue_us> <run_us> <batch>
+//   err <id> <reason>
+//
+// Responses arrive in *completion* order, not submission order -- clients
+// match on <id>. "stats" prints a one-line counter snapshot. Determinism:
+// a request's result is a pure function of (model, coding, image, seed)
+// via Rng::for_stream(seed, 0) -- replaying a trace is bit-identical under
+// any --threads/--max-batch/--deadline-us (bench/serve_loadgen --verify
+// pins this end to end).
+//
+// Flags: --models a,b,... --images N --threads N --max-batch N
+//        --deadline-us N --queue N  (see usage()).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coding/registry.h"
+#include "common/request_queue.h"
+#include "core/scenario.h"
+#include "core/serve.h"
+
+namespace {
+
+using tsnn::core::InferenceServer;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--models a,b,...] [--images N] [--threads N]\n"
+      "          [--max-batch N] [--deadline-us N] [--queue N]\n"
+      "  --models       comma-separated zoo datasets to load (default "
+      "s-mnist)\n"
+      "  --images       test images kept per model (default 64)\n"
+      "  --threads      serving workers, 0 = hardware (default 1)\n"
+      "  --max-batch    micro-batch size cap per worker pull (default 8)\n"
+      "  --deadline-us  hold underfull batches open this long (default 0)\n"
+      "  --queue        admission queue capacity, 0 = auto (default 0)\n",
+      argv0);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+/// Serialized response channel: completions (worker threads) and protocol
+/// replies (main thread) push whole lines; one writer thread owns stdout.
+using OutputQueue = tsnn::RequestQueue<std::string>;
+
+/// Formats completions into protocol lines. Shared by every request; the
+/// response id is the correlation key.
+class LineSink final : public InferenceServer::CompletionSink {
+ public:
+  explicit LineSink(OutputQueue* out) : out_(out) {}
+
+  void on_complete(const InferenceServer::Response& resp) override {
+    char line[160];
+    if (resp.cancelled) {
+      std::snprintf(line, sizeof line, "err %" PRIu64 " cancelled\n", resp.id);
+    } else if (resp.error) {
+      std::snprintf(line, sizeof line, "err %" PRIu64 " execution_failed\n",
+                    resp.id);
+    } else {
+      const auto us = [](InferenceServer::Clock::time_point a,
+                         InferenceServer::Clock::time_point b) {
+        return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+            .count();
+      };
+      std::snprintf(line, sizeof line,
+                    "ok %" PRIu64 " %zu %zu %zu %lld %lld %zu\n", resp.id,
+                    resp.result->predicted_class,
+                    resp.result->decision_timestep, resp.result->total_spikes,
+                    static_cast<long long>(
+                        us(resp.submit_time, resp.start_time)),
+                    static_cast<long long>(us(resp.start_time, resp.done_time)),
+                    resp.batch_size);
+    }
+    out_->push(std::string(line));
+  }
+
+ private:
+  OutputQueue* out_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string models_flag = "s-mnist";
+  std::size_t images = 64;
+  tsnn::core::ServeOptions serve;
+  serve.num_threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--models") {
+      models_flag = value();
+    } else if (arg == "--images") {
+      images = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      serve.num_threads = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--max-batch") {
+      serve.max_batch = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--deadline-us") {
+      serve.batch_deadline =
+          std::chrono::microseconds(std::strtoll(value(), nullptr, 10));
+    } else if (arg == "--queue") {
+      serve.queue_capacity = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Load every requested model up front (startup, not serving, pays the
+  // conversion cost; TSNZ artifact hits make restarts cheap).
+  std::map<std::string, tsnn::core::ZooWorkload> workloads;
+  for (const std::string& name : split_csv(models_flag)) {
+    tsnn::core::DatasetKind kind;
+    if (!tsnn::core::dataset_kind_from_name(name, &kind)) {
+      std::fprintf(stderr, "error: unknown zoo dataset '%s'\n", name.c_str());
+      return 2;
+    }
+    workloads.emplace(name, tsnn::core::load_zoo_workload(kind, images));
+  }
+  if (workloads.empty()) {
+    std::fprintf(stderr, "error: --models resolved to nothing\n");
+    return 2;
+  }
+
+  OutputQueue out(1024);
+  std::thread writer([&out] {
+    std::string line;
+    while (out.pop(line)) {
+      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);  // clients block on whole lines
+    }
+  });
+
+  {
+    InferenceServer server(serve);
+    LineSink sink(&out);
+    // Coding schemes are created lazily per label, on the submission thread
+    // only -- workers see them through const pointers.
+    std::map<std::string, tsnn::snn::CodingSchemePtr> schemes;
+
+    for (const auto& [name, w] : workloads) {
+      char line[96];
+      std::snprintf(line, sizeof line, "model %s %zu\n", name.c_str(),
+                    w.test_images.size());
+      out.push(std::string(line));
+    }
+    out.push("ready " + std::to_string(workloads.size()) + "\n");
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      if (line == "quit") {
+        break;
+      }
+      if (line == "stats") {
+        const InferenceServer::Stats s = server.stats();
+        char buf[224];
+        std::snprintf(buf, sizeof buf,
+                      "stats submitted=%" PRIu64 " completed=%" PRIu64
+                      " errors=%" PRIu64 " batches=%" PRIu64
+                      " mean_batch=%.2f max_batch=%zu max_queue_depth=%zu\n",
+                      s.submitted, s.completed, s.errors, s.batches,
+                      s.mean_batch(), s.max_batch, s.max_queue_depth);
+        out.push(std::string(buf));
+        continue;
+      }
+      std::istringstream in(line);
+      std::uint64_t id = 0;
+      std::string model_name;
+      std::string coding;
+      std::size_t image = 0;
+      std::uint64_t seed = 0;
+      if (!(in >> id >> model_name >> coding >> image >> seed)) {
+        out.push("err 0 bad_request_line\n");
+        continue;
+      }
+      const auto it = workloads.find(model_name);
+      if (it == workloads.end()) {
+        out.push("err " + std::to_string(id) + " unknown_model\n");
+        continue;
+      }
+      const tsnn::core::ZooWorkload& w = it->second;
+      if (image >= w.test_images.size()) {
+        out.push("err " + std::to_string(id) + " image_out_of_range\n");
+        continue;
+      }
+      auto scheme = schemes.find(coding);
+      if (scheme == schemes.end()) {
+        try {
+          const tsnn::core::MethodSpec spec =
+              tsnn::core::parse_method_label(coding);
+          scheme = schemes
+                       .emplace(coding, tsnn::coding::make_scheme(spec.coding,
+                                                                  spec.params))
+                       .first;
+        } catch (const std::exception&) {
+          out.push("err " + std::to_string(id) + " unknown_coding\n");
+          continue;
+        }
+      }
+
+      InferenceServer::Request req;
+      req.id = id;
+      req.sink = &sink;
+      req.work.sim.model = &w.conversion.model;
+      req.work.sim.scheme = scheme->second.get();
+      req.work.image = &w.test_images[image];
+      req.work.seed = seed;
+      req.work.stream = 0;
+      if (!server.submit(req)) {  // blocking admission = backpressure
+        out.push("err " + std::to_string(id) + " server_closed\n");
+      }
+    }
+    // Scope exit: ~InferenceServer drains every admitted request, so each
+    // pending completion still reaches the output queue below.
+  }
+
+  out.close();
+  writer.join();
+  return 0;
+}

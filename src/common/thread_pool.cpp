@@ -46,6 +46,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  check_not_worker(
+      "ThreadPool destroyed from inside one of its own workers -- the "
+      "destructor joins every worker, including the calling thread");
   {
     std::unique_lock<std::mutex> lock(mutex_);
     all_done_.wait(lock, [this] { return pending_ == 0; });

@@ -37,7 +37,9 @@
 //     the worker executing fn can never retire the broadcast it is part of);
 //   - parallel_for_async while a previous broadcast is still in flight
 //     (i.e. without an intervening wait()): the first callable is borrowed
-//     by reference, so "fire and forget twice" has no safe meaning.
+//     by reference, so "fire and forget twice" has no safe meaning;
+//   - destroying the pool from inside one of its own workers (the
+//     destructor joins every worker, including the caller).
 // Calling into a *different* pool from a worker remains legal.
 #pragma once
 
@@ -59,8 +61,15 @@ class ThreadPool {
   /// (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains outstanding tasks (blocking) and joins the workers. Exceptions
-  /// still pending at destruction are dropped -- call wait() to observe them.
+  /// Destruction-while-work-pending is well-defined: the destructor is a
+  /// graceful drain. It blocks until every submitted task and any in-flight
+  /// parallel_for_async broadcast has finished, then joins the workers --
+  /// no queued work is ever dropped (core::InferenceServer::shutdown relies
+  /// on this to complete every admitted request). Exceptions still pending
+  /// at destruction are dropped -- call wait() to observe them. Destroying
+  /// the pool from inside one of its own workers is misuse and aborts with
+  /// a diagnostic (the destructor would join the calling thread); see the
+  /// misuse contract above.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
-#include <optional>
 
 #include "coding/registry.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "core/serve.h"
 #include "core/ttas.h"
 #include "core/weight_scaling.h"
 #include "noise/input_noise.h"
@@ -60,27 +60,33 @@ const snn::SnnModel& ScaledModelCache::get(float factor) {
 
 namespace {
 
-/// Simulates image `i` of `cell` into the caller's slots. The one per-image
-/// body both the serial walker and every pool worker run, so the two paths
-/// cannot drift apart (their bit-identity is the engine's core guarantee).
-/// The workspace is thread_local: warm across cells, sweeps, and (on a
-/// persistent pool) whole benches.
+/// Compiles (cell, image i) down to the one self-contained request every
+/// execution path runs (snn::ClassifyRequest): image i of a cell is stream
+/// i of the cell's seed, so the result is a pure function of the request
+/// and the serial walker, the admission-queued parallel path, and the
+/// online server cannot drift apart.
+snn::ClassifyRequest make_request(const EvalCell& cell, std::size_t i) {
+  snn::ClassifyRequest req;
+  req.sim.model = cell.model;
+  req.sim.scheme = cell.scheme;
+  req.sim.noise = cell.noise;
+  req.sim.policy = cell.policy;
+  req.input_noise = cell.input_noise;
+  req.image = &(*cell.images)[i];
+  req.seed = cell.seed;
+  req.stream = i;
+  return req;
+}
+
+/// Executes image `i` of `cell` inline into the caller's slots -- the
+/// serial walker's body. The workspace is thread_local: warm across cells,
+/// sweeps, and whole benches.
 void eval_cell_image(const EvalCell& cell, std::size_t i,
                      std::uint8_t* correct, std::size_t* spikes,
                      std::size_t* decisions) {
   thread_local snn::SimWorkspace ws;
   thread_local snn::SimResult r;
-  thread_local Tensor corrupted;  ///< input-noise scratch, grow-only
-  Rng rng = Rng::for_stream(cell.seed, i);
-  const Tensor* image = &(*cell.images)[i];
-  if (cell.input_noise != nullptr) {
-    cell.input_noise->apply_into(*image, corrupted, rng);
-    image = &corrupted;
-  }
-  snn::simulate_into(
-      snn::SimRequest{cell.model, cell.scheme, cell.noise, &rng, &ws,
-                      cell.policy},
-      *image, r);
+  snn::execute_request(make_request(cell, i), ws, r);
   *correct = r.predicted_class == (*cell.labels)[i] ? 1 : 0;
   *spikes = r.total_spikes;
   *decisions = r.decision_timestep;
@@ -120,9 +126,9 @@ EvalCellResult reduce_cell(const std::uint8_t* correct,
   return result;
 }
 
-/// Mutable completion state of the parallel grid run. Tasks only touch this
-/// through run_task(), keeping the std::function the pool broadcasts small
-/// (one pointer) and allocation-free.
+/// Mutable completion state of the parallel grid run. Workers only touch
+/// this through complete() (the GridSink body), writing into preallocated
+/// task-indexed slots -- completing a request allocates nothing.
 struct GridState {
   const std::vector<EvalCell>* cells = nullptr;
   std::vector<std::size_t> offsets;   ///< per-cell prefix sums, cells+1 long
@@ -142,17 +148,24 @@ struct GridState {
     return static_cast<std::size_t>(it - offsets.begin()) - 1;
   }
 
-  /// Never throws: failures are captured so the cell still completes and
-  /// the emitter can unblock.
-  void run_task(std::size_t t) {
+  /// Completion of task t = (cell c, image i): record the result slots (or
+  /// capture the first error) and count the cell down. Runs on the worker
+  /// thread that executed the request; never throws, so every completed
+  /// cell unblocks the emitter.
+  void complete(const InferenceServer::Response& resp) {
+    const std::size_t t = static_cast<std::size_t>(resp.id);
     const std::size_t c = cell_of(t);
-    const std::size_t i = t - offsets[c];
-    try {
-      eval_cell_image((*cells)[c], i, &correct[t], &spikes[t], &decisions[t]);
-    } catch (...) {
+    if (resp.result != nullptr) {
+      const std::size_t i = t - offsets[c];
+      const snn::SimResult& r = *resp.result;
+      correct[t] =
+          r.predicted_class == (*(*cells)[c].labels)[i] ? 1 : 0;
+      spikes[t] = r.total_spikes;
+      decisions[t] = r.decision_timestep;
+    } else if (resp.error) {
       std::lock_guard<std::mutex> lock(mutex);
       if (!error) {
-        error = std::current_exception();
+        error = resp.error;
       }
     }
     // acq_rel: the final decrement observes every worker's slot writes, so
@@ -164,6 +177,15 @@ struct GridState {
       }
       cell_done.notify_all();
     }
+  }
+};
+
+/// The grid's CompletionSink: one stateless trampoline shared by every
+/// request of the run.
+struct GridSink final : public InferenceServer::CompletionSink {
+  GridState* state = nullptr;
+  void on_complete(const InferenceServer::Response& resp) override {
+    state->complete(resp);
   }
 };
 
@@ -219,15 +241,12 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
     return results;
   }
 
-  // Grid-parallel path: one flat task stream (cell-major, so cells finish
-  // roughly in emission order) over a pool that lives for the whole grid.
-  std::optional<ThreadPool> owned_pool;
-  ThreadPool* pool = options.pool;
-  if (pool == nullptr) {
-    owned_pool.emplace(ThreadPool::resolve_threads(options.num_threads));
-    pool = &*owned_pool;
-  }
-
+  // Request-level parallel path: compile the grid into one flat request
+  // stream (cell-major, so cells finish roughly in emission order; task
+  // t = image t - offsets[c] of cell c) and admission-queue it through an
+  // InferenceServer on the caller's pool. The bounded queue is the
+  // backpressure: submit() throttles this thread when the workers fall
+  // behind, so a million-task grid never materializes in memory.
   GridState state;
   state.cells = &cells;
   state.offsets.resize(cells.size() + 1);
@@ -248,37 +267,82 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
     }
   }
 
-  const std::function<void(std::size_t)> task = [&state](std::size_t t) {
-    state.run_task(t);
-  };
-  pool->parallel_for_async(total_tasks, task);
+  // The server is declared after the state + sink it completes into, so
+  // its destructor (a graceful drain) runs first even on an unwind --
+  // workers never touch freed frame state.
+  GridSink sink;
+  sink.state = &state;
+  ServeOptions serve;
+  serve.pool = options.pool;
+  serve.num_threads = options.num_threads;
+  serve.max_batch = options.micro_batch == 0 ? 1 : options.micro_batch;
+  InferenceServer server(serve);
 
-  // Emit completed cells in index order while later cells are still
-  // running. On any error (a simulation failure or a throwing on_cell
-  // callback) stop emitting -- but always drain the pool before unwinding:
-  // workers reference `task` and `state` on this frame.
   std::exception_ptr error;
+  auto grab_error = [&] {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!error) {
+      error = state.error;
+    }
+  };
+  auto cell_ready = [&](std::size_t c) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.done[c] != 0;
+  };
+  std::size_t next_emit = 0;
+  auto emit_next = [&] {
+    const std::size_t c = next_emit;
+    const std::size_t n = cells[c].images->size();
+    emit_cell(results, c,
+              reduce_cell(&state.correct[state.offsets[c]],
+                          &state.spikes[state.offsets[c]],
+                          &state.decisions[state.offsets[c]], n),
+              options);
+    ++next_emit;
+  };
+
+  // Produce the request stream, emitting completed cells in index order as
+  // they finish so rows keep streaming while the tail of the grid is still
+  // being admitted. On any error (a simulation failure or a throwing
+  // on_cell callback) stop producing/emitting -- the shutdown below drains
+  // whatever was admitted before we unwind.
   try {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t t = 0; t < total_tasks; ++t) {
+      const std::size_t c = state.cell_of(t);
+      InferenceServer::Request req;
+      req.id = t;
+      req.work = make_request(cells[c], t - state.offsets[c]);
+      req.sink = &sink;
+      const bool admitted = server.submit(req);
+      TSNN_CHECK_MSG(admitted, "grid server refused admission while open");
+      grab_error();
+      if (error) {
+        break;
+      }
+      while (next_emit < cells.size() && cell_ready(next_emit)) {
+        emit_next();
+      }
+    }
+    // Everything is admitted; emit the remaining cells in index order.
+    while (!error && next_emit < cells.size()) {
       {
         std::unique_lock<std::mutex> lock(state.mutex);
-        state.cell_done.wait(lock, [&] { return state.done[c] != 0; });
-        error = state.error;
+        state.cell_done.wait(lock,
+                             [&] { return state.done[next_emit] != 0; });
+        if (!error) {
+          error = state.error;
+        }
       }
       if (error) {
         break;
       }
-      const std::size_t n = cells[c].images->size();
-      emit_cell(results, c,
-                reduce_cell(&state.correct[state.offsets[c]],
-                            &state.spikes[state.offsets[c]],
-                            &state.decisions[state.offsets[c]], n),
-                options);
+      emit_next();
     }
   } catch (...) {
     error = std::current_exception();
   }
-  pool->wait();  // drain stragglers; rethrows pool-level errors
+  server.shutdown();  // graceful drain; every admitted request completes
+  grab_error();       // surface errors from requests drained just above
   if (error) {
     std::rethrow_exception(error);
   }

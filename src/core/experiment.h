@@ -176,6 +176,11 @@ struct GridOptions {
   /// Called once per completed cell, in cell-index order, from the calling
   /// thread, while later cells may still be running.
   std::function<void(std::size_t cell, const EvalCellResult&)> on_cell;
+  /// Micro-batch size for the parallel path's InferenceServer (how many
+  /// (cell, image) requests a worker pops per pull). Pure scheduling: the
+  /// rows are bit-identical at any value (tests/test_experiment.cpp pins
+  /// {1, 3, 64}).
+  std::size_t micro_batch = 8;
 };
 
 /// Evaluates every cell (cells may have *different* image sets and counts)

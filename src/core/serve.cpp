@@ -1,0 +1,257 @@
+#include "core/serve.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "snn/workspace.h"
+
+namespace tsnn::core {
+
+namespace {
+
+double micros_between(InferenceServer::Clock::time_point a,
+                      InferenceServer::Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Self-deleting sink behind submit_future(): copies the response into the
+/// promise and frees itself -- the one allocating completion path,
+/// deliberately kept out of the sink-based hot clients.
+class PromiseSink final : public InferenceServer::CompletionSink {
+ public:
+  std::promise<InferenceServer::OwnedResponse> promise;
+
+  void on_complete(const InferenceServer::Response& r) override {
+    try {
+      if (r.error) {
+        promise.set_exception(r.error);
+      } else if (r.cancelled) {
+        promise.set_exception(std::make_exception_ptr(std::runtime_error(
+            "inference request cancelled at server shutdown")));
+      } else {
+        InferenceServer::OwnedResponse owned;
+        owned.id = r.id;
+        owned.result = *r.result;
+        owned.queue_micros = micros_between(r.submit_time, r.start_time);
+        owned.run_micros = micros_between(r.start_time, r.done_time);
+        owned.batch_size = r.batch_size;
+        promise.set_value(std::move(owned));
+      }
+    } catch (...) {
+      // set_exception/set_value only throw on protocol misuse (promise
+      // already satisfied), which cannot happen here.
+    }
+    delete this;
+  }
+};
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ServeOptions& options)
+    : opts_(options) {
+  TSNN_CHECK_MSG(opts_.max_batch > 0, "serve max_batch must be > 0");
+  if (opts_.pool == nullptr) {
+    owned_pool_.emplace(ThreadPool::resolve_threads(opts_.num_threads));
+    pool_ = &*owned_pool_;
+  } else {
+    pool_ = opts_.pool;
+  }
+  if (opts_.queue_capacity == 0) {
+    // Auto: four micro-batches of headroom per worker, so the queue can
+    // keep every worker fed across a pull without being effectively
+    // unbounded (the bound IS the backpressure).
+    opts_.queue_capacity =
+        std::max<std::size_t>(64, pool_->size() * opts_.max_batch * 4);
+  }
+  queue_.emplace(opts_.queue_capacity);
+  // Occupy every worker with a pull loop for the server's lifetime; the
+  // loops exit when the admission queue is closed and drained.
+  for (std::size_t i = 0; i < pool_->size(); ++i) {
+    pool_->submit([this] { serve_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(Drain::kExecute); }
+
+bool InferenceServer::submit(const Request& req) {
+  TSNN_CHECK_MSG(req.sink != nullptr, "serve request needs a completion sink");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    // Counted before the push so drain()'s "completed caught up with
+    // submitted" predicate can never be true while an admission is still
+    // in flight.
+    ++stats_.submitted;
+  }
+  Request stamped = req;
+  stamped.submit_time = Clock::now();
+  if (!queue_->push(std::move(stamped))) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.submitted;  // shutdown raced us; the request was not admitted
+    return false;
+  }
+  return true;
+}
+
+RequestQueue<InferenceServer::Request>::PushStatus InferenceServer::try_submit(
+    const Request& req) {
+  using PushStatus = RequestQueue<Request>::PushStatus;
+  TSNN_CHECK_MSG(req.sink != nullptr, "serve request needs a completion sink");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return PushStatus::kClosed;
+    }
+    ++stats_.submitted;
+  }
+  Request stamped = req;
+  stamped.submit_time = Clock::now();
+  const PushStatus status = queue_->try_push(stamped);
+  if (status != PushStatus::kOk) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.submitted;
+  }
+  return status;
+}
+
+std::future<InferenceServer::OwnedResponse> InferenceServer::submit_future(
+    std::uint64_t id, const snn::ClassifyRequest& work) {
+  auto* sink = new PromiseSink;
+  std::future<OwnedResponse> future = sink->promise.get_future();
+  Request req;
+  req.id = id;
+  req.work = work;
+  req.sink = sink;
+  if (!submit(req)) {
+    sink->promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("inference server is shut down")));
+    delete sink;
+  }
+  return future;
+}
+
+void InferenceServer::drain() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock,
+                 [&] { return stats_.completed >= stats_.submitted; });
+}
+
+void InferenceServer::shutdown(Drain mode) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  queue_->close();
+  if (mode == Drain::kDiscard) {
+    // Cancel whatever the pull loops have not grabbed yet. A loop may race
+    // us to individual items -- those execute normally; either way every
+    // admitted request completes exactly once (both sides pop under the
+    // queue lock).
+    Request req;
+    while (queue_->try_pop(req)) {
+      complete_cancelled(req);
+    }
+  }
+  // Serialize the join itself so concurrent shutdowns are safe.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (stopped_) {
+    return;
+  }
+  if (owned_pool_.has_value()) {
+    owned_pool_.reset();  // graceful drain: ~ThreadPool finishes the loops
+  } else {
+    pool_->wait();  // borrowed: wait for our pull-loop tasks to retire
+  }
+  pool_ = nullptr;
+  stopped_ = true;
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.max_queue_depth = queue_->max_depth();
+  return out;
+}
+
+void InferenceServer::complete_cancelled(Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.cancelled = true;
+  resp.submit_time = req.submit_time;
+  resp.start_time = Clock::now();
+  resp.done_time = resp.start_time;
+  try {
+    req.sink->on_complete(resp);
+  } catch (...) {
+    TSNN_LOG(kWarn) << "serve completion sink threw on a cancelled "
+                          "request; ignored";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    ++stats_.cancelled;
+  }
+  all_done_.notify_all();
+}
+
+void InferenceServer::serve_loop() {
+  // Per-loop micro-batch buffer (allocated once per worker, reused for
+  // every pull); the workspace and result are the worker thread's warm
+  // thread-locals, shared with every other execution client that runs on
+  // this pool.
+  std::vector<Request> batch(opts_.max_batch);
+  for (;;) {
+    const std::size_t b =
+        queue_->pop_batch(batch.data(), opts_.max_batch, opts_.batch_deadline);
+    if (b == 0) {
+      return;  // admission closed and drained: the loop's exit signal
+    }
+    const Clock::time_point start = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.batches;
+      stats_.max_batch = std::max(stats_.max_batch, b);
+    }
+    thread_local snn::SimWorkspace ws;
+    thread_local snn::SimResult result;
+    for (std::size_t i = 0; i < b; ++i) {
+      Request& req = batch[i];
+      Response resp;
+      resp.id = req.id;
+      resp.submit_time = req.submit_time;
+      resp.start_time = start;
+      resp.batch_size = b;
+      bool failed = false;
+      try {
+        snn::execute_request(req.work, ws, result);
+        resp.result = &result;
+      } catch (...) {
+        resp.error = std::current_exception();
+        failed = true;
+      }
+      resp.done_time = Clock::now();
+      try {
+        req.sink->on_complete(resp);
+      } catch (...) {
+        // Sinks must not throw (see CompletionSink); swallow defensively
+        // so the accounting (and with it drain/shutdown) stays sound.
+        TSNN_LOG(kWarn) << "serve completion sink threw; ignored";
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.completed;
+        if (failed) {
+          ++stats_.errors;
+        }
+      }
+      all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace tsnn::core

@@ -1,0 +1,224 @@
+// InferenceServer: the admission-queued micro-batching execution service.
+//
+// The request-level execution core behind every evaluation path. Callers
+// submit snn::ClassifyRequests into a bounded MPMC admission queue
+// (common/request_queue.h -- the backpressure boundary); each worker of
+// the persistent ThreadPool runs a pull loop that pops micro-batches of up
+// to `max_batch` requests (optionally holding an underfull batch open for
+// `batch_deadline` -- the batching-latency trade), executes each request
+// on its thread-local warm SimWorkspace via snn::execute_request(), and
+// hands the completion to the request's CompletionSink on the worker
+// thread. There is no barrier between batches: workers pull continuously,
+// so a straggler in one batch never idles the rest of the pool (the
+// fftools pipeline shape, not a bulk-synchronous one).
+//
+// Determinism: a request's result is a pure function of the request itself
+// (snn::ClassifyRequest derives its rng from (seed, stream)), so micro-
+// batch boundaries, queue depth, arrival jitter, pool size, and
+// completion order NEVER influence any result -- a replayed request trace
+// is bit-reproducible under every serving configuration
+// (tests/test_serve.cpp pins batch {1,4,max} x threads {1,8}).
+//
+// Clients:
+//   - core::run_grid compiles its (cell, image) grid into a request
+//     stream and feeds it through a per-call InferenceServer on the
+//     caller's persistent pool (the offline batch client);
+//   - bench/tsnn_serve wraps a long-lived InferenceServer in a stdin/
+//     stdout line protocol (the online client; bench/serve_loadgen drives
+//     it and reports tail latency);
+//   - snn::evaluate stays a direct pool broadcast (it lives below core and
+//     carries the zero-allocation steady-state contract) but runs the
+//     identical snn::execute_request body.
+//
+// Pool ownership: the server either owns its pool or borrows one. Either
+// way it occupies EVERY worker with a pull loop for its whole lifetime --
+// do not run broadcasts (parallel_for) or other submits on a borrowed
+// pool while the server is live, and do not call back into the executing
+// pool from a sink.
+//
+// Shutdown is a protocol, not a race (satellite of the ThreadPool
+// destruction contract): shutdown(Drain::kExecute) -- also the destructor
+// -- closes admission, lets the pull loops drain every admitted request,
+// and joins/releases the pool; shutdown(Drain::kDiscard) completes queued-
+// but-unstarted requests with `cancelled = true` instead of executing
+// them. In both modes every admitted request's sink is called exactly
+// once; a request rejected by submit() (false / kClosed) was NOT admitted
+// and its sink will never be called.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "common/request_queue.h"
+#include "common/thread_pool.h"
+#include "snn/simulator.h"
+
+namespace tsnn::core {
+
+/// Admission, batching, and execution knobs of an InferenceServer. The
+/// results of the requests never depend on any of them (see the
+/// determinism contract in the file comment) -- only latency and
+/// throughput do.
+struct ServeOptions {
+  /// Bounded admission queue depth; 0 = auto (4 micro-batches per worker,
+  /// at least 64). The bound is the backpressure mechanism: submit()
+  /// blocks and try_submit() reports kFull when the service is saturated.
+  std::size_t queue_capacity = 0;
+  /// Micro-batch size cap per worker pull (>= 1).
+  std::size_t max_batch = 8;
+  /// How long a worker holds an underfull micro-batch open waiting for
+  /// more arrivals (0 = dispatch whatever is queued immediately). Trades
+  /// per-request latency for fuller batches under light load.
+  std::chrono::microseconds batch_deadline{0};
+  /// Borrowed executor; null = the server owns a pool of `num_threads`.
+  ThreadPool* pool = nullptr;
+  /// Owned-pool size when `pool` is null; 0 = hardware concurrency.
+  std::size_t num_threads = 1;
+};
+
+class InferenceServer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Completion record, handed to the request's sink on the worker thread
+  /// that executed it. `result` points into the worker's reused storage
+  /// and is valid ONLY for the duration of the on_complete call -- copy
+  /// what you keep. Exactly one of {result, error, cancelled} describes
+  /// the outcome.
+  struct Response {
+    std::uint64_t id = 0;
+    const snn::SimResult* result = nullptr;  ///< null on error / cancelled
+    std::exception_ptr error;  ///< set when execution threw
+    bool cancelled = false;    ///< discarded by shutdown(Drain::kDiscard)
+    Clock::time_point submit_time;  ///< admission into the queue
+    Clock::time_point start_time;   ///< popped into a micro-batch
+    Clock::time_point done_time;    ///< execution finished
+    std::size_t batch_size = 0;     ///< size of the micro-batch it ran in
+  };
+
+  /// Where a request's completion goes. Implementations must be thread-
+  /// safe (invoked concurrently from worker threads), must not call back
+  /// into the executing pool, and must outlive every request that names
+  /// them. Sink-based completion is what keeps the serving hot path
+  /// allocation-free: the offline grid client completes thousands of
+  /// requests per second into caller-owned slot arrays without a single
+  /// heap allocation.
+  class CompletionSink {
+   public:
+    virtual void on_complete(const Response& response) = 0;
+
+   protected:
+    ~CompletionSink() = default;  ///< sinks are not owned via this interface
+  };
+
+  /// One admission unit: the work, the caller's id for it, and where the
+  /// completion goes. Copied into the (preallocated) admission ring, so
+  /// submitting allocates nothing.
+  struct Request {
+    std::uint64_t id = 0;
+    snn::ClassifyRequest work;
+    CompletionSink* sink = nullptr;  ///< required
+    /// Stamped by submit()/try_submit() at admission; callers leave it
+    /// default-constructed.
+    Clock::time_point submit_time{};
+  };
+
+  /// Fate of queued-but-unstarted requests at shutdown.
+  enum class Drain {
+    kExecute,  ///< graceful: execute everything admitted, then stop
+    kDiscard,  ///< complete queued requests with cancelled = true instead
+  };
+
+  /// Owning SimResult variant of Response for the future-based API.
+  struct OwnedResponse {
+    std::uint64_t id = 0;
+    snn::SimResult result;
+    double queue_micros = 0.0;  ///< admission -> micro-batch start
+    double run_micros = 0.0;    ///< micro-batch start -> done
+    std::size_t batch_size = 0;
+  };
+
+  /// Serving counters (monotonic over the server's lifetime).
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< admitted into the queue
+    std::uint64_t completed = 0;  ///< executed (ok or error) or cancelled
+    std::uint64_t errors = 0;     ///< completed with an execution error
+    std::uint64_t cancelled = 0;  ///< completed as cancelled (kDiscard)
+    std::uint64_t batches = 0;    ///< micro-batches dispatched
+    std::size_t max_batch = 0;    ///< largest micro-batch observed
+    std::size_t max_queue_depth = 0;  ///< admission-queue high-water mark
+
+    /// Mean micro-batch size (0 when no batch ran yet).
+    double mean_batch() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(completed - cancelled) /
+                                static_cast<double>(batches);
+    }
+  };
+
+  /// Starts serving immediately: spawns/borrows the pool and occupies
+  /// every worker with a pull loop.
+  explicit InferenceServer(const ServeOptions& options = {});
+
+  /// Graceful shutdown: shutdown(Drain::kExecute).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admission-queues `req`, blocking while the queue is full
+  /// (backpressure). False once shutdown began: the request was NOT
+  /// admitted and its sink will never be called.
+  bool submit(const Request& req);
+
+  /// Nonblocking admission; kFull asks the caller to back off, kClosed
+  /// means shutdown began. The request is only admitted on kOk.
+  RequestQueue<Request>::PushStatus try_submit(const Request& req);
+
+  /// Future-based convenience (allocates a promise per request; the hot
+  /// clients use sinks). The future throws the execution error, or
+  /// std::runtime_error on cancellation/rejection.
+  std::future<OwnedResponse> submit_future(std::uint64_t id,
+                                           const snn::ClassifyRequest& work);
+
+  /// Blocks until every admitted request has completed (in any sense).
+  /// Admission stays open -- this is a checkpoint, not a shutdown.
+  void drain() const;
+
+  /// Stops the service: closes admission, resolves queued requests per
+  /// `mode`, waits for in-flight work, and joins/releases the pool.
+  /// Idempotent; the first caller's mode wins.
+  void shutdown(Drain mode = Drain::kExecute);
+
+  Stats stats() const;
+
+  /// Number of executing workers.
+  std::size_t threads() const { return pool_ == nullptr ? 0 : pool_->size(); }
+
+  /// The resolved options (with queue_capacity auto replaced).
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  void serve_loop();
+  void complete_cancelled(Request& req);
+
+  ServeOptions opts_;
+  std::optional<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  std::optional<RequestQueue<Request>> queue_;
+
+  mutable std::mutex mutex_;  ///< guards the counters + shutdown flags
+  mutable std::condition_variable all_done_;  ///< completed caught up
+  Stats stats_;
+  bool closed_ = false;  ///< shutdown began (admission refused)
+
+  std::mutex shutdown_mutex_;  ///< serializes the pool join in shutdown()
+  bool stopped_ = false;       ///< pull loops exited, pool released
+};
+
+}  // namespace tsnn::core

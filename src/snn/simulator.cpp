@@ -6,7 +6,14 @@
 #include <utility>
 
 #include "common/env.h"
+#include "common/error.h"
 #include "common/thread_pool.h"
+// The request-scoped execution body applies the pre-encoding input
+// corruption itself (it owns the one-rng-stream-per-request draw-order
+// contract), which is the single place the snn layer reaches up into the
+// noise module's input-noise hierarchy. input_noise.h depends only on
+// tensor/ and common/, so no include cycle is possible.
+#include "noise/input_noise.h"
 #include "tensor/tensor_ops.h"
 
 namespace tsnn::snn {
@@ -295,6 +302,25 @@ SimResult simulate(const SimRequest& req, const Tensor& image) {
   return out;
 }
 
+void execute_request(const ClassifyRequest& req, SimWorkspace& ws,
+                     SimResult& out) {
+  TSNN_CHECK_MSG(req.image != nullptr, "classify request needs an image");
+  // The request's private stream: a pure function of (seed, stream), so
+  // the result never depends on what ran before, alongside, or after it.
+  Rng rng = Rng::for_stream(req.seed, req.stream);
+  const Tensor* image = req.image;
+  if (req.input_noise != nullptr) {
+    // Input corruption draws from the stream first, spike noise second --
+    // one deterministic draw order per request regardless of stack shape.
+    req.input_noise->apply_into(*image, ws.input_scratch, rng);
+    image = &ws.input_scratch;
+  }
+  SimRequest sim = req.sim;
+  sim.rng = &rng;
+  sim.workspace = &ws;
+  simulate_into(sim, *image, out);
+}
+
 BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
                      const std::vector<Tensor>& images,
                      const std::vector<std::size_t>& labels,
@@ -323,10 +349,21 @@ BatchResult evaluate(const SnnModel& model, const CodingScheme& scheme,
   std::uint8_t* const correct = correct_slots.data();
   std::size_t* const spikes = spike_slots.data();
   std::size_t* const decisions = decision_slots.data();
+  // evaluate() is the synchronous broadcast client of the request-level
+  // execution core: image i becomes the ClassifyRequest with stream
+  // identity (base_seed, i) and runs through the same execute_request()
+  // body as core::run_grid's admission-queued stream and the online
+  // core::InferenceServer -- one execution path, so batch, grid, and
+  // served results are bit-identical by construction.
+  ClassifyRequest base;
+  base.sim = SimRequest{&model, &scheme, noise, nullptr, nullptr,
+                        options.policy};
+  base.seed = options.base_seed;
   const auto eval_one = [&](std::size_t i, SimWorkspace& ws, SimResult& r) {
-    Rng rng = Rng::for_stream(options.base_seed, i);
-    simulate_into(SimRequest{&model, &scheme, noise, &rng, &ws, options.policy},
-                  images[i], r);
+    ClassifyRequest req = base;
+    req.image = &images[i];
+    req.stream = i;
+    execute_request(req, ws, r);
     correct[i] = r.predicted_class == labels[i] ? 1 : 0;
     spikes[i] = r.total_spikes;
     decisions[i] = r.decision_timestep;

@@ -40,6 +40,10 @@ namespace tsnn {
 class ThreadPool;
 }
 
+namespace tsnn::noise {
+class InputNoiseModel;
+}
+
 namespace tsnn::snn {
 
 /// When may the simulator stop consuming readout timesteps early? Off by
@@ -114,6 +118,40 @@ void simulate_into(const SimRequest& req, const Tensor& image, SimResult& out);
 
 /// Convenience wrapper allocating a fresh SimResult per call.
 SimResult simulate(const SimRequest& req, const Tensor& image);
+
+/// One self-contained classify request -- the unit of the request-level
+/// execution core. Extends SimRequest with the image, an optional
+/// pre-encoding input corruption, and the request's *stream identity*:
+/// execution always draws from Rng::for_stream(seed, stream) (input noise
+/// first, spike noise second -- one deterministic draw order), so a
+/// request's result is a pure function of the request itself, never of
+/// batching decisions, scheduling, arrival jitter, or thread count. This
+/// is the determinism contract that makes a replayed request trace
+/// bit-reproducible under any serving configuration.
+///
+/// Every execution client -- snn::evaluate's pool broadcast,
+/// core::run_grid's admission-queued task stream, and the online
+/// core::InferenceServer -- compiles its work down to ClassifyRequests and
+/// runs them through execute_request(), so their results cannot drift
+/// apart. `sim.rng` and `sim.workspace` are ignored (the executing thread
+/// supplies both); all pointers are borrowed and must outlive execution.
+struct ClassifyRequest {
+  SimRequest sim;  ///< model / scheme / spike noise / decision policy
+  /// Pre-encoding image corruption (null = none); applied into the
+  /// executing workspace's input_scratch before encoding.
+  const noise::InputNoiseModel* input_noise = nullptr;
+  const Tensor* image = nullptr;
+  std::uint64_t seed = 0;    ///< base seed of the request's stream family
+  std::uint64_t stream = 0;  ///< stream index within the family
+};
+
+/// Executes one classify request on `ws` (the calling thread's warm
+/// workspace) into `out`: derives the request's private rng from
+/// (seed, stream), applies input noise into workspace scratch, and
+/// simulates. Allocation-free once `ws` is warm. THE per-request body of
+/// every execution client (see ClassifyRequest).
+void execute_request(const ClassifyRequest& req, SimWorkspace& ws,
+                     SimResult& out);
 
 /// The layer-sequential reference core: each stage runs its full window
 /// before the next starts. Ignores req.policy (never exits early).

@@ -133,6 +133,11 @@ struct SimWorkspace {
     return build_accum_map(syn, umap);
   }
 
+  /// Pre-encoding input-corruption scratch: execute_request() writes the
+  /// noise::InputNoiseModel output here so a corrupted request allocates
+  /// nothing once warm (grow-only, like everything else in the workspace).
+  Tensor input_scratch;
+
   /// Stage state leased by the layer-sequential run_layer_into/readout_into
   /// loops (strictly one stage in flight at a time, so one state suffices).
   StageState seq;

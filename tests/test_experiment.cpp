@@ -3,6 +3,7 @@
 // scaled-model cache, and the effective-WS bookkeeping).
 #include <gtest/gtest.h>
 
+#include "coding/registry.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
@@ -206,6 +207,45 @@ TEST(GridScheduler, RowOrderIsMethodMajorAtAnyThreadCount) {
       for (std::size_t l = 0; l < levels.size(); ++l) {
         EXPECT_EQ(rows[m * levels.size() + l].method, methods[m].label);
         EXPECT_DOUBLE_EQ(rows[m * levels.size() + l].level, levels[l]);
+      }
+    }
+  }
+}
+
+TEST(GridScheduler, RowsBitIdenticalAtAnyMicroBatch) {
+  // micro_batch only shapes how the admission queue is pulled; the rows
+  // must not move by a bit across batch sizes (and threads).
+  const Fixture f;
+  const snn::CodingSchemePtr scheme =
+      coding::make_scheme(Coding::kRate, coding::default_params(Coding::kRate));
+  std::vector<EvalCell> cells(4);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].model = &f.model;
+    cells[c].scheme = scheme.get();
+    cells[c].images = &f.images;
+    cells[c].labels = &f.labels;
+    cells[c].seed = 100 + c;
+  }
+  GridOptions serial;
+  serial.num_threads = 1;
+  const auto reference = run_grid(cells, serial);
+
+  for (const std::size_t micro_batch :
+       {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      GridOptions options;
+      options.num_threads = threads;
+      options.micro_batch = micro_batch;
+      const auto batched = run_grid(cells, options);
+      ASSERT_EQ(batched.size(), reference.size());
+      for (std::size_t c = 0; c < reference.size(); ++c) {
+        EXPECT_DOUBLE_EQ(batched[c].accuracy, reference[c].accuracy)
+            << "cell " << c << " micro_batch " << micro_batch;
+        EXPECT_DOUBLE_EQ(batched[c].mean_spikes, reference[c].mean_spikes)
+            << "cell " << c << " micro_batch " << micro_batch;
+        EXPECT_DOUBLE_EQ(batched[c].mean_decision_timesteps,
+                         reference[c].mean_decision_timesteps)
+            << "cell " << c << " micro_batch " << micro_batch;
       }
     }
   }

@@ -1,0 +1,250 @@
+// Tests for the bounded MPMC common/request_queue -- capacity/backpressure,
+// close/drain lifecycle, batch popping, and a producer/consumer stress run
+// (the CI sanitize job executes this under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/request_queue.h"
+
+namespace tsnn {
+namespace {
+
+using namespace std::chrono_literals;
+
+using IntQueue = RequestQueue<int>;
+using Push = IntQueue::PushStatus;
+
+TEST(RequestQueue, FifoWithinCapacity) {
+  IntQueue q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(q.push(i));
+  }
+  EXPECT_EQ(q.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, TryPushReportsFullAtCapacity) {
+  IntQueue q(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_EQ(q.try_push(a), Push::kOk);
+  EXPECT_EQ(q.try_push(b), Push::kOk);
+  EXPECT_EQ(q.try_push(c), Push::kFull);
+  EXPECT_EQ(c, 3);  // kFull leaves the item with the caller
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(q.try_push(c), Push::kOk);  // a pop frees a slot
+}
+
+TEST(RequestQueue, TryPopOnEmptyReturnsFalse) {
+  IntQueue q(4);
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(RequestQueue, BlockingPushUnblocksOnPop) {
+  IntQueue q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(RequestQueue, CloseDrainsQueuedThenReportsClosed) {
+  IntQueue q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  // No new work...
+  EXPECT_FALSE(q.push(3));
+  int x = 4;
+  EXPECT_EQ(q.try_push(x), Push::kClosed);
+  // ...but everything admitted still drains, in order.
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // closed and drained: the consumer exit signal
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  IntQueue q(4);
+  std::atomic<bool> exited{false};
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // blocks empty, then close() wakes it
+    exited = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(exited.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(exited.load());
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducer) {
+  IntQueue q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push(2));  // blocked on full, then close() refuses it
+  });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  producer.join();
+  // The refused item was never admitted; only the first drains.
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(RequestQueue, PopBatchTakesUpToMax) {
+  IntQueue q(8);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  int out[4] = {0, 0, 0, 0};
+  // Queued items beyond `max` stay queued; deadline 0 returns immediately
+  // once the first item is in hand.
+  EXPECT_EQ(q.pop_batch(out, 4, 0us), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+  EXPECT_EQ(q.pop_batch(out, 4, 0us), 2u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 5);
+}
+
+TEST(RequestQueue, PopBatchHoldsUnderfullBatchUntilDeadline) {
+  IntQueue q(8);
+  ASSERT_TRUE(q.push(1));
+  std::thread late([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_TRUE(q.push(2));
+  });
+  int out[2] = {0, 0};
+  // A generous deadline (robust under sanitizer slowdowns) lets the late
+  // producer land inside this batch.
+  EXPECT_EQ(q.pop_batch(out, 2, std::chrono::microseconds(2'000'000)), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  late.join();
+}
+
+TEST(RequestQueue, PopBatchReturnsEarlyOnClose) {
+  IntQueue q(8);
+  ASSERT_TRUE(q.push(1));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    q.close();
+  });
+  int out[4] = {0, 0, 0, 0};
+  // The deadline is effectively infinite; close() must cut the batch short
+  // rather than let a worker idle through shutdown.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(60'000'000)), 1u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(30));
+  EXPECT_EQ(out[0], 1);
+  closer.join();
+  EXPECT_EQ(q.pop_batch(out, 4, 0us), 0u);  // closed and drained
+}
+
+TEST(RequestQueue, FlushDiscardsQueued) {
+  IntQueue q(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  EXPECT_EQ(q.flush(), 5u);
+  EXPECT_EQ(q.size(), 0u);
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(RequestQueue, MaxDepthTracksHighWater) {
+  IntQueue q(8);
+  EXPECT_EQ(q.max_depth(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  int v = 0;
+  while (q.try_pop(v)) {
+  }
+  EXPECT_EQ(q.max_depth(), 5u);  // high-water survives the drain
+}
+
+TEST(RequestQueue, MpmcStressEveryItemExactlyOnce) {
+  // 4 producers x 4 consumers through a deliberately tiny ring, so pushes
+  // and pops constantly block on capacity -- the contention shape the
+  // sanitize job checks for races.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 1000;
+  IntQueue q(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::set<int>> seen(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &seen, c] {
+      int batch[3];
+      std::size_t n = 0;
+      while ((n = q.pop_batch(batch, 3, 0us)) > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          seen[static_cast<std::size_t>(c)].insert(batch[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.close();  // producers done: close-drain lets every consumer exit
+  for (auto& t : consumers) {
+    t.join();
+  }
+  std::set<int> all;
+  std::size_t total = 0;
+  for (const auto& s : seen) {
+    total += s.size();
+    all.insert(s.begin(), s.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(all.size(), total);  // disjoint: no item delivered twice
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), kProducers * kPerProducer - 1);
+}
+
+}  // namespace
+}  // namespace tsnn

@@ -262,5 +262,38 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
   EXPECT_EQ(counter.load(), 32);
 }
 
+TEST(ThreadPool, DestructorDrainsInFlightBroadcast) {
+  // Destruction-while-work-pending is a graceful drain, not a cancel --
+  // the contract InferenceServer::shutdown leans on. The callable and the
+  // result slots outlive the pool (declared first), as the async-broadcast
+  // contract requires.
+  std::vector<std::atomic<int>> hits(64);
+  const std::function<void(std::size_t)> fn = [&hits](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++hits[i];
+  };
+  {
+    ThreadPool pool(3);
+    pool.parallel_for_async(hits.size(), fn);
+    // No wait(): the destructor is the drain.
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+void destroy_pool_from_own_worker() {
+  auto* pool = new ThreadPool(2);
+  pool->submit([pool] { delete pool; });
+  // The worker aborts with a diagnostic before this sleep runs out.
+  std::this_thread::sleep_for(std::chrono::seconds(30));
+}
+
+TEST(ThreadPoolDeath, DestroyFromOwnWorkerAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(destroy_pool_from_own_worker(),
+               "destroyed from inside one of its own workers");
+}
+
 }  // namespace
 }  // namespace tsnn
