@@ -270,6 +270,17 @@ std::vector<std::string> sweep_csv_cells(const core::SweepRow& r) {
           str::format_fixed(r.mean_decision_timesteps, 2)};
 }
 
+std::vector<std::string> sweep_csv_cells(const core::ScenarioRow& row,
+                                         bool prefix_dataset) {
+  core::SweepRow flat;
+  flat.method = prefix_dataset ? row.dataset + "/" + row.method : row.method;
+  flat.level = row.level;
+  flat.accuracy = row.accuracy;
+  flat.mean_spikes = row.mean_spikes;
+  flat.mean_decision_timesteps = row.mean_decision_timesteps;
+  return sweep_csv_cells(flat);
+}
+
 std::string csv_output_path(const std::string& name) {
   const std::string dir = env::get_string("TSNN_BENCH_OUT", "./bench_results");
   std::error_code ec;
@@ -279,6 +290,93 @@ std::string csv_output_path(const std::string& name) {
     return "";
   }
   return dir + "/" + name + ".csv";
+}
+
+void write_scenario_suite_json(
+    const std::string& suite_label,
+    const std::vector<core::ScenarioSpec>& specs,
+    const std::vector<core::ScenarioResult>& results,
+    const ScenarioSuiteMetrics& metrics) {
+  const std::string path = bench_json();
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s; skipping JSON\n",
+                 path.c_str());
+    return;
+  }
+  std::size_t total_images = 0;
+  for (const core::ScenarioResult& r : results) {
+    total_images += r.images_simulated;
+  }
+  // default_images/default_seed are the CLI/env values; a spec's own
+  // `images =` / `seed =` keys override them per scenario, so the
+  // per-scenario images_simulated below is the authoritative workload size.
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"%s\",\n"
+               "  \"default_images\": %zu,\n"
+               "  \"default_seed\": %llu,\n"
+               "  \"isa\": \"%s\",\n"
+               "  \"scenarios\": [",
+               json_escape(suite_label).c_str(), bench_images(),
+               static_cast<unsigned long long>(bench_seed()),
+               json_escape(simd::active_isa()).c_str());
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const core::ScenarioResult& result = results[s];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"level_name\": \"%s\", "
+                 "\"images_simulated\": %zu, \"early_exit\": \"%s\",\n"
+                 "     \"rows\": [",
+                 s == 0 ? "" : ",", json_escape(result.name).c_str(),
+                 json_escape(result.level_name).c_str(),
+                 result.images_simulated,
+                 json_escape(specs[s].early_exit.describe()).c_str());
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      const core::ScenarioRow& row = result.rows[i];
+      std::fprintf(f,
+                   "%s\n      {\"dataset\": \"%s\", \"method\": \"%s\", "
+                   "\"level\": %.6g, \"noise\": \"%s\", \"accuracy\": %.8g, "
+                   "\"mean_spikes\": %.8g, \"ws_factor\": %.8g, "
+                   "\"mean_decision_timesteps\": %.8g}",
+                   i == 0 ? "" : ",", json_escape(row.dataset).c_str(),
+                   json_escape(row.method).c_str(), row.level,
+                   json_escape(row.noise).c_str(), row.accuracy,
+                   row.mean_spikes, row.ws_factor,
+                   row.mean_decision_timesteps);
+    }
+    std::fprintf(f, "\n     ]}");
+  }
+  // zoo_prep_seconds covers dataset generation + model load-or-train +
+  // conversion (or a TSNZ artifact load); on a warm zoo cache it is the
+  // cold-vs-warm signal the perf-smoke CI job tracks. images_per_sec is
+  // sweep-only and counts only cells this process actually executed, so a
+  // resumed or sharded run reports throughput comparable to a full one.
+  std::fprintf(f,
+               "\n  ],\n"
+               "  \"metrics\": {\n"
+               "    \"seconds\": %.8g,\n"
+               "    \"sweep_seconds\": %.8g,\n"
+               "    \"images_simulated\": %zu,\n"
+               "    \"images_executed\": %zu,\n"
+               "    \"images_per_sec\": %.8g,\n"
+               "    \"zoo_prep_seconds\": %.8g,\n"
+               "    \"zoo_loads\": %zu,\n"
+               "    \"zoo_artifact_hits\": %zu\n"
+               "  }\n"
+               "}\n",
+               metrics.seconds, metrics.sweep_seconds, total_images,
+               metrics.images_executed,
+               metrics.sweep_seconds > 0.0
+                   ? static_cast<double>(metrics.images_executed) /
+                         metrics.sweep_seconds
+                   : 0.0,
+               metrics.zoo.seconds, metrics.zoo.loads,
+               metrics.zoo.artifact_hits);
+  std::fclose(f);
+  std::printf("json: %s\n", path.c_str());
 }
 
 namespace {

@@ -139,9 +139,40 @@ std::vector<std::string> sweep_csv_headers(const std::string& level_name);
 /// One SweepRow formatted exactly as the sweep CSVs have always been.
 std::vector<std::string> sweep_csv_cells(const core::SweepRow& row);
 
+/// One scenario row in sweep-CSV form (the bytes on disk); the method label
+/// gets a "<dataset>/" prefix when the scenario spans several datasets --
+/// shared by run_scenarios and merge_shards so a merged CSV is
+/// byte-identical to a directly-written one.
+std::vector<std::string> sweep_csv_cells(const core::ScenarioRow& row,
+                                         bool prefix_dataset);
+
 /// Creates TSNN_BENCH_OUT (if needed) and returns TSNN_BENCH_OUT/<name>.csv,
 /// or "" if the directory cannot be created (warned; callers run CSV-less).
 std::string csv_output_path(const std::string& name);
+
+/// Suite-level timing of a scenario run. Everything here lands in the
+/// trailing "metrics" object of the suite JSON -- the only part of the
+/// document allowed to differ between an uninterrupted run, a resumed run,
+/// and a shard merge (the CI identity checks strip it before byte-diffing).
+/// images_per_sec is sweep-only (images_executed / sweep_seconds), matching
+/// BENCH_table1's metric: zoo preparation is reported separately and
+/// resumed/injected cells do not count as executed work.
+struct ScenarioSuiteMetrics {
+  double seconds = 0.0;             ///< total wall (zoo prep + sweep)
+  double sweep_seconds = 0.0;       ///< grid evaluation only
+  std::size_t images_executed = 0;  ///< actually simulated by this process
+  core::ScenarioEngine::ZooPrepStats zoo;
+};
+
+/// Writes the scenario-suite JSON document to bench_json() (no-op when
+/// unset). Shared by run_scenarios and merge_shards, so a merged or resumed
+/// document is byte-identical to the uninterrupted unsharded one outside
+/// "metrics".
+void write_scenario_suite_json(
+    const std::string& suite_label,
+    const std::vector<core::ScenarioSpec>& specs,
+    const std::vector<core::ScenarioResult>& results,
+    const ScenarioSuiteMetrics& metrics);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);

@@ -117,9 +117,11 @@ class RequestQueue {
   /// queue is closed), takes up to `max` items into `out[0..)`, and -- when
   /// the batch is underfull and `deadline` > 0 -- keeps the batch open,
   /// absorbing later arrivals, until it is full or `deadline` has elapsed
-  /// since the first item was taken. Returns the batch size; 0 means
-  /// closed-and-drained (the consumer-loop exit signal). Items within a
-  /// batch preserve FIFO order.
+  /// since the first item was taken. The deadline is armed ONCE, at the
+  /// first take: later arrivals land in the open batch but never extend
+  /// the window, so a steady trickle cannot stall the consumer
+  /// indefinitely. Returns the batch size; 0 means closed-and-drained (the
+  /// consumer-loop exit signal). Items within a batch preserve FIFO order.
   std::size_t pop_batch(T* out, std::size_t max,
                         std::chrono::microseconds deadline) {
     if (max == 0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -71,6 +72,13 @@ std::string format_fixed(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return std::string{buf};
+}
+
+std::string round_trip(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;  // 32 bytes always fit the shortest form
+  return std::string(buf, ptr);
 }
 
 bool starts_with(const std::string& s, const std::string& prefix) {

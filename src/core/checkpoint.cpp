@@ -1,0 +1,224 @@
+#include "core/checkpoint.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace tsnn::core {
+
+namespace {
+
+[[noreturn]] void record_error(const std::string& path, std::size_t record,
+                               const std::string& what) {
+  throw IoError("checkpoint " + path + " record " + std::to_string(record) +
+                ": " + what);
+}
+
+double parse_double_field(const std::string& s, const std::string& path,
+                          std::size_t record, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || !std::isfinite(v)) {
+    record_error(path, record, std::string("bad ") + what + " '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_uint_field(const std::string& s, const std::string& path,
+                               std::size_t record, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || s.front() == '-' || end != s.c_str() + s.size()) {
+    record_error(path, record, std::string("bad ") + what + " '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const std::vector<std::string>& checkpoint_headers() {
+  static const std::vector<std::string> kHeaders = {
+      "cell",     "scenario",  "dataset", "method",
+      "level",    "noise",     "ws_factor", "images",
+      "seed",     "accuracy",  "mean_spikes", "mean_decision_timesteps"};
+  return kHeaders;
+}
+
+std::vector<std::string> checkpoint_cells(std::size_t cell,
+                                          const CellPlan& plan,
+                                          const ScenarioRow& row) {
+  return {std::to_string(cell),
+          std::to_string(plan.scenario),
+          row.dataset,
+          row.method,
+          str::round_trip(row.level),
+          row.noise,
+          str::round_trip(row.ws_factor),
+          std::to_string(plan.images),
+          std::to_string(plan.seed),
+          str::round_trip(row.accuracy),
+          str::round_trip(row.mean_spikes),
+          str::round_trip(row.mean_decision_timesteps)};
+}
+
+CheckpointFile read_checkpoint_file(const std::string& path) {
+  const report::CsvResume csv(path);
+  CheckpointFile file;
+  file.torn_tail = csv.torn_tail();
+  file.resume = csv.resume_point();
+  if (!csv.has_header()) {
+    return file;  // empty (or torn-header) file: zero completed cells
+  }
+  if (csv.header() != checkpoint_headers()) {
+    throw IoError("not a grid checkpoint (unexpected header): " + path);
+  }
+  file.records.reserve(csv.num_rows());
+  for (std::size_t r = 0; r < csv.num_rows(); ++r) {
+    const std::vector<std::string>& f = csv.rows()[r];
+    CheckpointRecord rec;
+    rec.cell = parse_uint_field(f[0], path, r, "cell");
+    rec.scenario = parse_uint_field(f[1], path, r, "scenario");
+    rec.row.dataset = f[2];
+    rec.row.method = f[3];
+    rec.row.level = parse_double_field(f[4], path, r, "level");
+    rec.row.noise = f[5];
+    rec.row.ws_factor = parse_double_field(f[6], path, r, "ws_factor");
+    rec.images = parse_uint_field(f[7], path, r, "images");
+    rec.seed = parse_uint_field(f[8], path, r, "seed");
+    rec.row.accuracy = parse_double_field(f[9], path, r, "accuracy");
+    rec.row.mean_spikes = parse_double_field(f[10], path, r, "mean_spikes");
+    rec.row.mean_decision_timesteps =
+        parse_double_field(f[11], path, r, "mean_decision_timesteps");
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+CheckpointState validate_checkpoint(const CheckpointFile& file,
+                                    const std::vector<CellPlan>& plan,
+                                    const GridShard& shard,
+                                    const std::string& path) {
+  TSNN_CHECK_MSG(shard.count >= 1 && shard.index < shard.count,
+                 "bad grid shard " << shard.index << "/" << shard.count);
+  CheckpointState state;
+  state.completed.assign(plan.size(), 0);
+  state.results.resize(plan.size());
+  state.resume = file.resume;
+
+  // Owned cells complete strictly in cell order (run_grid emits in index
+  // order and the bench appends records in emission order), so record k
+  // must be exactly the k-th owned cell.
+  std::size_t next_owned = shard.index;
+  for (std::size_t r = 0; r < file.records.size(); ++r) {
+    const CheckpointRecord& rec = file.records[r];
+    if (rec.cell >= plan.size()) {
+      record_error(path, r,
+                   "cell " + std::to_string(rec.cell) +
+                       " out of range (plan has " +
+                       std::to_string(plan.size()) +
+                       " cells; wrong suite or flags?)");
+    }
+    if (rec.cell != next_owned) {
+      record_error(path, r,
+                   "expected cell " + std::to_string(next_owned) +
+                       " of shard " + std::to_string(shard.index) + "/" +
+                       std::to_string(shard.count) + ", found " +
+                       std::to_string(rec.cell));
+    }
+    const CellPlan& p = plan[rec.cell];
+    const auto mismatch = [&](const char* what, const std::string& got,
+                              const std::string& want) {
+      record_error(path, r,
+                   std::string(what) + " mismatch for cell " +
+                       std::to_string(rec.cell) + ": checkpoint has '" + got +
+                       "', plan has '" + want +
+                       "' (different suite, flags, or spec file?)");
+    };
+    if (rec.scenario != p.scenario) {
+      mismatch("scenario", std::to_string(rec.scenario),
+               std::to_string(p.scenario));
+    }
+    if (rec.row.dataset != p.row.dataset) {
+      mismatch("dataset", rec.row.dataset, p.row.dataset);
+    }
+    if (rec.row.method != p.row.method) {
+      mismatch("method", rec.row.method, p.row.method);
+    }
+    if (rec.row.level != p.row.level) {
+      mismatch("level", str::round_trip(rec.row.level),
+               str::round_trip(p.row.level));
+    }
+    if (rec.row.noise != p.row.noise) {
+      mismatch("noise", rec.row.noise, p.row.noise);
+    }
+    if (rec.row.ws_factor != p.row.ws_factor) {
+      mismatch("ws_factor", str::round_trip(rec.row.ws_factor),
+               str::round_trip(p.row.ws_factor));
+    }
+    if (rec.images != p.images) {
+      mismatch("images", std::to_string(rec.images),
+               std::to_string(p.images));
+    }
+    if (rec.seed != p.seed) {
+      mismatch("seed", std::to_string(rec.seed), std::to_string(p.seed));
+    }
+    state.completed[rec.cell] = 1;
+    state.results[rec.cell].accuracy = rec.row.accuracy;
+    state.results[rec.cell].mean_spikes = rec.row.mean_spikes;
+    state.results[rec.cell].mean_decision_timesteps =
+        rec.row.mean_decision_timesteps;
+    ++state.completed_cells;
+    state.completed_images += p.images;
+    next_owned += shard.count;
+  }
+  return state;
+}
+
+std::vector<CheckpointRecord> merge_shard_records(
+    const std::vector<std::vector<CheckpointRecord>>& shards) {
+  TSNN_CHECK_MSG(!shards.empty(), "merge needs at least one shard");
+  const std::size_t n = shards.size();
+
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    for (const CheckpointRecord& rec : shard) {
+      total = std::max(total, rec.cell + 1);
+    }
+  }
+
+  std::vector<const CheckpointRecord*> by_cell(total, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const CheckpointRecord& rec : shards[i]) {
+      if (rec.cell % n != i) {
+        throw IoError("shard " + std::to_string(i) + " holds cell " +
+                      std::to_string(rec.cell) + ", which belongs to shard " +
+                      std::to_string(rec.cell % n) + "/" + std::to_string(n) +
+                      " (shard directories duplicated or out of order?)");
+      }
+      if (by_cell[rec.cell] != nullptr) {
+        throw IoError("cell " + std::to_string(rec.cell) +
+                      " appears twice in shard " + std::to_string(i));
+      }
+      by_cell[rec.cell] = &rec;
+    }
+  }
+  for (std::size_t c = 0; c < total; ++c) {
+    if (by_cell[c] == nullptr) {
+      throw IoError("grid is not fully covered: cell " + std::to_string(c) +
+                    " missing (shard " + std::to_string(c % n) + "/" +
+                    std::to_string(n) +
+                    " incomplete or a shard directory missing?)");
+    }
+  }
+
+  std::vector<CheckpointRecord> merged;
+  merged.reserve(total);
+  for (std::size_t c = 0; c < total; ++c) {
+    merged.push_back(*by_cell[c]);
+  }
+  return merged;
+}
+
+}  // namespace tsnn::core

@@ -1,0 +1,95 @@
+// Grid checkpoints: crash-safe progress records for scenario suites.
+//
+// The sweep CSVs pin their historical fixed-precision formatting (two
+// decimals for levels, four for accuracy, ...), so their text cannot
+// reconstruct the exact measured doubles the suite JSON reports. The
+// checkpoint sidecar closes that gap: run_scenarios streams one record per
+// completed cell into <out>/checkpoint.csv -- keyed by the global cell
+// index of ScenarioEngine::plan(), carrying the full cell identity plus the
+// measured doubles in shortest-round-trip form (str::round_trip) -- through
+// the same append+flush CsvStream as every sweep CSV. A crash therefore
+// leaves at most one torn record, which the CsvResume reader detects and
+// truncates; everything before it resumes exactly, and the finished
+// CSV/JSON outputs are byte-identical to an uninterrupted run.
+//
+// The same records are the merge currency of sharded runs: each shard's
+// checkpoint carries global cell indices, so bench/merge_shards can
+// reassemble N shard outputs in cell order without resolving a single
+// workload -- and can prove the shards partition the grid exactly
+// (cell % N == shard position, no duplicates, no gaps) before writing
+// anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "report/csv_resume.h"
+
+namespace tsnn::core {
+
+/// Column names of a checkpoint CSV, in order.
+const std::vector<std::string>& checkpoint_headers();
+
+/// Formats one completed cell as a checkpoint record. Doubles use
+/// str::round_trip, so reading the record back reproduces them
+/// bit-for-bit.
+std::vector<std::string> checkpoint_cells(std::size_t cell,
+                                          const CellPlan& plan,
+                                          const ScenarioRow& row);
+
+/// One fully parsed checkpoint record.
+struct CheckpointRecord {
+  std::size_t cell = 0;
+  std::size_t scenario = 0;
+  std::size_t images = 0;
+  std::uint64_t seed = 0;
+  ScenarioRow row;  ///< complete, including the measured doubles
+};
+
+/// A parsed checkpoint file.
+struct CheckpointFile {
+  std::vector<CheckpointRecord> records;  ///< complete records, file order
+  bool torn_tail = false;                 ///< final record torn by a crash
+  report::CsvResumePoint resume;          ///< covers exactly `records`
+};
+
+/// Reads and structurally validates a checkpoint CSV: the header must match
+/// checkpoint_headers() and every complete record must parse (numbers
+/// strict, accuracy finite). Throws IoError on a missing/corrupt file; a
+/// torn final record is normal crash fallout and is reported, not thrown.
+CheckpointFile read_checkpoint_file(const std::string& path);
+
+/// read_checkpoint_file + validation against a compiled plan: record k must
+/// be exactly the k-th cell the shard owns, in order, with cell identity
+/// (scenario, dataset, method, level, noise, ws_factor, images, seed)
+/// matching the plan bit-for-bit. Any complete record that contradicts the
+/// plan -- a different suite, different flags, a different shard -- throws
+/// IoError instead of silently resuming the wrong grid.
+struct CheckpointState {
+  std::vector<std::uint8_t> completed;   ///< per plan cell
+  std::vector<EvalCellResult> results;   ///< valid where completed
+  std::size_t completed_cells = 0;
+  std::size_t completed_images = 0;      ///< sum of plan images over completed
+  report::CsvResumePoint resume;         ///< where the checkpoint stream reopens
+};
+CheckpointState validate_checkpoint(const CheckpointFile& file,
+                                    const std::vector<CellPlan>& plan,
+                                    const GridShard& shard,
+                                    const std::string& path);
+
+/// Merge validation for sharded runs: `shards[i]` holds the records of the
+/// shard run with --shard i/N (N = shards.size()). Proves the shards
+/// partition one grid -- every record of shards[i] satisfies
+/// cell % N == i (catches shard dirs passed in the wrong order or twice),
+/// and the union covers cells 0..total-1 exactly once (catches a missing
+/// or incomplete shard). Returns all records sorted by cell; throws
+/// IoError with the offending shard/cell on any violation. Empty shards
+/// are legal (N greater than the cell count).
+std::vector<CheckpointRecord> merge_shard_records(
+    const std::vector<std::vector<CheckpointRecord>>& shards);
+
+}  // namespace tsnn::core

@@ -190,10 +190,10 @@ struct GridSink final : public InferenceServer::CompletionSink {
 };
 
 void emit_cell(std::vector<EvalCellResult>& results, std::size_t c,
-               EvalCellResult result, const GridOptions& options) {
-  results.push_back(result);
+               const EvalCellResult& result, const GridOptions& options) {
+  results[c] = result;
   if (options.on_cell) {
-    options.on_cell(c, results.back());
+    options.on_cell(c, results[c]);
   }
 }
 
@@ -202,16 +202,32 @@ void emit_cell(std::vector<EvalCellResult>& results, std::size_t c,
 std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
                                      const GridOptions& options) {
   check_cells(cells);
+  const GridShard& shard = options.shard;
+  TSNN_CHECK_MSG(shard.count >= 1 && shard.index < shard.count,
+                 "bad grid shard " << shard.index << "/" << shard.count);
 
-  std::vector<EvalCellResult> results;
-  results.reserve(cells.size());
+  std::vector<EvalCellResult> results(cells.size());
   if (cells.empty()) {
     return results;
   }
 
+  // Resolve shard ownership and the resume skip set up front, in cell
+  // order on the calling thread, so the task stream below is a pure
+  // function of (cells, shard, completed) -- identical at any thread
+  // count. Skipped cells contribute no tasks at all.
+  std::vector<std::uint8_t> owned(cells.size(), 0);
+  std::vector<std::uint8_t> preset(cells.size(), 0);
   std::size_t total_tasks = 0;
-  for (const EvalCell& cell : cells) {
-    total_tasks += cell.images->size();
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c % shard.count != shard.index) {
+      continue;
+    }
+    owned[c] = 1;
+    if (options.completed && options.completed(c, &results[c])) {
+      preset[c] = 1;
+    } else {
+      total_tasks += cells[c].images->size();
+    }
   }
 
   // Parallelism keys on the whole grid, not the per-cell image count: a
@@ -227,6 +243,13 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
     std::vector<std::size_t> spikes;
     std::vector<std::size_t> decisions;
     for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (!owned[c]) {
+        continue;
+      }
+      if (preset[c]) {
+        emit_cell(results, c, results[c], options);
+        continue;
+      }
       const std::size_t n = cells[c].images->size();
       correct.resize(n);
       spikes.resize(n);
@@ -252,7 +275,11 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
   state.offsets.resize(cells.size() + 1);
   state.offsets[0] = 0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    state.offsets[c + 1] = state.offsets[c] + cells[c].images->size();
+    // Skipped cells (outside the shard or resume-injected) span zero tasks,
+    // so cell_of's upper_bound can never map a task to them.
+    const std::size_t n =
+        owned[c] && !preset[c] ? cells[c].images->size() : 0;
+    state.offsets[c + 1] = state.offsets[c] + n;
   }
   state.correct.assign(total_tasks, 0);
   state.spikes.assign(total_tasks, 0);
@@ -260,10 +287,10 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
   state.remaining = std::make_unique<std::atomic<std::size_t>[]>(cells.size());
   state.done.assign(cells.size(), 0);
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    const std::size_t n = cells[c].images->size();
+    const std::size_t n = state.offsets[c + 1] - state.offsets[c];
     state.remaining[c].store(n, std::memory_order_relaxed);
     if (n == 0) {
-      state.done[c] = 1;  // no task will ever decrement an empty cell
+      state.done[c] = 1;  // no task will ever decrement a zero-task cell
     }
   }
 
@@ -292,12 +319,18 @@ std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
   std::size_t next_emit = 0;
   auto emit_next = [&] {
     const std::size_t c = next_emit;
-    const std::size_t n = cells[c].images->size();
-    emit_cell(results, c,
-              reduce_cell(&state.correct[state.offsets[c]],
-                          &state.spikes[state.offsets[c]],
-                          &state.decisions[state.offsets[c]], n),
-              options);
+    if (owned[c]) {
+      // Resume-injected cells re-emit their stored result; executed cells
+      // reduce their task slots. Cells outside the shard just advance.
+      emit_cell(results, c,
+                preset[c]
+                    ? results[c]
+                    : reduce_cell(&state.correct[state.offsets[c]],
+                                  &state.spikes[state.offsets[c]],
+                                  &state.decisions[state.offsets[c]],
+                                  state.offsets[c + 1] - state.offsets[c]),
+                options);
+    }
     ++next_emit;
   };
 

@@ -164,6 +164,17 @@ struct EvalCellResult {
   double mean_decision_timesteps = 0.0;
 };
 
+/// Deterministic partition of a grid for multi-process fan-out: shard
+/// {i, N} owns exactly the cells whose index satisfies cell % N == i. The
+/// partition is a pure function of the cell index -- stable under thread
+/// count, micro-batch, and pool choice -- so N shard runs cover the grid
+/// exactly once and a merge in cell order reassembles the unsharded output
+/// bit-identically (bench/merge_shards). The default {0, 1} owns everything.
+struct GridShard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
 /// How run_grid schedules its cells; same guarantees as SweepOptions
 /// (results never depend on either knob, cells complete in index order).
 struct GridOptions {
@@ -181,11 +192,22 @@ struct GridOptions {
   /// rows are bit-identical at any value (tests/test_experiment.cpp pins
   /// {1, 3, 64}).
   std::size_t micro_batch = 8;
+  /// Which slice of the grid this process runs. Cells outside the shard
+  /// never execute and never reach on_cell; their results slot stays
+  /// default-initialized.
+  GridShard shard;
+  /// Checkpoint/resume hook: consulted once per owned cell, in cell order,
+  /// on the calling thread before any evaluation starts. Return true and
+  /// fill `*result` with the cell's known outcome to skip its execution;
+  /// the injected result still flows through on_cell in cell order exactly
+  /// like a freshly computed one, so resuming is invisible downstream.
+  std::function<bool(std::size_t cell, EvalCellResult* result)> completed;
 };
 
-/// Evaluates every cell (cells may have *different* image sets and counts)
-/// as one flat cell-major task stream and returns per-cell results in cell
-/// order. The engine under the sweeps and the scenario engine.
+/// Evaluates every owned cell (cells may have *different* image sets and
+/// counts) as one flat cell-major task stream and returns per-cell results
+/// indexed by cell (cells outside options.shard are default-initialized).
+/// The engine under the sweeps and the scenario engine.
 std::vector<EvalCellResult> run_grid(const std::vector<EvalCell>& cells,
                                      const GridOptions& options = {});
 

@@ -51,12 +51,7 @@ std::uint64_t parse_uint(const std::string& s, std::size_t line,
 }
 
 /// Shortest round-trip decimal form of `v` ("0.1", not "0.100000...").
-std::string format_double(double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  (void)ec;
-  return std::string(buf, ptr);
-}
+std::string format_double(double v) { return str::round_trip(v); }
 
 /// Comma-separated, trimmed, empties rejected by callers as needed.
 std::vector<std::string> split_list(const std::string& s) {
@@ -760,18 +755,36 @@ ResolvedStack resolve_stack(const std::vector<NoiseLayerSpec>& stack,
 
 }  // namespace
 
-std::vector<ScenarioResult> ScenarioEngine::run(
-    const std::vector<ScenarioSpec>& suite) {
-  std::vector<ScenarioResult> results;
-  results.reserve(suite.size());
-
-  // Compilation arenas: everything the cells point into must outlive
-  // run_grid. Raw pointers target heap objects, so vector growth is safe.
+/// The compiled form of one suite: the flat cell stream plus the arenas
+/// everything points into. run() schedules it; plan() projects it into
+/// CellPlans. Compilation is deterministic, so compiling the same suite
+/// twice (e.g. plan() for a checkpoint, then run()) yields the same cell
+/// order -- the property resume and sharding stand on.
+struct ScenarioEngine::Compiled {
+  /// Row skeleton of each cell, filled by the grid's on_cell stream.
+  struct CellMeta {
+    std::size_t scenario;
+    ScenarioRow row;
+  };
+  std::vector<ScenarioResult> results;  ///< per-scenario skeletons
+  std::vector<EvalCell> cells;
+  std::vector<CellMeta> meta;
+  // Arenas: raw pointers in `cells` target heap objects, so vector growth
+  // during compilation is safe.
   std::vector<snn::CodingSchemePtr> schemes;
   std::vector<ResolvedStack> stacks;
   std::map<const snn::SnnModel*, std::unique_ptr<ScaledModelCache>>
       run_caches;  ///< for provider-resolved models (zoo models use the
                    ///< engine-cached ScaledModelCache)
+};
+
+std::unique_ptr<ScenarioEngine::Compiled> ScenarioEngine::compile(
+    const std::vector<ScenarioSpec>& suite) {
+  auto out = std::make_unique<Compiled>();
+  std::vector<ScenarioResult>& results = out->results;
+  results.reserve(suite.size());
+  std::vector<snn::CodingSchemePtr>& schemes = out->schemes;
+  std::vector<ResolvedStack>& stacks = out->stacks;
 
   const auto cache_for = [&](const snn::SnnModel* model) -> ScaledModelCache& {
     for (const auto& [key, cached] : workloads_) {
@@ -779,20 +792,15 @@ std::vector<ScenarioResult> ScenarioEngine::run(
         return *cached->scaled;
       }
     }
-    auto& slot = run_caches[model];
+    auto& slot = out->run_caches[model];
     if (slot == nullptr) {
       slot = std::make_unique<ScaledModelCache>(*model);
     }
     return *slot;
   };
 
-  /// Row skeleton of each cell, filled by the grid's on_cell stream.
-  struct CellMeta {
-    std::size_t scenario;
-    ScenarioRow row;
-  };
-  std::vector<EvalCell> cells;
-  std::vector<CellMeta> meta;
+  std::vector<EvalCell>& cells = out->cells;
+  std::vector<Compiled::CellMeta>& meta = out->meta;
 
   for (std::size_t s = 0; s < suite.size(); ++s) {
     const ScenarioSpec& spec = suite[s];
@@ -853,7 +861,7 @@ std::vector<ScenarioResult> ScenarioEngine::run(
           cell.policy = spec.early_exit;
           cells.push_back(cell);
 
-          CellMeta cm;
+          Compiled::CellMeta cm;
           cm.scenario = s;
           cm.row.dataset = dataset;
           cm.row.method = method.label;
@@ -865,12 +873,22 @@ std::vector<ScenarioResult> ScenarioEngine::run(
       }
     }
   }
+  return out;
+}
+
+std::vector<ScenarioResult> ScenarioEngine::run(
+    const std::vector<ScenarioSpec>& suite) {
+  const std::unique_ptr<Compiled> compiled = compile(suite);
+  std::vector<ScenarioResult>& results = compiled->results;
+  const std::vector<EvalCell>& cells = compiled->cells;
 
   GridOptions grid;
   grid.pool = options_.pool;
   grid.num_threads = options_.num_threads;
+  grid.shard = options_.shard;
+  grid.completed = options_.completed;
   grid.on_cell = [&](std::size_t c, const EvalCellResult& cell_result) {
-    CellMeta& cm = meta[c];
+    Compiled::CellMeta& cm = compiled->meta[c];
     cm.row.accuracy = cell_result.accuracy;
     cm.row.mean_spikes = cell_result.mean_spikes;
     cm.row.mean_decision_timesteps = cell_result.mean_decision_timesteps;
@@ -880,12 +898,28 @@ std::vector<ScenarioResult> ScenarioEngine::run(
     if (options_.on_row) {
       options_.on_row(cm.scenario, cm.row);
     }
+    if (options_.on_cell) {
+      options_.on_cell(c, cm.scenario, cm.row);
+    }
     TSNN_LOG(kInfo) << "[" << result.name << "] " << cm.row.dataset << "/"
                     << cm.row.method << " level " << cm.row.level << " acc "
                     << cm.row.accuracy;
   };
   run_grid(cells, grid);
-  return results;
+  return std::move(results);
+}
+
+std::vector<CellPlan> ScenarioEngine::plan(
+    const std::vector<ScenarioSpec>& suite) {
+  const std::unique_ptr<Compiled> compiled = compile(suite);
+  std::vector<CellPlan> plans(compiled->cells.size());
+  for (std::size_t c = 0; c < plans.size(); ++c) {
+    plans[c].scenario = compiled->meta[c].scenario;
+    plans[c].images = compiled->cells[c].images->size();
+    plans[c].seed = compiled->cells[c].seed;
+    plans[c].row = compiled->meta[c].row;
+  }
+  return plans;
 }
 
 ScenarioResult ScenarioEngine::run_one(const ScenarioSpec& spec) {

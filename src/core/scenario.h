@@ -169,6 +169,20 @@ struct ScenarioResult {
   std::size_t images_simulated = 0;  ///< one count per (cell, image) pair
 };
 
+/// The compile-time identity of one grid cell of a suite: everything a
+/// checkpoint needs to recognize the cell again on resume without
+/// re-running it. ScenarioEngine::plan() returns these in the exact global
+/// cell order run() schedules -- scenario-major, then dataset, then method,
+/// then level -- which is also the order GridShard partitions.
+struct CellPlan {
+  std::size_t scenario = 0;  ///< index into the suite
+  std::size_t images = 0;    ///< resolved image count of the cell
+  std::uint64_t seed = 0;    ///< resolved base seed
+  /// Row skeleton: dataset/method/level/noise/ws_factor filled, the
+  /// measured fields (accuracy/spikes/decision timesteps) zero.
+  ScenarioRow row;
+};
+
 /// Non-owning view of an evaluation-ready workload a provider returns; the
 /// provider owns the storage for at least the duration of run().
 struct ScenarioWorkload {
@@ -202,6 +216,19 @@ class ScenarioEngine {
     /// Streamed once per completed cell, in grid order, from the calling
     /// thread.
     std::function<void(std::size_t scenario, const ScenarioRow&)> on_row;
+    /// Like on_row but with the global cell index (the plan()/checkpoint
+    /// coordinate). Fires for every emitted row, including resume-injected
+    /// ones.
+    std::function<void(std::size_t cell, std::size_t scenario,
+                       const ScenarioRow&)>
+        on_cell;
+    /// Which slice of the compiled grid this process runs (run_grid's
+    /// GridShard contract); default runs everything.
+    GridShard shard;
+    /// Resume hook forwarded to GridOptions::completed: return true and
+    /// fill `*result` to inject a cell's known outcome instead of
+    /// re-evaluating it. Cell indices match plan().
+    std::function<bool(std::size_t cell, EvalCellResult* result)> completed;
   };
 
   /// Zoo-preparation accounting across run() calls: wall seconds spent in
@@ -223,11 +250,20 @@ class ScenarioEngine {
   /// returns per-scenario results in suite order.
   std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& suite);
 
+  /// Compiles `suite` without running it and returns the per-cell plan in
+  /// global cell order -- the coordinate system checkpoints, shards, and
+  /// the merge tool share. Resolves (and caches) every workload, so the
+  /// zoo-preparation cost is paid here and a following run() starts warm.
+  std::vector<CellPlan> plan(const std::vector<ScenarioSpec>& suite);
+
   /// Convenience wrapper for a single spec.
   ScenarioResult run_one(const ScenarioSpec& spec);
 
  private:
   struct CachedWorkload;
+  struct Compiled;
+
+  std::unique_ptr<Compiled> compile(const std::vector<ScenarioSpec>& suite);
 
   ScenarioWorkload resolve_workload(const std::string& dataset,
                                     std::size_t images);

@@ -1,9 +1,12 @@
 #include "report/csv.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/error.h"
+#include "report/csv_resume.h"
 
 namespace tsnn::report {
 
@@ -78,6 +81,42 @@ CsvStream::CsvStream(const std::string& path,
     throw IoError("cannot open csv for write: " + path_);
   }
   emit(headers);
+}
+
+CsvStream::CsvStream(const std::string& path,
+                     const std::vector<std::string>& headers,
+                     const CsvResumePoint& at)
+    : path_(path), num_cols_(headers.size()), rows_(at.rows) {
+  TSNN_CHECK_MSG(num_cols_ > 0, "csv needs at least one column");
+  if (at.bytes == 0) {
+    // Nothing survived (empty or torn-header file): start over.
+    TSNN_CHECK_MSG(at.rows == 0, "csv resume point has rows but no bytes");
+    os_.open(path_, std::ios::trunc);
+    if (!os_) {
+      throw IoError("cannot open csv for write: " + path_);
+    }
+    emit(headers);
+    return;
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    throw IoError("cannot stat csv for resume: " + path_);
+  }
+  if (size < at.bytes) {
+    throw IoError("csv resume point past end of " + path_ + ": file is " +
+                  std::to_string(size) + " bytes, resume at " +
+                  std::to_string(at.bytes));
+  }
+  // Drop the torn tail (if any), then append after the valid prefix.
+  std::filesystem::resize_file(path_, at.bytes, ec);
+  if (ec) {
+    throw IoError("cannot truncate torn csv tail: " + path_);
+  }
+  os_.open(path_, std::ios::app);
+  if (!os_) {
+    throw IoError("cannot reopen csv for append: " + path_);
+  }
 }
 
 void CsvStream::add_row(const std::vector<std::string>& cells) {

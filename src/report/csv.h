@@ -35,10 +35,22 @@ class CsvWriter {
 /// run always leaves a valid CSV prefix on disk. Same quoting rules as
 /// CsvWriter; the finished file is byte-identical to CsvWriter::write of
 /// the same rows.
+struct CsvResumePoint;
+
 class CsvStream {
  public:
   /// Throws IoError if `path` cannot be opened.
   CsvStream(const std::string& path, const std::vector<std::string>& headers);
+
+  /// Resume constructor: reopens an interrupted stream in append mode. The
+  /// file is truncated to `at.bytes` first — discarding a torn final record
+  /// from a mid-write crash (see CsvResume, which computes `at`) — and
+  /// subsequent add_row calls continue after the surviving `at.rows`
+  /// records. With at.bytes == 0 this is identical to the fresh constructor
+  /// (header written anew). Throws IoError if the file is missing, shorter
+  /// than `at.bytes`, or cannot be reopened.
+  CsvStream(const std::string& path, const std::vector<std::string>& headers,
+            const CsvResumePoint& at);
 
   /// Appends one record and flushes it to disk; throws IoError on write
   /// failure.

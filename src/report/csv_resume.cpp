@@ -1,0 +1,120 @@
+#include "report/csv_resume.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsnn::report {
+
+CsvResume::CsvResume(const std::string& path) : path_(path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open csv for resume: " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) {
+    throw IoError("csv read failed: " + path);
+  }
+  const std::string text = buf.str();
+
+  // One pass over the bytes with an RFC-4180-ish field state machine. A
+  // record is complete only at its own unquoted terminating newline, so the
+  // parse position at EOF tells torn tail from clean boundary exactly.
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteEnd };
+  State state = State::kFieldStart;
+  bool in_record = false;  // any byte of the current record consumed?
+  std::vector<std::string> fields;
+  std::string field;
+  std::size_t line = 1;  // 1-based record number for diagnostics
+
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+    state = State::kFieldStart;
+  };
+  auto end_record = [&](std::size_t end_offset) {
+    end_field();
+    if (!has_header_) {
+      header_ = std::move(fields);
+      has_header_ = true;
+    } else {
+      if (fields.size() != header_.size()) {
+        throw IoError("csv corrupt: record " + std::to_string(line) + " of " +
+                      path_ + " has " + std::to_string(fields.size()) +
+                      " fields, expected " + std::to_string(header_.size()));
+      }
+      rows_.push_back(std::move(fields));
+    }
+    fields.clear();
+    ends_.push_back(end_offset);
+    in_record = false;
+    ++line;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    in_record = true;
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+        } else if (c == ',') {
+          end_field();
+        } else if (c == '\n') {
+          end_record(i + 1);
+        } else {
+          field += c;
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == ',') {
+          end_field();
+        } else if (c == '\n') {
+          end_record(i + 1);
+        } else {
+          field += c;
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state = State::kQuoteEnd;
+        } else {
+          field += c;
+        }
+        break;
+      case State::kQuoteEnd:
+        if (c == '"') {  // doubled quote: literal "
+          field += '"';
+          state = State::kQuoted;
+        } else if (c == ',') {
+          end_field();
+        } else if (c == '\n') {
+          end_record(i + 1);
+        } else {
+          // A quoted field can only be followed by , or newline; truncation
+          // cannot manufacture other bytes here, so this is corruption.
+          throw IoError("csv corrupt: stray byte after closing quote in record " +
+                        std::to_string(line) + " of " + path_);
+        }
+        break;
+    }
+  }
+
+  torn_tail_ = in_record;  // EOF landed mid-record
+}
+
+CsvResumePoint CsvResume::resume_point(std::size_t rows) const {
+  TSNN_CHECK_MSG(rows <= rows_.size(), "csv resume point past end: " << rows
+                                           << " rows requested, "
+                                           << rows_.size() << " available");
+  CsvResumePoint p;
+  p.rows = rows;
+  // ends_[0] is the header; row i ends at ends_[i + 1].
+  p.bytes = has_header_ ? ends_[rows] : 0;
+  return p;
+}
+
+}  // namespace tsnn::report

@@ -1,0 +1,72 @@
+// Companion reader for CsvStream: validates an interrupted CSV as a prefix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsnn::report {
+
+/// Where an interrupted CsvStream file can be safely continued: the first
+/// `rows` records are intact and the file is valid through byte `bytes`
+/// (anything past that is a torn record from a mid-write crash).
+struct CsvResumePoint {
+  std::size_t rows = 0;   ///< complete data records (header not counted)
+  std::size_t bytes = 0;  ///< byte offset just past the last complete record
+};
+
+/// Reads a CSV produced by CsvWriter/CsvStream and classifies how much of it
+/// is a valid prefix. CsvStream appends and flushes one record at a time, so
+/// a crash can leave at most one *torn* final record: a byte-truncation of a
+/// well-formed file. The parser is quote-aware (quoted fields may contain
+/// commas, newlines, and doubled quotes), so "EOF in the middle of a record"
+/// — including inside an open quote — is recognized as a torn tail and
+/// excluded from the valid prefix.
+///
+/// Anything a byte-truncation *cannot* produce is corruption, not a torn
+/// tail, and throws IoError: a terminated record with the wrong column
+/// count, or a closing quote followed by a character other than `,` or
+/// newline. (Records only end at their own final unquoted newline, so every
+/// truncated prefix either ends at a record boundary or mid-record — never
+/// at a complete record with the wrong shape.)
+class CsvResume {
+ public:
+  /// Parses `path`. Throws IoError if the file cannot be read or contains a
+  /// structurally invalid *complete* record. A missing file also throws;
+  /// callers that treat "no file yet" as a fresh start should check
+  /// existence first.
+  explicit CsvResume(const std::string& path);
+
+  /// False when the file is empty or even the header record is torn.
+  bool has_header() const { return has_header_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Complete data records, unescaped, in file order (header excluded).
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// True when the file ends mid-record (crash between write and the end of
+  /// the record). The torn bytes are not part of any row()/resume_point().
+  bool torn_tail() const { return torn_tail_; }
+
+  /// Byte offset just past the last complete record (0 if even the header
+  /// is incomplete). Equal to the file size iff !torn_tail().
+  std::size_t valid_bytes() const { return ends_.empty() ? 0 : ends_.back(); }
+
+  /// Resume point covering the first `rows` records (rows <= num_rows());
+  /// pass num_rows() to keep everything intact. Feeding this to CsvStream's
+  /// append constructor truncates any torn tail (and any records past
+  /// `rows`) before continuing.
+  CsvResumePoint resume_point(std::size_t rows) const;
+  CsvResumePoint resume_point() const { return resume_point(rows_.size()); }
+
+ private:
+  std::string path_;
+  bool has_header_ = false;
+  bool torn_tail_ = false;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> ends_;  ///< ends_[0]=header end, ends_[i+1]=row i end
+};
+
+}  // namespace tsnn::report

@@ -1,0 +1,235 @@
+// Tests for grid checkpoints: exact-double round trips, plan validation on
+// resume, and the shard-merge coverage proofs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/checkpoint.h"
+#include "report/csv.h"
+
+namespace tsnn::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A hand-built 6-cell plan: 2 scenarios x 3 cells, with doubles chosen to
+/// have no short decimal form (0.1 + 0.2, 1/3, ...) so only an exact
+/// round-trip format survives the text trip.
+std::vector<CellPlan> tiny_plan() {
+  std::vector<CellPlan> plan(6);
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    CellPlan& p = plan[c];
+    p.scenario = c / 3;
+    p.images = 4 + c;
+    p.seed = 0xBEEF + c;
+    p.row.dataset = c / 3 == 0 ? "tiny" : "tiny,2";  // comma forces quoting
+    p.row.method = c % 2 == 0 ? "rate" : "ttas(5)+WS";
+    p.row.level = 0.1 + 0.2 * static_cast<double>(c);
+    p.row.noise = "deletion(p=0.50)+jitter(sigma=1.00)";
+    p.row.ws_factor = c % 2 == 0 ? 1.0 : 1.0 / 0.7;
+  }
+  return plan;
+}
+
+/// Measured rows for the plan, with awkward doubles.
+ScenarioRow measured_row(const CellPlan& p, std::size_t c) {
+  ScenarioRow row = p.row;
+  row.accuracy = 1.0 / 3.0 + 1e-9 * static_cast<double>(c);
+  row.mean_spikes = 94800.125 + 0.1 * static_cast<double>(c);
+  row.mean_decision_timesteps = 27.0 / 7.0;
+  return row;
+}
+
+std::string write_checkpoint(const std::string& name,
+                             const std::vector<CellPlan>& plan,
+                             const std::vector<std::size_t>& cells) {
+  const std::string path = temp_path(name);
+  report::CsvStream stream(path, checkpoint_headers());
+  for (const std::size_t c : cells) {
+    stream.add_row(checkpoint_cells(c, plan[c], measured_row(plan[c], c)));
+  }
+  return path;
+}
+
+TEST(Checkpoint, RoundTripsExactDoubles) {
+  const auto plan = tiny_plan();
+  const std::string path =
+      write_checkpoint("tsnn_ckpt_roundtrip.csv", plan, {0, 1, 2, 3, 4, 5});
+  const CheckpointFile file = read_checkpoint_file(path);
+  EXPECT_FALSE(file.torn_tail);
+  ASSERT_EQ(file.records.size(), plan.size());
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    const CheckpointRecord& rec = file.records[c];
+    const ScenarioRow want = measured_row(plan[c], c);
+    EXPECT_EQ(rec.cell, c);
+    EXPECT_EQ(rec.scenario, plan[c].scenario);
+    EXPECT_EQ(rec.images, plan[c].images);
+    EXPECT_EQ(rec.seed, plan[c].seed);
+    EXPECT_EQ(rec.row.dataset, want.dataset);
+    // Bit-exact double recovery is the whole point of the sidecar.
+    EXPECT_EQ(rec.row.level, want.level);
+    EXPECT_EQ(rec.row.ws_factor, want.ws_factor);
+    EXPECT_EQ(rec.row.accuracy, want.accuracy);
+    EXPECT_EQ(rec.row.mean_spikes, want.mean_spikes);
+    EXPECT_EQ(rec.row.mean_decision_timesteps, want.mean_decision_timesteps);
+  }
+  const CheckpointState state =
+      validate_checkpoint(file, plan, GridShard{}, path);
+  EXPECT_EQ(state.completed_cells, plan.size());
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    EXPECT_TRUE(state.completed[c]);
+    EXPECT_EQ(state.results[c].accuracy, measured_row(plan[c], c).accuracy);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongHeaderIsNotACheckpoint) {
+  const std::string path = temp_path("tsnn_ckpt_header.csv");
+  report::CsvStream stream(path, {"method", "p", "accuracy"});
+  EXPECT_THROW(read_checkpoint_file(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornTailIsDroppedAndReported) {
+  const auto plan = tiny_plan();
+  const std::string path =
+      write_checkpoint("tsnn_ckpt_torn.csv", plan, {0, 1, 2});
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);  // tear the last record
+  const CheckpointFile file = read_checkpoint_file(path);
+  EXPECT_TRUE(file.torn_tail);
+  ASSERT_EQ(file.records.size(), 2u);
+  const CheckpointState state =
+      validate_checkpoint(file, plan, GridShard{}, path);
+  EXPECT_EQ(state.completed_cells, 2u);
+  EXPECT_FALSE(state.completed[2]);
+  // Resuming the stream from state.resume truncates the torn bytes.
+  report::CsvStream stream(path, checkpoint_headers(), state.resume);
+  EXPECT_EQ(std::filesystem::file_size(path), state.resume.bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PlanMismatchIsError) {
+  const auto plan = tiny_plan();
+  const std::string path =
+      write_checkpoint("tsnn_ckpt_mismatch.csv", plan, {0, 1});
+  const CheckpointFile file = read_checkpoint_file(path);
+
+  auto tweaked = plan;
+  tweaked[1].row.method = "phase";  // different suite text
+  EXPECT_THROW(validate_checkpoint(file, tweaked, GridShard{}, path), IoError);
+
+  tweaked = plan;
+  tweaked[1].images = 99;  // different --images flag
+  EXPECT_THROW(validate_checkpoint(file, tweaked, GridShard{}, path), IoError);
+
+  tweaked = plan;
+  tweaked[1].seed = 1;  // different --seed flag
+  EXPECT_THROW(validate_checkpoint(file, tweaked, GridShard{}, path), IoError);
+
+  // A checkpoint from a bigger grid than the plan compiles to.
+  const std::vector<CellPlan> short_plan(plan.begin(), plan.begin() + 1);
+  EXPECT_THROW(validate_checkpoint(file, short_plan, GridShard{}, path),
+               IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ShardValidationExpectsOwnedCellsInOrder) {
+  const auto plan = tiny_plan();
+  // Shard 1/2 owns cells 1, 3, 5.
+  const GridShard shard{1, 2};
+  const std::string path =
+      write_checkpoint("tsnn_ckpt_shard.csv", plan, {1, 3});
+  const CheckpointFile file = read_checkpoint_file(path);
+  const CheckpointState state = validate_checkpoint(file, plan, shard, path);
+  EXPECT_EQ(state.completed_cells, 2u);
+  EXPECT_TRUE(state.completed[1]);
+  EXPECT_TRUE(state.completed[3]);
+  EXPECT_FALSE(state.completed[5]);
+
+  // The same file validated as shard 0/2 names cells it does not own.
+  EXPECT_THROW(validate_checkpoint(file, plan, GridShard{0, 2}, path),
+               IoError);
+  std::remove(path.c_str());
+}
+
+std::vector<CheckpointRecord> records_for(const std::vector<CellPlan>& plan,
+                                          const std::vector<std::size_t>& cells) {
+  std::vector<CheckpointRecord> out;
+  for (const std::size_t c : cells) {
+    CheckpointRecord rec;
+    rec.cell = c;
+    rec.scenario = plan[c].scenario;
+    rec.images = plan[c].images;
+    rec.seed = plan[c].seed;
+    rec.row = measured_row(plan[c], c);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+TEST(CheckpointMerge, ReassemblesCellOrder) {
+  const auto plan = tiny_plan();
+  const auto merged = merge_shard_records({
+      records_for(plan, {0, 2, 4}),
+      records_for(plan, {1, 3, 5}),
+  });
+  ASSERT_EQ(merged.size(), 6u);
+  for (std::size_t c = 0; c < merged.size(); ++c) {
+    EXPECT_EQ(merged[c].cell, c);
+    EXPECT_EQ(merged[c].row.accuracy, measured_row(plan[c], c).accuracy);
+  }
+}
+
+TEST(CheckpointMerge, EmptyShardsAreLegal) {
+  const auto plan = tiny_plan();
+  // N = 8 > 6 cells: shards 6 and 7 own nothing.
+  std::vector<std::vector<CheckpointRecord>> shards(8);
+  for (std::size_t c = 0; c < 6; ++c) {
+    shards[c % 8] = records_for(plan, {c});
+  }
+  const auto merged = merge_shard_records(shards);
+  EXPECT_EQ(merged.size(), 6u);
+
+  // An entirely empty grid merges to an empty record set.
+  EXPECT_TRUE(merge_shard_records({{}, {}}).empty());
+}
+
+TEST(CheckpointMerge, MisassignedCellIsError) {
+  const auto plan = tiny_plan();
+  // Shard dirs swapped on the command line: shard 0's records presented as
+  // shard 1 and vice versa.
+  EXPECT_THROW(merge_shard_records({
+                   records_for(plan, {1, 3, 5}),
+                   records_for(plan, {0, 2, 4}),
+               }),
+               IoError);
+}
+
+TEST(CheckpointMerge, DuplicateCellIsError) {
+  const auto plan = tiny_plan();
+  EXPECT_THROW(merge_shard_records({
+                   records_for(plan, {0, 2, 2, 4}),
+                   records_for(plan, {1, 3, 5}),
+               }),
+               IoError);
+}
+
+TEST(CheckpointMerge, MissingCellIsError) {
+  const auto plan = tiny_plan();
+  // Shard 1 died before cell 3: the union has a hole.
+  EXPECT_THROW(merge_shard_records({
+                   records_for(plan, {0, 2, 4}),
+                   records_for(plan, {1, 5}),
+               }),
+               IoError);
+}
+
+}  // namespace
+}  // namespace tsnn::core

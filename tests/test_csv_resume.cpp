@@ -1,0 +1,190 @@
+// Tests for the CsvStream resume path: the quote-aware prefix reader and the
+// append-mode constructor that truncates a torn final record.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "report/csv.h"
+#include "report/csv_resume.h"
+
+namespace tsnn::report {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  os << bytes;
+  ASSERT_TRUE(os.good());
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+const std::vector<std::string> kHeaders = {"method", "level", "note"};
+
+// Rows exercising every escape path: commas, quotes, newlines, \r, empties.
+const std::vector<std::vector<std::string>> kNastyRows = {
+    {"rate", "0.10", "plain"},
+    {"ttas(5)+WS", "0.25", "has,comma"},
+    {"burst", "1.00", "has\"quote"},
+    {"phase", "0.50", "line\nbreak"},
+    {"ttfs", "0.75", "carriage\rreturn"},
+    {"", "0.00", ""},
+    {"q\"\"q", "2.50", ",\",\n\""},
+    {"last", "9.99", "done"},
+};
+
+std::string build_stream_file(const std::string& path) {
+  CsvStream stream(path, kHeaders);
+  for (const auto& row : kNastyRows) {
+    stream.add_row(row);
+  }
+  return read_bytes(path);
+}
+
+TEST(CsvResume, ReadsCleanFileBack) {
+  const std::string path = temp_path("tsnn_resume_clean.csv");
+  const std::string bytes = build_stream_file(path);
+  CsvResume r(path);
+  EXPECT_TRUE(r.has_header());
+  EXPECT_EQ(r.header(), kHeaders);
+  ASSERT_EQ(r.num_rows(), kNastyRows.size());
+  for (std::size_t i = 0; i < kNastyRows.size(); ++i) {
+    EXPECT_EQ(r.rows()[i], kNastyRows[i]) << "row " << i;
+  }
+  EXPECT_FALSE(r.torn_tail());
+  EXPECT_EQ(r.valid_bytes(), bytes.size());
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, MissingFileThrows) {
+  EXPECT_THROW(CsvResume{temp_path("tsnn_resume_nope.csv")}, IoError);
+}
+
+TEST(CsvResume, EmptyFileIsNotTorn) {
+  const std::string path = temp_path("tsnn_resume_empty.csv");
+  write_bytes(path, "");
+  CsvResume r(path);
+  EXPECT_FALSE(r.has_header());
+  EXPECT_FALSE(r.torn_tail());
+  EXPECT_EQ(r.valid_bytes(), 0u);
+  EXPECT_EQ(r.resume_point().bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, TornHeaderYieldsEmptyPrefix) {
+  const std::string path = temp_path("tsnn_resume_torn_header.csv");
+  write_bytes(path, "method,lev");  // no terminating newline
+  CsvResume r(path);
+  EXPECT_FALSE(r.has_header());
+  EXPECT_TRUE(r.torn_tail());
+  EXPECT_EQ(r.valid_bytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, TornTailInsideQuoteIsDetected) {
+  const std::string path = temp_path("tsnn_resume_torn_quote.csv");
+  // Quoted field contains a newline: a naive line-based reader would call
+  // the prefix valid at that embedded newline. The quote-aware parser must
+  // see an open record instead.
+  write_bytes(path, "a,b\n\"x\ny");
+  CsvResume r(path);
+  EXPECT_TRUE(r.has_header());
+  EXPECT_EQ(r.num_rows(), 0u);
+  EXPECT_TRUE(r.torn_tail());
+  EXPECT_EQ(r.valid_bytes(), 4u);  // just past "a,b\n"
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, CompleteRecordWithWrongColumnCountIsCorruption) {
+  const std::string path = temp_path("tsnn_resume_badcols.csv");
+  write_bytes(path, "a,b\n1,2\n1,2,3\n");
+  EXPECT_THROW(CsvResume{path}, IoError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, StrayByteAfterClosingQuoteIsCorruption) {
+  const std::string path = temp_path("tsnn_resume_badquote.csv");
+  write_bytes(path, "a,b\n\"x\"y,2\n");
+  EXPECT_THROW(CsvResume{path}, IoError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, ResumePointTruncatesToRequestedRows) {
+  const std::string path = temp_path("tsnn_resume_partial.csv");
+  build_stream_file(path);
+  CsvResume r(path);
+  const CsvResumePoint at = r.resume_point(3);
+  EXPECT_EQ(at.rows, 3u);
+  CsvStream stream(path, kHeaders, at);
+  EXPECT_EQ(stream.num_rows(), 3u);
+  for (std::size_t i = 3; i < kNastyRows.size(); ++i) {
+    stream.add_row(kNastyRows[i]);
+  }
+  CsvResume again(path);
+  ASSERT_EQ(again.num_rows(), kNastyRows.size());
+  EXPECT_EQ(again.rows().back(), kNastyRows.back());
+  std::remove(path.c_str());
+}
+
+TEST(CsvResume, AppendConstructorRejectsShortFile) {
+  const std::string path = temp_path("tsnn_resume_short.csv");
+  write_bytes(path, "a,b\n");
+  CsvResumePoint at;
+  at.rows = 7;
+  at.bytes = 10'000;
+  EXPECT_THROW(CsvStream(path, {"a", "b"}, at), IoError);
+  std::remove(path.c_str());
+}
+
+// The satellite-1 torture test: truncate a gnarly sweep CSV at every byte
+// offset (every possible crash point of the append+flush writer), resume,
+// finish the remaining rows, and require the recovered file to be
+// byte-identical to the straight-through one. No offset may parse as
+// corruption — a pure truncation is always either a valid prefix or a
+// valid prefix plus one torn record.
+TEST(CsvResume, EveryByteOffsetTruncationRecoversByteIdentical) {
+  const std::string full_path = temp_path("tsnn_resume_full.csv");
+  const std::string cut_path = temp_path("tsnn_resume_cut.csv");
+  const std::string full = build_stream_file(full_path);
+  ASSERT_GT(full.size(), 0u);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    write_bytes(cut_path, full.substr(0, cut));
+    CsvResume r(cut_path);
+    ASSERT_LE(r.valid_bytes(), cut) << "cut=" << cut;
+    // Every surviving row must be a true prefix of the original rows.
+    ASSERT_LE(r.num_rows(), kNastyRows.size()) << "cut=" << cut;
+    for (std::size_t i = 0; i < r.num_rows(); ++i) {
+      ASSERT_EQ(r.rows()[i], kNastyRows[i]) << "cut=" << cut << " row=" << i;
+    }
+    if (r.has_header()) {
+      ASSERT_EQ(r.header(), kHeaders) << "cut=" << cut;
+    }
+    {
+      CsvStream stream(cut_path, kHeaders, r.resume_point());
+      for (std::size_t i = r.num_rows(); i < kNastyRows.size(); ++i) {
+        stream.add_row(kNastyRows[i]);
+      }
+    }
+    ASSERT_EQ(read_bytes(cut_path), full) << "cut=" << cut;
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+}  // namespace
+}  // namespace tsnn::report

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "coding/registry.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
@@ -249,6 +250,145 @@ TEST(GridScheduler, RowsBitIdenticalAtAnyMicroBatch) {
       }
     }
   }
+}
+
+TEST(GridScheduler, ShardsPartitionTheGridAtAnyThreadCount) {
+  // Reassembling every shard of an i/N split must reproduce the unsharded
+  // run bit-for-bit, at any thread count per shard -- the merge_shards
+  // contract. 7 cells so the split is uneven.
+  const Fixture f;
+  const snn::CodingSchemePtr scheme =
+      coding::make_scheme(Coding::kRate, coding::default_params(Coding::kRate));
+  std::vector<EvalCell> cells(7);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].model = &f.model;
+    cells[c].scheme = scheme.get();
+    cells[c].images = &f.images;
+    cells[c].labels = &f.labels;
+    cells[c].seed = 100 + c;
+  }
+  GridOptions serial;
+  serial.num_threads = 1;
+  const auto reference = run_grid(cells, serial);
+
+  const std::size_t thread_counts[] = {1, 2, 8};
+  for (const std::size_t n : {std::size_t{2}, std::size_t{3}}) {
+    std::vector<EvalCellResult> reassembled(cells.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      GridOptions options;
+      options.shard = GridShard{i, n};
+      // Different shards on different thread counts, like an overnight
+      // split across unequal machines.
+      options.num_threads = thread_counts[i % 3];
+      std::vector<std::size_t> emitted;
+      options.on_cell = [&](std::size_t c, const EvalCellResult& r) {
+        emitted.push_back(c);
+        reassembled[c] = r;
+      };
+      const auto results = run_grid(cells, options);
+      ASSERT_EQ(results.size(), cells.size());
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c % n == i) {
+          EXPECT_DOUBLE_EQ(results[c].accuracy, reference[c].accuracy)
+              << "cell " << c << " shard " << i << "/" << n;
+        } else {
+          // Unowned cells come back default-initialized, never evaluated.
+          EXPECT_DOUBLE_EQ(results[c].mean_spikes, 0.0);
+        }
+      }
+      // on_cell fires for owned cells only, in cell order.
+      std::size_t expect_next = i;
+      for (const std::size_t c : emitted) {
+        EXPECT_EQ(c, expect_next);
+        expect_next += n;
+      }
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      EXPECT_DOUBLE_EQ(reassembled[c].accuracy, reference[c].accuracy)
+          << "cell " << c << " N " << n;
+      EXPECT_DOUBLE_EQ(reassembled[c].mean_spikes, reference[c].mean_spikes);
+      EXPECT_DOUBLE_EQ(reassembled[c].mean_decision_timesteps,
+                       reference[c].mean_decision_timesteps);
+    }
+  }
+
+  // N > cell count: most shards own nothing and that is legal.
+  GridOptions options;
+  options.shard = GridShard{cells.size() + 1, cells.size() + 3};
+  const auto empty = run_grid(cells, options);
+  ASSERT_EQ(empty.size(), cells.size());
+  for (const EvalCellResult& r : empty) {
+    EXPECT_DOUBLE_EQ(r.mean_spikes, 0.0);
+  }
+}
+
+TEST(GridScheduler, CompletedCellsAreInjectedNotReevaluated) {
+  // The resume hook: cells the checkpoint already has are injected into the
+  // result and emission streams without being executed, and the rest of the
+  // grid is unaffected -- resuming is invisible downstream.
+  const Fixture f;
+  const snn::CodingSchemePtr scheme =
+      coding::make_scheme(Coding::kRate, coding::default_params(Coding::kRate));
+  std::vector<EvalCell> cells(5);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].model = &f.model;
+    cells[c].scheme = scheme.get();
+    cells[c].images = &f.images;
+    cells[c].labels = &f.labels;
+    cells[c].seed = 100 + c;
+  }
+  GridOptions serial;
+  serial.num_threads = 1;
+  const auto reference = run_grid(cells, serial);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    GridOptions options;
+    options.num_threads = threads;
+    options.completed = [](std::size_t c, EvalCellResult* out) {
+      if (c != 0 && c != 2) {
+        return false;
+      }
+      out->accuracy = 0.125 + static_cast<double>(c);  // sentinel, not real
+      out->mean_spikes = 1000.0;
+      return true;
+    };
+    std::vector<std::size_t> emitted;
+    options.on_cell = [&](std::size_t c, const EvalCellResult& r) {
+      emitted.push_back(c);
+      if (c == 0 || c == 2) {
+        // Injected cells surface the checkpoint's values verbatim.
+        EXPECT_DOUBLE_EQ(r.accuracy, 0.125 + static_cast<double>(c));
+        EXPECT_DOUBLE_EQ(r.mean_spikes, 1000.0);
+      } else {
+        EXPECT_DOUBLE_EQ(r.accuracy, reference[c].accuracy);
+        EXPECT_DOUBLE_EQ(r.mean_spikes, reference[c].mean_spikes);
+      }
+    };
+    const auto results = run_grid(cells, options);
+    ASSERT_EQ(emitted.size(), cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      EXPECT_EQ(emitted[c], c);  // emission order unchanged by injection
+    }
+    EXPECT_DOUBLE_EQ(results[0].accuracy, 0.125);
+    EXPECT_DOUBLE_EQ(results[2].accuracy, 2.125);
+  }
+}
+
+TEST(GridScheduler, RejectsInvalidShard) {
+  const Fixture f;
+  const snn::CodingSchemePtr scheme =
+      coding::make_scheme(Coding::kRate, coding::default_params(Coding::kRate));
+  std::vector<EvalCell> cells(1);
+  cells[0].model = &f.model;
+  cells[0].scheme = scheme.get();
+  cells[0].images = &f.images;
+  cells[0].labels = &f.labels;
+
+  GridOptions options;
+  options.shard = GridShard{2, 2};  // index must be < count
+  EXPECT_THROW(run_grid(cells, options), InvalidArgument);
+  options.shard = GridShard{0, 0};  // zero shards is meaningless
+  EXPECT_THROW(run_grid(cells, options), InvalidArgument);
 }
 
 TEST(GridScheduler, StreamsRowsInGridOrderAsCellsFinish) {

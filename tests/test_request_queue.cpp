@@ -156,6 +156,39 @@ TEST(RequestQueue, PopBatchHoldsUnderfullBatchUntilDeadline) {
   late.join();
 }
 
+TEST(RequestQueue, PopBatchDeadlineIsArmedOnceNotPerArrival) {
+  // The batch window is measured from the FIRST item taken; a trickle of
+  // late arrivals must not keep re-arming it. With a 150ms window and a
+  // producer dropping one item every ~50ms for ~2s, a re-arming
+  // implementation would ride the trickle to the end and return a large
+  // batch after ~2s; the armed-once contract caps both the batch size and
+  // the wait. Bounds are generous for sanitizer/CI slowdowns.
+  IntQueue q(64);
+  ASSERT_TRUE(q.push(0));
+  std::atomic<bool> stop{false};
+  std::thread trickle([&] {
+    for (int i = 1; i < 40 && !stop.load(); ++i) {
+      std::this_thread::sleep_for(50ms);
+      (void)q.try_push(i);
+    }
+  });
+  int out[64] = {0};
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n =
+      q.pop_batch(out, 64, std::chrono::microseconds(150'000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stop.store(true);
+  trickle.join();
+  // ~150ms window over a ~50ms trickle: a handful of items, nowhere near
+  // the 40 a sliding window would soak up...
+  EXPECT_GE(n, 1u);
+  EXPECT_LT(n, 20u);
+  // ...and the return is deadline-shaped, not trickle-shaped (the trickle
+  // alone runs ~2s).
+  EXPECT_LT(elapsed, 1500ms);
+  q.close();
+}
+
 TEST(RequestQueue, PopBatchReturnsEarlyOnClose) {
   IntQueue q(8);
   ASSERT_TRUE(q.push(1));

@@ -1,0 +1,363 @@
+// Generative conformance runner for the scenario pipeline: seeded-random
+// ScenarioSpecs cross-check the invariants every hand-written test pins at
+// single points -- spec text round-trips, serial-vs-parallel and
+// 1-vs-N-thread bit-identity, shard-reassembly identity, resume-injection
+// identity, and checkpoint text round-trips under truncation.
+//
+// Every trial is a pure function of its seed (TSNN_FUZZ_SEED overrides the
+// base; a failure message names the trial seed to replay), and the grids
+// stay tiny -- one synthetic 4-neuron workload, <= 24 cells per trial --
+// so the whole suite is CTest-fast and sanitizer-friendly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "core/scenario.h"
+#include "report/csv.h"
+#include "report/csv_resume.h"
+#include "snn/topology.h"
+
+namespace tsnn::core {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  return static_cast<std::uint64_t>(env::get_int("TSNN_FUZZ_SEED", 0xF022));
+}
+
+snn::SnnModel tiny_model() {
+  snn::SnnModel model(Shape{4});
+  Tensor eye{Shape{4, 4}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    eye(i, i) = 1.0f;
+  }
+  model.add_stage("hidden", std::make_unique<snn::DenseTopology>(eye));
+  Tensor readout{Shape{2, 4}, {1, 1, 0, 0, 0, 0, 1, 1}};
+  model.add_stage("readout", std::make_unique<snn::DenseTopology>(readout));
+  return model;
+}
+
+struct Fixture {
+  snn::SnnModel model = tiny_model();
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+
+  Fixture() {
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+      Tensor x{Shape{4}};
+      const std::size_t cls = i % 2;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const bool hot = (j / 2) == cls;
+        x[j] =
+            static_cast<float>(rng.uniform(hot ? 0.6 : 0.05, hot ? 0.9 : 0.2));
+      }
+      images.push_back(std::move(x));
+      labels.push_back(cls);
+    }
+  }
+
+  /// Engine options resolving the dataset name "tiny" to this fixture.
+  ScenarioEngine::Options options(std::size_t threads) const {
+    ScenarioEngine::Options options;
+    options.default_seed = 0xBEEF;
+    options.num_threads = threads;
+    options.workload_provider = [this](const std::string& dataset,
+                                       std::size_t) {
+      ScenarioWorkload w;
+      if (dataset == "tiny") {
+        w.model = &model;
+        w.images = &images;
+        w.labels = &labels;
+      }
+      return w;
+    };
+    return options;
+  }
+};
+
+// ------------------------------------------------------------- generators --
+
+/// A random well-formed spec over the "tiny" workload. Small on purpose:
+/// <= 3 methods x <= 4 levels keeps a trial under ~12 cells.
+ScenarioSpec random_spec(Rng& rng, std::size_t ordinal) {
+  ScenarioSpec spec;
+  spec.name = "fuzz_" + std::to_string(ordinal);
+  spec.datasets = {"tiny"};
+
+  const char* kMethodPool[] = {"rate", "phase",   "burst",      "ttfs",
+                               "ttas(2)", "ttas(5)", "ttas(10)"};
+  const std::size_t num_methods = 1 + rng.uniform_index(3);
+  for (std::size_t m = 0; m < num_methods; ++m) {
+    std::string label = kMethodPool[rng.uniform_index(7)];
+    if (rng.bernoulli(0.5)) {
+      label += "+WS";
+    }
+    spec.methods.push_back(parse_method_label(label));
+  }
+
+  // A stack of 1-3 layers, exactly one swept (the common shape; sweep-less
+  // scenarios are covered when the coin never picks a swept layer... which
+  // cannot happen here, so force one for grid depth).
+  const std::size_t num_layers = 1 + rng.uniform_index(3);
+  const std::size_t swept = rng.uniform_index(num_layers);
+  bool swept_unit_range = false;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    NoiseLayerSpec layer;
+    switch (rng.uniform_index(4)) {
+      case 0:
+        layer.kind = NoiseLayerSpec::Kind::kDeletion;
+        layer.value = rng.uniform(0.0, 0.9);
+        break;
+      case 1:
+        layer.kind = NoiseLayerSpec::Kind::kJitter;
+        layer.value = rng.uniform(0.0, 3.0);
+        break;
+      case 2:
+        layer.kind = NoiseLayerSpec::Kind::kInput;
+        layer.value = rng.uniform(0.0, 0.2);
+        break;
+      default:
+        layer.kind = NoiseLayerSpec::Kind::kSaltPepper;
+        layer.value = rng.uniform(0.0, 0.3);
+        break;
+    }
+    if (i == swept) {
+      layer.swept = true;
+      layer.value = 0.0;
+      swept_unit_range = layer.kind == NoiseLayerSpec::Kind::kDeletion ||
+                         layer.kind == NoiseLayerSpec::Kind::kSaltPepper;
+    }
+    spec.noise.push_back(layer);
+  }
+
+  const std::size_t num_levels = 2 + rng.uniform_index(3);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    // Levels with awkward fractional parts; unit-range layers need [0, 1].
+    spec.levels.push_back(rng.uniform(0.0, swept_unit_range ? 0.95 : 3.0));
+  }
+
+  if (rng.bernoulli(0.5)) {
+    spec.images = 4 + rng.uniform_index(6);
+  }
+  if (rng.bernoulli(0.5)) {
+    spec.seed = rng();
+    spec.has_seed = true;
+  }
+  if (rng.bernoulli(0.3)) {
+    spec.early_exit.mode = snn::DecisionPolicy::Mode::kMargin;
+    spec.early_exit.margin = static_cast<float>(rng.uniform(0.05, 0.4));
+    spec.early_exit.min_timesteps = 1 + rng.uniform_index(3);
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> random_suite(Rng& rng) {
+  std::vector<ScenarioSpec> suite;
+  const std::size_t n = 1 + rng.uniform_index(2);
+  for (std::size_t s = 0; s < n; ++s) {
+    suite.push_back(random_spec(rng, s));
+  }
+  return suite;
+}
+
+void expect_rows_identical(const std::vector<ScenarioRow>& a,
+                           const std::vector<ScenarioRow>& b,
+                           std::uint64_t trial_seed, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what << ", trial seed " << trial_seed;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dataset, b[i].dataset)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].method, b[i].method)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].level, b[i].level)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].noise, b[i].noise)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    // Bit-exact, not nearly-equal: the conformance contract.
+    EXPECT_EQ(a[i].accuracy, b[i].accuracy)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].mean_spikes, b[i].mean_spikes)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].ws_factor, b[i].ws_factor)
+        << what << " row " << i << ", trial seed " << trial_seed;
+    EXPECT_EQ(a[i].mean_decision_timesteps, b[i].mean_decision_timesteps)
+        << what << " row " << i << ", trial seed " << trial_seed;
+  }
+}
+
+/// All rows of a suite run, concatenated in scenario order.
+std::vector<ScenarioRow> all_rows(const std::vector<ScenarioResult>& results) {
+  std::vector<ScenarioRow> rows;
+  for (const ScenarioResult& r : results) {
+    rows.insert(rows.end(), r.rows.begin(), r.rows.end());
+  }
+  return rows;
+}
+
+// ----------------------------------------------------------------- trials --
+
+TEST(ScenarioFuzz, SpecTextRoundTripIsFixedPoint) {
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const std::uint64_t trial_seed = fuzz_seed() + trial;
+    Rng rng(trial_seed);
+    const ScenarioSpec spec = random_spec(rng, trial);
+    const std::string text = spec.to_text();
+    const ScenarioSpec reparsed = ScenarioSpec::parse(text);
+    // parse(to_text(s)) must hit a fixed point immediately: same canonical
+    // text, including every exactly-round-tripped double.
+    EXPECT_EQ(reparsed.to_text(), text) << "trial seed " << trial_seed;
+  }
+}
+
+TEST(ScenarioFuzz, SerialAndParallelRunsAreBitIdentical) {
+  const Fixture f;
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    const std::uint64_t trial_seed = fuzz_seed() + 100 + trial;
+    Rng rng(trial_seed);
+    const std::vector<ScenarioSpec> suite = random_suite(rng);
+
+    ScenarioEngine serial(f.options(1));
+    const auto reference = all_rows(serial.run(suite));
+
+    const std::size_t threads = 2 + rng.uniform_index(7);  // 2..8
+    ScenarioEngine parallel(f.options(threads));
+    expect_rows_identical(reference, all_rows(parallel.run(suite)),
+                          trial_seed, "serial vs parallel");
+  }
+}
+
+TEST(ScenarioFuzz, ShardsReassembleToTheUnshardedRun) {
+  const Fixture f;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    const std::uint64_t trial_seed = fuzz_seed() + 200 + trial;
+    Rng rng(trial_seed);
+    const std::vector<ScenarioSpec> suite = random_suite(rng);
+
+    ScenarioEngine full(f.options(2));
+    const std::vector<CellPlan> plan = full.plan(suite);
+    const auto reference = all_rows(full.run(suite));
+
+    // N picked to include N > cell count sometimes (empty shards legal).
+    const std::size_t kCounts[] = {2, 3, 5, 64};
+    const std::size_t n = kCounts[rng.uniform_index(4)];
+    std::vector<ScenarioRow> by_cell(plan.size());
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ScenarioEngine::Options options = f.options(1 + rng.uniform_index(4));
+      options.shard = GridShard{i, n};
+      options.on_cell = [&](std::size_t cell, std::size_t,
+                            const ScenarioRow& row) {
+        ASSERT_EQ(cell % n, i);
+        by_cell[cell] = row;
+        ++covered;
+      };
+      ScenarioEngine shard_engine(std::move(options));
+      shard_engine.run(suite);
+    }
+    ASSERT_EQ(covered, plan.size()) << "trial seed " << trial_seed;
+    // Cells are scenario-major, so cell order IS suite row order.
+    expect_rows_identical(reference, by_cell, trial_seed,
+                          "sharded vs unsharded");
+  }
+}
+
+TEST(ScenarioFuzz, ResumeInjectionIsInvisibleDownstream) {
+  const Fixture f;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    const std::uint64_t trial_seed = fuzz_seed() + 300 + trial;
+    Rng rng(trial_seed);
+    const std::vector<ScenarioSpec> suite = random_suite(rng);
+
+    // Straight-through run, recording per-cell results -- the "checkpoint".
+    std::vector<EvalCellResult> bank;
+    ScenarioEngine::Options straight = f.options(2);
+    straight.on_cell = [&](std::size_t cell, std::size_t,
+                           const ScenarioRow& row) {
+      ASSERT_EQ(cell, bank.size());  // emission is in cell order
+      EvalCellResult r;
+      r.accuracy = row.accuracy;
+      r.mean_spikes = row.mean_spikes;
+      r.mean_decision_timesteps = row.mean_decision_timesteps;
+      bank.push_back(r);
+    };
+    ScenarioEngine full(std::move(straight));
+    const auto reference = all_rows(full.run(suite));
+
+    // Interrupted-then-resumed: the first K cells come from the bank, the
+    // rest execute. The emitted stream must be indistinguishable.
+    const std::size_t k = rng.uniform_index(bank.size() + 1);
+    ScenarioEngine::Options resumed_options = f.options(2);
+    resumed_options.completed = [&](std::size_t cell, EvalCellResult* out) {
+      if (cell >= k) {
+        return false;
+      }
+      *out = bank[cell];
+      return true;
+    };
+    ScenarioEngine resumed(std::move(resumed_options));
+    expect_rows_identical(reference, all_rows(resumed.run(suite)), trial_seed,
+                          "resumed vs straight-through");
+  }
+}
+
+TEST(ScenarioFuzz, CheckpointTextRoundTripsAndSurvivesTruncation) {
+  const Fixture f;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsnn_fuzz_ckpt.csv").string();
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    const std::uint64_t trial_seed = fuzz_seed() + 400 + trial;
+    Rng rng(trial_seed);
+    const std::vector<ScenarioSpec> suite = random_suite(rng);
+
+    ScenarioEngine engine(f.options(1));
+    const std::vector<CellPlan> plan = engine.plan(suite);
+
+    // Stream a full checkpoint from a run, exactly as run_scenarios does.
+    {
+      report::CsvStream stream(path, checkpoint_headers());
+      ScenarioEngine::Options options = f.options(1);
+      options.on_cell = [&](std::size_t cell, std::size_t,
+                            const ScenarioRow& row) {
+        stream.add_row(checkpoint_cells(cell, plan[cell], row));
+      };
+      ScenarioEngine writer(std::move(options));
+      writer.run(suite);
+    }
+
+    // The intact file validates in full, with bit-exact doubles.
+    const CheckpointFile intact = read_checkpoint_file(path);
+    EXPECT_FALSE(intact.torn_tail);
+    const CheckpointState full_state =
+        validate_checkpoint(intact, plan, GridShard{}, path);
+    ASSERT_EQ(full_state.completed_cells, plan.size())
+        << "trial seed " << trial_seed;
+
+    // Chop the tail at a random byte offset: the survivor must validate as
+    // a clean prefix (complete records all bit-exact, the torn one gone).
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, rng.uniform_index(size + 1));
+    const CheckpointFile cut = read_checkpoint_file(path);
+    const CheckpointState state =
+        validate_checkpoint(cut, plan, GridShard{}, path);
+    EXPECT_LE(state.completed_cells, plan.size());
+    for (std::size_t c = 0; c < state.completed_cells; ++c) {
+      EXPECT_TRUE(state.completed[c]) << "trial seed " << trial_seed;
+      EXPECT_EQ(state.results[c].accuracy, full_state.results[c].accuracy)
+          << "cell " << c << ", trial seed " << trial_seed;
+    }
+    for (std::size_t c = state.completed_cells; c < plan.size(); ++c) {
+      EXPECT_FALSE(state.completed[c]) << "trial seed " << trial_seed;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsnn::core
